@@ -1,0 +1,83 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Heavy accelerator evaluations are cached per (accelerator, dataset) so the
+Figure 9/10/11 benchmarks that share runs do not recompute them.  All
+benchmarks print the paper-reported series next to the measured one; the
+claim under test is the *shape* (who wins, rough factors, crossovers), not
+absolute numbers — the workloads are documented scaled-down stand-ins.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, Tuple
+
+from repro.accelerators import accelerator
+from repro.model import EvaluationResult, evaluate
+from repro.workloads import VALIDATION_SET, spmspm_pair
+
+# Partitioning/tiling parameters scaled to the stand-in workload sizes.
+SCALED_PARAMS: Dict[str, dict] = {
+    "extensor": dict(k1=64, k0=16, m1=64, m0=16, n1=64, n0=16),
+    "gamma": dict(pe_rows=32, merge_way=64),
+    "outerspace": dict(mult_outer=256, mult_inner=16, merge_outer=128,
+                       merge_inner=8),
+    "sigma": dict(k_tile=64, pe_array=1024),
+}
+
+
+@functools.lru_cache(maxsize=None)
+def cached_run(accel: str, dataset: str) -> EvaluationResult:
+    """Evaluate one accelerator on one Table 4 stand-in (cached)."""
+    a, b = spmspm_pair(dataset)
+    spec = accelerator(accel, **SCALED_PARAMS.get(accel, {}))
+    return evaluate(spec, {"A": a, "B": b})
+
+
+@functools.lru_cache(maxsize=None)
+def cached_pair(dataset: str):
+    return spmspm_pair(dataset)
+
+
+def traffic_breakdown(result: EvaluationResult) -> Dict[str, float]:
+    """Per-tensor DRAM bytes, with partial-output (PO) traffic split out of
+    the output tensor's total, mirroring Figure 9a's stacking."""
+    t = result.traffic
+    out = {}
+    for tensor in ("A", "B", "T", "Z"):
+        out[tensor] = t.tensor_bits(tensor) / 8
+    final_output = result.spec.einsum.cascade.outputs[-1]
+    final_bytes = 0.0
+    if final_output in result.env:
+        final_bytes = result.oracle.tensor_bits(
+            result.env[final_output]
+        ) / 8
+    po = max(0.0, out.get(final_output, 0.0) - final_bytes)
+    out["PO"] = po
+    if final_output in out:
+        out[final_output] = out[final_output] - po
+    return out
+
+
+def print_series(title: str, columns, rows) -> None:
+    """Print an aligned table: rows of (label, *values)."""
+    print()
+    print(title)
+    header = f"{'':12s}" + "".join(f"{c:>14s}" for c in columns)
+    print(header)
+    print("-" * len(header))
+    for label, *values in rows:
+        cells = "".join(
+            f"{v:14.3f}" if isinstance(v, float) else f"{str(v):>14s}"
+            for v in values
+        )
+        print(f"{label:12s}{cells}")
+
+
+def geomean(values) -> float:
+    import math
+
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

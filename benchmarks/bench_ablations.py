@@ -1,0 +1,164 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not a paper figure — these isolate the mechanisms behind the headline
+results by flipping exactly one specification level at a time, which is
+precisely the workflow TeAAL advertises (section 4.1.4):
+
+* intersection unit type (architecture level): skip-ahead vs. two-finger
+  on ExTensor's hierarchical intersection;
+* FiberCache capacity (architecture level): Gamma's B-row reuse collapses
+  when the cache shrinks below the working set;
+* merge-phase partitioning (mapping level): OuterSPACE's merge tree width;
+* bitmap partition count (the Figure 13 design knob) on BFS apply ops.
+"""
+
+import pytest
+
+from repro.accelerators import accelerator, extensor, gamma
+from repro.graph import DESIGNS, Design, run_vertex_centric
+from repro.model import evaluate
+from repro.spec import load_spec
+from repro.workloads import adjacency_from_dataset, reachable_source, \
+    uniform_random
+
+from ._common import print_series
+
+
+def _pair(seed=0, shape=(96, 96), density=0.08):
+    a = uniform_random("A", ["K", "M"], shape, density, seed=seed)
+    b = uniform_random("B", ["K", "N"], shape, density, seed=seed + 1)
+    return a, b
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_intersection_type(benchmark):
+    """Skip-ahead must beat two-finger on sparse co-iteration cycles."""
+
+    def run():
+        a, b = _pair()
+        base = extensor.spec(k1=32, k0=8, m1=32, m0=8, n1=32, n0=8)
+        skip = evaluate(base, {"A": a.copy(), "B": b.copy()})
+        two_yaml = extensor.YAML.replace("type: skip-ahead",
+                                         "type: two-finger")
+        two_spec = load_spec(two_yaml, name="extensor-two-finger")
+        two_spec = two_spec.with_params(K1=32, K0=8, M1=32, M0=8, N1=32,
+                                        N0=8)
+        two = evaluate(two_spec, {"A": a.copy(), "B": b.copy()})
+        return skip, two
+
+    skip, two = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def isect_cycles(res):
+        return sum(m.cycles() for em in res.einsums.values()
+                   for m in em.intersects.values())
+
+    rows = [
+        ("skip-ahead", isect_cycles(skip), skip.exec_seconds * 1e6),
+        ("two-finger", isect_cycles(two), two.exec_seconds * 1e6),
+    ]
+    print_series(
+        "Ablation - ExTensor intersection unit",
+        ["isect-cycles", "time-us"],
+        rows,
+    )
+    assert isect_cycles(skip) < isect_cycles(two)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_fibercache_capacity(benchmark):
+    """Shrinking Gamma's FiberCache forces B-row re-fetches from DRAM."""
+
+    def run():
+        a, b = _pair(seed=7)
+        out = []
+        for depth in (49152, 512, 8):
+            yaml = gamma.YAML_TEMPLATE.format(pe_rows=16, merge_way=16)
+            yaml = yaml.replace("depth: 49152", f"depth: {depth}")
+            spec = load_spec(yaml, name=f"gamma-{depth}")
+            out.append((depth, evaluate(spec, {"A": a.copy(),
+                                               "B": b.copy()})))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        (f"depth={depth}", res.traffic_bytes("B") / 1024,
+         res.normalized_traffic())
+        for depth, res in results
+    ]
+    print_series(
+        "Ablation - Gamma FiberCache capacity (B traffic KiB, total/min)",
+        ["B-KiB", "norm"],
+        rows,
+    )
+    b_traffic = [res.traffic_bytes("B") for _, res in results]
+    assert b_traffic[0] <= b_traffic[-1]
+    assert b_traffic[-1] > 1.5 * b_traffic[0], \
+        "a tiny cache must thrash on B rows"
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_outerspace_merge_width(benchmark):
+    """Wider merge partitioning raises merge-phase parallelism."""
+
+    def run():
+        a, b = _pair(seed=3)
+        out = []
+        for outer, inner in ((64, 8), (16, 4), (4, 2)):
+            spec = accelerator("outerspace", mult_outer=64, mult_inner=8,
+                               merge_outer=outer, merge_inner=inner)
+            out.append(((outer, inner),
+                        evaluate(spec, {"A": a.copy(), "B": b.copy()})))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for (outer, inner), res in results:
+        merge = res.einsums["Z"]
+        steps = sum(m.serial_steps() for m in merge.computes.values())
+        rows.append((f"{outer}/{inner}", float(steps),
+                     res.exec_seconds * 1e6))
+    print_series(
+        "Ablation - OuterSPACE merge partitioning (serial steps, time us)",
+        ["merge-steps", "time-us"],
+        rows,
+    )
+    steps = [r[1] for r in rows]
+    assert steps[0] <= steps[-1], "narrower merge => more serial steps"
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_bitmap_partitions(benchmark):
+    """Figure 13's knob: coarser bitmaps waste apply operations."""
+
+    def run():
+        g = adjacency_from_dataset("fl", weighted=False)
+        src = reachable_source(g, seed=0)
+        out = []
+        for parts in (64, 256, 1024):
+            design = Design(
+                name=f"bitmap-{parts}",
+                cascade="graphdyns",
+                graph_format="csr",
+                apply_granularity="partition",
+                bitmap_partitions=parts,
+            )
+            out.append((parts, run_vertex_centric(design, g, src, "bfs")))
+        exact = run_vertex_centric(DESIGNS["proposal"], g, src, "bfs")
+        return out, exact
+
+    (results, exact) = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [(f"{parts} parts", float(res.total_apply_ops),
+             res.total_seconds * 1e6) for parts, res in results]
+    rows.append(("exact", float(exact.total_apply_ops),
+                 exact.total_seconds * 1e6))
+    print_series(
+        "Ablation - apply granularity on BFS (total apply ops, time us)",
+        ["apply-ops", "time-us"],
+        rows,
+    )
+    ops = [r[1] for r in rows]
+    assert ops[0] >= ops[1] >= ops[2] >= ops[3], \
+        "finer granularity must not increase apply work"

@@ -1,0 +1,54 @@
+"""Figure 10b: Gamma speedup over MKL.
+
+The reported figure shows Gamma one order of magnitude over MKL with the
+largest win on `po`.  The checks assert Gamma beats both the CPU and
+ExTensor (as in the paper, where Gamma's speedups are several times
+ExTensor's on the same datasets).
+"""
+
+import pytest
+
+from repro.baselines import spgemm_seconds
+from repro.published import FIG10A_EXTENSOR_SPEEDUP, FIG10B_GAMMA_SPEEDUP
+from repro.workloads import VALIDATION_SET
+
+from ._common import cached_pair, cached_run, geomean, print_series
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10b_gamma_speedup(benchmark):
+    def run():
+        return {ds: cached_run("gamma", ds) for ds in VALIDATION_SET}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    speedups = {}
+    for ds in VALIDATION_SET:
+        a, b = cached_pair(ds)
+        cpu = spgemm_seconds(a, b)
+        speedups[ds] = cpu / results[ds].exec_seconds
+        rows.append((ds, FIG10B_GAMMA_SPEEDUP[ds], speedups[ds]))
+    print_series(
+        "Figure 10b - Gamma speedup over MKL",
+        ["reported", "measured"],
+        rows,
+    )
+
+    for ds in VALIDATION_SET:
+        assert speedups[ds] > 1.0, ds
+
+    # Cross-figure shape: Gamma beats ExTensor on every dataset, by a
+    # sizable geomean factor, exactly as comparing Figures 10a and 10b.
+    extensor = {
+        ds: cached_run("extensor", ds).exec_seconds for ds in VALIDATION_SET
+    }
+    ratios = [extensor[ds] / results[ds].exec_seconds
+              for ds in VALIDATION_SET]
+    assert min(ratios) > 1.0
+    reported_ratio = geomean(
+        FIG10B_GAMMA_SPEEDUP[ds] / FIG10A_EXTENSOR_SPEEDUP[ds]
+        for ds in VALIDATION_SET
+    )
+    print(f"\nGamma/ExTensor geomean: measured {geomean(ratios):.2f}x, "
+          f"paper {reported_ratio:.2f}x")

@@ -1,0 +1,53 @@
+"""Figure 9a: ExTensor memory traffic vs. the original publication.
+
+Reproduces the paper's comparison of DRAM traffic normalized to the
+algorithmic minimum, broken down per tensor (A, B, Z, and partial outputs
+PO), on the five validation stand-ins.  The reported series is digitized
+from the figure; the shape to check is traffic well above minimum with a
+visible PO component, and p2 the heaviest dataset.
+"""
+
+import pytest
+
+from repro.published import FIG9A_EXTENSOR_TRAFFIC
+from repro.workloads import VALIDATION_SET
+
+from ._common import cached_run, print_series, traffic_breakdown
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9a_extensor_traffic(benchmark):
+    def run():
+        return {ds: cached_run("extensor", ds) for ds in VALIDATION_SET}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    measured = {}
+    for ds in VALIDATION_SET:
+        res = results[ds]
+        norm = res.normalized_traffic()
+        measured[ds] = norm
+        breakdown = traffic_breakdown(res)
+        minimum = res.algorithmic_minimum_bytes()
+        rows.append((
+            ds,
+            FIG9A_EXTENSOR_TRAFFIC[ds],
+            norm,
+            breakdown["A"] / minimum,
+            breakdown["B"] / minimum,
+            breakdown["Z"] / minimum,
+            breakdown["PO"] / minimum,
+        ))
+    print_series(
+        "Figure 9a - ExTensor memory traffic (x algorithmic minimum)",
+        ["reported", "measured", "A", "B", "Z", "PO"],
+        rows,
+    )
+
+    # Shape checks: traffic is above the minimum everywhere and partial
+    # outputs are visible, as in the paper.
+    for ds, norm in measured.items():
+        assert norm > 1.0, ds
+    assert any(results[ds].partial_output_fills() > 0
+               for ds in VALIDATION_SET)

@@ -1,0 +1,56 @@
+"""Figure 9c: OuterSPACE memory traffic vs. the original publication.
+
+OuterSPACE writes the whole partial-product tensor T to DRAM during the
+multiply phase and reads it back during merge, so its traffic is several
+times the minimum with T the dominant component — the defining shape of
+the paper's Figure 9c.
+"""
+
+import pytest
+
+from repro.published import FIG9C_OUTERSPACE_TRAFFIC
+from repro.workloads import VALIDATION_SET
+
+from ._common import cached_run, print_series
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9c_outerspace_traffic(benchmark):
+    def run():
+        return {ds: cached_run("outerspace", ds) for ds in VALIDATION_SET}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for ds in VALIDATION_SET:
+        res = results[ds]
+        minimum = res.algorithmic_minimum_bytes()
+        rows.append((
+            ds,
+            FIG9C_OUTERSPACE_TRAFFIC[ds],
+            res.normalized_traffic(),
+            res.traffic_bytes("A") / minimum,
+            res.traffic_bytes("B") / minimum,
+            res.traffic_bytes("Z") / minimum,
+            res.traffic_bytes("T") / minimum,
+        ))
+    print_series(
+        "Figure 9c - OuterSPACE memory traffic (x algorithmic minimum)",
+        ["reported", "measured", "A", "B", "Z", "T"],
+        rows,
+    )
+
+    for ds in VALIDATION_SET:
+        res = results[ds]
+        total = res.traffic_bytes()
+        assert res.normalized_traffic() > 2.0, ds
+        # T dominates, as in the paper.
+        assert res.traffic_bytes("T") > 0.4 * total, ds
+        # Gamma-style fusion must NOT happen: distinct phase topologies.
+        assert res.blocks == [["T"], ["Z"]]
+
+    gamma_norms = [cached_run("gamma", ds).normalized_traffic()
+                   for ds in VALIDATION_SET]
+    ours = [results[ds].normalized_traffic() for ds in VALIDATION_SET]
+    assert min(ours) > max(gamma_norms), \
+        "OuterSPACE must move more data than Gamma on every dataset"

@@ -1,0 +1,43 @@
+"""Table 4: dataset characteristics — paper originals vs. our stand-ins.
+
+Prints the eight datasets with their paper shape/nnz and the scaled
+stand-in actually generated, and times generation.  The stand-ins keep the
+shape ratio and nonzeros-per-row of the originals (see DESIGN.md's
+substitution table).
+"""
+
+import pytest
+
+from repro.workloads import TABLE4
+
+from ._common import print_series
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table4_dataset_standins(benchmark):
+    def run():
+        return {key: ds.matrix() for key, ds in TABLE4.items()}
+
+    matrices = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for key, ds in TABLE4.items():
+        m = matrices[key]
+        rows.append((
+            key,
+            f"{ds.paper_shape[0]}x{ds.paper_shape[1]}",
+            float(ds.paper_nnz),
+            f"{m.shape[0]}x{m.shape[1]}",
+            float(m.nnz),
+            ds.domain[:12],
+        ))
+    print_series(
+        "Table 4 - datasets (paper original -> scaled stand-in)",
+        ["paper-shape", "paper-nnz", "ours-shape", "ours-nnz", "domain"],
+        rows,
+    )
+
+    for key, ds in TABLE4.items():
+        per_row_paper = ds.paper_nnz / ds.paper_shape[0]
+        per_row_ours = matrices[key].nnz / matrices[key].shape[0]
+        assert per_row_ours == pytest.approx(per_row_paper, rel=0.35), key

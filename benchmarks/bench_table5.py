@@ -1,0 +1,45 @@
+"""Table 5: hardware configurations used by every model.
+
+Prints the five configurations and cross-checks them against the loaded
+accelerator architecture specs (clock, DRAM bandwidth, PE counts).
+"""
+
+import pytest
+
+from repro.accelerators import TABLE5, accelerator
+
+from ._common import print_series
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table5_hardware_configs(benchmark):
+    def run():
+        return {
+            name: accelerator(name)
+            for name in ("extensor", "gamma", "outerspace", "sigma")
+        }
+
+    specs = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for key, cfg in TABLE5.items():
+        rows.append((
+            cfg.name[:12],
+            cfg.clock_hz / 1e9,
+            float(cfg.attributes.get("dram_gbps", 0)),
+            float(cfg.attributes.get("pes", cfg.attributes.get("streams", 0))),
+        ))
+    print_series(
+        "Table 5 - hardware configs (clock GHz, DRAM GB/s, PEs)",
+        ["clock-GHz", "DRAM-GB/s", "PEs"],
+        rows,
+    )
+
+    for name, spec in specs.items():
+        for topo in spec.architecture.topologies.values():
+            assert topo.clock_hz == TABLE5[name].clock_hz, name
+            drams = topo.of_class("DRAM")
+            assert drams, name
+            assert float(drams[0].attr("bandwidth")) == pytest.approx(
+                TABLE5[name].attributes["dram_gbps"], rel=0.01
+            )

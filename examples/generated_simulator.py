@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The simulator *generator*: emit and run standalone Python loop nests.
+
+TeAAL is not just an interpreter — it generates executable simulators
+(paper section 4.3 lowers the IR to an embedded Python DSL).  This example
+prints the actual Python source generated for a tiled SpMSpM mapping,
+executes it, and checks it against both the interpreting executor and
+numpy.
+
+Run:  python examples/generated_simulator.py
+"""
+
+import numpy as np
+
+from repro.einsum import ARITHMETIC
+from repro.fibertree import tensor_from_dense, tensor_to_dense
+from repro.ir import build_ir
+from repro.ir.codegen import compile_ir
+from repro.model import execute_cascade
+from repro.model.executor import prepare_tensor
+from repro.spec import load_spec
+
+SPEC = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    Z: [M, N]
+  expressions:
+    - Z[m, n] = A[k, m] * B[k, n]
+mapping:
+  partitioning:
+    Z:
+      K: [uniform_shape(8)]
+  loop-order:
+    Z: [K1, M, N, K0]
+"""
+
+
+def main():
+    spec = load_spec(SPEC, name="generated-demo")
+    ir = build_ir(spec, "Z")
+    kernel, source = compile_ir(ir)
+
+    print("=" * 70)
+    print("Generated simulator source:")
+    print("=" * 70)
+    # Show the kernel function itself (skip the shared prelude).
+    print(source[source.index("def kernel") :])
+
+    rng = np.random.default_rng(42)
+    a = (rng.random((24, 16)) < 0.3) * rng.integers(1, 9, (24, 16))
+    b = (rng.random((24, 12)) < 0.3) * rng.integers(1, 9, (24, 12))
+    tensors = {
+        "A": tensor_from_dense("A", ["K", "M"], a.astype(float)),
+        "B": tensor_from_dense("B", ["K", "N"], b.astype(float)),
+    }
+
+    prepared = {
+        plan.tensor: prepare_tensor(
+            tensors[plan.tensor],
+            spec.mapping.rank_order_of(
+                plan.tensor, spec.einsum.ranks_of(plan.tensor)
+            ),
+            plan.prep,
+        )
+        for plan in ir.accesses
+    }
+    shapes = {"K": 24, "M": 16, "N": 12}
+    generated = kernel(prepared, ARITHMETIC, shapes).prune_empty()
+
+    interpreted = execute_cascade(spec, tensors)["Z"]
+    expected = a.astype(float).T @ b.astype(float)
+
+    assert generated.points() == interpreted.points()
+    np.testing.assert_allclose(
+        tensor_to_dense(generated, shape=[16, 12]), expected
+    )
+    print("=" * 70)
+    print(f"generated simulator == interpreter == numpy "
+          f"(Z nnz={generated.nnz})")
+
+
+if __name__ == "__main__":
+    main()

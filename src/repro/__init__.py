@@ -1,0 +1,8 @@
+"""repro: a from-scratch reproduction of TeAAL (MICRO 2023).
+
+TeAAL is a declarative language and simulator generator for modeling sparse
+tensor algebra accelerators.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"

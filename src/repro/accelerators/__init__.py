@@ -1,0 +1,33 @@
+"""Packaged specs for the accelerators modeled in the paper."""
+
+from . import (
+    extensor,
+    eyeriss,
+    flexagon,
+    gamma,
+    matraptor,
+    outerspace,
+    sigma,
+    sparch,
+    tensaurus,
+)
+from .cascades import TABLE2_CASCADES
+from .configs import TABLE5, HardwareConfig
+from .registry import FACTORIES, accelerator
+
+__all__ = [
+    "FACTORIES",
+    "HardwareConfig",
+    "TABLE2_CASCADES",
+    "TABLE5",
+    "accelerator",
+    "extensor",
+    "eyeriss",
+    "flexagon",
+    "gamma",
+    "matraptor",
+    "outerspace",
+    "sigma",
+    "sparch",
+    "tensaurus",
+]

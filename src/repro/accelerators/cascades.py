@@ -1,0 +1,108 @@
+"""Table 2: cascades of Einsums for various accelerators and algorithms.
+
+Each entry is an einsum-level spec (declaration + expressions [+ shapes])
+exercised by tests and ``benchmarks/bench_table2.py``; the four fully
+modeled accelerators (ExTensor, Gamma, OuterSPACE, SIGMA) additionally have
+complete five-level specs in their own modules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+TABLE2_CASCADES: Dict[str, dict] = {
+    "extensor_spmspm": {
+        "declaration": {"A": ["K", "M"], "B": ["K", "N"], "Z": ["M", "N"]},
+        "expressions": ["Z[m, n] = A[k, m] * B[k, n]"],
+    },
+    "gamma_spmspm": {
+        "declaration": {
+            "A": ["K", "M"], "B": ["K", "N"],
+            "T": ["K", "M", "N"], "Z": ["M", "N"],
+        },
+        "expressions": [
+            "T[k, m, n] = take(A[k, m], B[k, n], 1)",
+            "Z[m, n] = A[k, m] * T[k, m, n]",
+        ],
+    },
+    "outerspace_spmspm": {
+        "declaration": {
+            "A": ["K", "M"], "B": ["K", "N"],
+            "T": ["K", "M", "N"], "Z": ["M", "N"],
+        },
+        "expressions": [
+            "T[k, m, n] = A[k, m] * B[k, n]",
+            "Z[m, n] = T[k, m, n]",
+        ],
+    },
+    "sigma_spmspm": {
+        "declaration": {
+            "A": ["K", "M"], "B": ["K", "N"],
+            "S": ["K", "M"], "T": ["K", "M"], "Z": ["M", "N"],
+        },
+        "expressions": [
+            "S[k, m] = take(A[k, m], B[k, n], 0)",
+            "T[k, m] = take(A[k, m], S[k, m], 0)",
+            "Z[m, n] = T[k, m] * B[k, n]",
+        ],
+    },
+    "eyeriss_conv": {
+        "declaration": {
+            "I": ["B", "C", "H", "W"],
+            "F": ["C", "M", "R", "S"],
+            "O": ["B", "M", "P", "Q"],
+        },
+        "expressions": [
+            "O[b, m, p, q] = I[b, c, p + r, q + s] * F[c, m, r, s]"
+        ],
+        "shapes": {"P": 4, "Q": 4},
+    },
+    "toeplitz_conv": {
+        "declaration": {
+            "I": ["B", "C", "H", "W"],
+            "T": ["B", "C", "P", "Q", "R", "S"],
+            "F": ["C", "M", "R", "S"],
+            "O": ["B", "M", "P", "Q"],
+        },
+        "expressions": [
+            "T[b, c, p, q, r, s] = I[b, c, p + r, q + s]",
+            "O[b, m, p, q] = T[b, c, p, q, r, s] * F[c, m, r, s]",
+        ],
+        "shapes": {"P": 4, "Q": 4, "R": 3, "S": 3},
+    },
+    "tensaurus_mttkrp": {
+        "declaration": {
+            "T": ["I", "J", "K"], "A": ["K", "R"],
+            "B": ["J", "R"], "C": ["I", "R"],
+        },
+        "expressions": ["C[i, r] = T[i, j, k] * B[j, r] * A[k, r]"],
+    },
+    "factorized_mttkrp": {
+        "declaration": {
+            "T": ["I", "J", "K"], "A": ["K", "R"], "B": ["J", "R"],
+            "S": ["I", "J", "R"], "C": ["I", "R"],
+        },
+        "expressions": [
+            "S[i, j, r] = T[i, j, k] * A[k, r]",
+            "C[i, r] = S[i, j, r] * B[j, r]",
+        ],
+    },
+    "cooley_tukey_fft_step": {
+        "declaration": {
+            "P": ["Z", "K0", "N1", "W"],
+            "X": ["N1", "H"],
+            "E": ["Z", "K0"],
+            "O": ["Z", "K0"],
+            "T": ["K0"],
+            "Y0": ["K0"],
+            "Y1": ["K0"],
+        },
+        "expressions": [
+            "E[0, k0] = P[0, k0, n1, 0] * X[n1, 0]",
+            "O[0, k0] = P[0, k0, n1, 0] * X[n1, 1]",
+            "T[k0] = P[0, k0, 0, 1] * O[0, k0]",
+            "Y0[k0] = E[0, k0] + T[k0]",
+            "Y1[k0] = E[0, k0] - T[k0]",
+        ],
+    },
+}

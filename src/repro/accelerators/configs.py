@@ -1,0 +1,95 @@
+"""Table 5: hardware configurations of the modeled accelerators.
+
+These constants parameterize the architecture blocks of the accelerator
+specs and are printed by ``benchmarks/bench_table5.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    name: str
+    clock_hz: float
+    description: str
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+
+TABLE5: Dict[str, HardwareConfig] = {
+    "extensor": HardwareConfig(
+        name="ExTensor",
+        clock_hz=1.0e9,
+        description=(
+            "1 GHz clock speed, 128 PEs, 64 kB PE buffer per PE, 30 MB LLC, "
+            "68.256 GB/s memory bandwidth"
+        ),
+        attributes={
+            "pes": 128,
+            "pe_buffer_bytes": 64 * 1024,
+            "llc_bytes": 30 * 1024 * 1024,
+            "dram_gbps": 68.256,
+        },
+    ),
+    "gamma": HardwareConfig(
+        name="Gamma",
+        clock_hz=1.0e9,
+        description=(
+            "1 GHz clock speed, 64-way merger per PE, 32 PEs, 3 MB "
+            "FiberCache, 16 64-bit HBM channels, 8 GB/s/channel"
+        ),
+        attributes={
+            "pes": 32,
+            "merger_way": 64,
+            "fibercache_bytes": 3 * 1024 * 1024,
+            "dram_gbps": 128.0,
+        },
+    ),
+    "outerspace": HardwareConfig(
+        name="OuterSPACE",
+        clock_hz=1.5e9,
+        description=(
+            "1.5 GHz clock speed, 16 PEs per PT, 16 PTs, 16 kB L0 cache per "
+            "PT, 4 kB L1 cache per 4 PTs, 16 64-bit HBM channels, "
+            "8000 MB/s/channel"
+        ),
+        attributes={
+            "pes": 256,
+            "pts": 16,
+            "l0_bytes": 16 * 1024,
+            "l1_bytes": 4 * 1024,
+            "dram_gbps": 128.0,
+        },
+    ),
+    "sigma": HardwareConfig(
+        name="SIGMA",
+        clock_hz=5.0e8,
+        description=(
+            "500 MHz clock speed, 128 PEs per FlexDPE, 128 FlexDPEs, 32 MB "
+            "Data SRAM, 4 MB Bitmap SRAM, 960 GB/s SRAM bandwidth, "
+            "1024 GB/s HBM bandwidth"
+        ),
+        attributes={
+            "pes": 128 * 128,
+            "data_sram_bytes": 32 * 1024 * 1024,
+            "bitmap_sram_bytes": 4 * 1024 * 1024,
+            "sram_gbps": 960.0,
+            "dram_gbps": 1024.0,
+        },
+    ),
+    "graphicionado": HardwareConfig(
+        name="Graphicionado",
+        clock_hz=1.0e9,
+        description=(
+            "1 GHz clock speed, 8 streams, 64 MB eDRAM, 68 GB/s memory "
+            "bandwidth"
+        ),
+        attributes={
+            "streams": 8,
+            "edram_bytes": 64 * 1024 * 1024,
+            "dram_gbps": 68.0,
+        },
+    ),
+}

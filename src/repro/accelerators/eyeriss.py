@@ -1,0 +1,112 @@
+"""Eyeriss [8]: row-stationary dense CONV (Table 2's direct-conv cascade).
+
+The paper lists Eyeriss among the additionally modeled accelerators
+(section 5).  Its Einsum is the 2D direct convolution with batch and
+output channels; the row-stationary mapping keeps a filter row and an
+input row resident while sliding over output columns — expressed here as
+the loop order [M, B, P, Q, C, R, S] with filter rows spatially mapped.
+"""
+
+from __future__ import annotations
+
+from ..spec import AcceleratorSpec, load_spec
+
+YAML_TEMPLATE = """
+einsum:
+  declaration:
+    I: [B, C, H, W]
+    F: [C, M, R, S]
+    O: [B, M, P, Q]
+  expressions:
+    - O[b, m, p, q] = I[b, c, p + r, q + s] * F[c, m, r, s]
+  shapes:
+    P: {p}
+    Q: {q}
+mapping:
+  rank-order:
+    I: [B, C, H, W]
+    F: [M, C, R, S]
+    O: [B, M, P, Q]
+  loop-order:
+    O: [M, B, P, Q, C, R, S]
+  spacetime:
+    O:
+      space: [R]
+      time: [M, B, P, Q, C, S]
+format:
+  I:
+    Dense:
+      B: {{format: U, pbits: 0}}
+      C: {{format: U, pbits: 0}}
+      H: {{format: U, pbits: 0}}
+      W: {{format: U, cbits: 0, pbits: 16}}
+  F:
+    Dense:
+      M: {{format: U, pbits: 0}}
+      C: {{format: U, pbits: 0}}
+      R: {{format: U, pbits: 0}}
+      S: {{format: U, cbits: 0, pbits: 16}}
+  O:
+    Dense:
+      B: {{format: U, pbits: 0}}
+      M: {{format: U, pbits: 0}}
+      P: {{format: U, pbits: 0}}
+      Q: {{format: U, cbits: 0, pbits: 16}}
+architecture:
+  Eyeriss:
+    clock: 2.0e8
+    subtree:
+      - name: System
+        local:
+          - name: DRAM
+            class: DRAM
+            attributes: {{bandwidth: 1}}
+          - name: GLB
+            class: Buffer
+            attributes: {{type: buffet, width: 64, depth: 13650}}
+        subtree:
+          - name: PE
+            num: 168
+            local:
+              - name: Spad
+                class: Buffer
+                attributes: {{type: buffet, width: 16, depth: 224}}
+              - name: MACC
+                class: Compute
+                attributes: {{type: mul}}
+binding:
+  O:
+    config: Eyeriss
+    components:
+      GLB:
+        - tensor: I
+          rank: H
+          type: elem
+          style: lazy
+          evict-on: B
+          config: Dense
+        - tensor: O
+          rank: Q
+          type: elem
+          style: lazy
+          evict-on: P
+          config: Dense
+      Spad:
+        - tensor: F
+          rank: R
+          type: elem
+          style: lazy
+          evict-on: M
+          config: Dense
+      MACC:
+        - op: mul
+"""
+
+
+def spec(p: int = 8, q: int = 8) -> AcceleratorSpec:
+    """The Eyeriss row-stationary CONV spec.
+
+    ``p``/``q`` are the output feature-map extents (affine output ranks
+    need explicit shapes).
+    """
+    return load_spec(YAML_TEMPLATE.format(p=p, q=q), name="eyeriss")

@@ -1,0 +1,134 @@
+"""Flexagon [30]: a multi-dataflow SpMSpM accelerator.
+
+The paper lists Flexagon among its additionally modeled designs
+(section 5).  Flexagon's defining feature is that one piece of hardware
+runs SpMSpM under *three* dataflows — inner product, outer product, or
+Gustavson (row-wise) — chosen per workload.  In TeAAL terms that is one
+Einsum with three alternative mappings: the einsum/format/architecture
+levels are shared and only the mapping block changes, a direct showcase of
+the specification hierarchy's separation of concerns (section 4.1.4).
+"""
+
+from __future__ import annotations
+
+from ..spec import AcceleratorSpec, load_spec
+
+_EINSUM = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    Z: [M, N]
+  expressions:
+    - Z[m, n] = A[k, m] * B[k, n]
+"""
+
+_MAPPINGS = {
+    # Inner product: Z-stationary, co-iterate A and B along K innermost.
+    "inner": """
+mapping:
+  rank-order:
+    A: [M, K]
+    B: [N, K]
+    Z: [M, N]
+  loop-order:
+    Z: [M, N, K]
+  spacetime:
+    Z:
+      space: [N]
+      time: [M, K]
+""",
+    # Outer product: K outermost, rank-1 updates of Z.
+    "outer": """
+mapping:
+  rank-order:
+    A: [K, M]
+    B: [K, N]
+    Z: [M, N]
+  loop-order:
+    Z: [K, M, N]
+  spacetime:
+    Z:
+      space: [M]
+      time: [K, N]
+""",
+    # Gustavson: rows of A select rows of B (row-wise product).
+    "gustavson": """
+mapping:
+  rank-order:
+    A: [M, K]
+    B: [K, N]
+    Z: [M, N]
+  loop-order:
+    Z: [M, K, N]
+  spacetime:
+    Z:
+      space: [K]
+      time: [M, N]
+""",
+}
+
+_BACKEND = """
+format:
+  A:
+    CSF:
+      M: {format: U, pbits: 32}
+      K: {format: C, cbits: 32, pbits: 64}
+  B:
+    CSF:
+      K: {format: U, pbits: 32}
+      N: {format: C, cbits: 32, pbits: 64}
+  Z:
+    CSF:
+      M: {format: U, pbits: 32}
+      N: {format: C, cbits: 32, pbits: 64}
+architecture:
+  Flexagon:
+    clock: 1.0e9
+    subtree:
+      - name: System
+        local:
+          - name: HBM
+            class: DRAM
+            attributes: {bandwidth: 128}
+          - name: MRN
+            class: Buffer
+            attributes: {type: cache, width: 512, depth: 16384}
+        subtree:
+          - name: PE
+            num: 64
+            local:
+              - name: FPU
+                class: Compute
+                attributes: {type: mul}
+binding:
+  Z:
+    config: Flexagon
+    components:
+      MRN:
+        - tensor: B
+          rank: K
+          type: elem
+          style: eager
+          config: CSF
+      FPU:
+        - op: mul
+"""
+
+DATAFLOWS = tuple(_MAPPINGS)
+
+
+def spec(dataflow: str = "gustavson") -> AcceleratorSpec:
+    """Flexagon under one of its three dataflows.
+
+    ``dataflow`` is ``inner``, ``outer``, or ``gustavson``; everything but
+    the mapping block is identical across the three.
+    """
+    try:
+        mapping = _MAPPINGS[dataflow]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataflow {dataflow!r}; known: {sorted(_MAPPINGS)}"
+        ) from None
+    text = _EINSUM + mapping + _BACKEND
+    return load_spec(text, name=f"flexagon-{dataflow}")

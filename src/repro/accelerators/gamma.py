@@ -1,0 +1,167 @@
+"""Gamma [55]: row-wise (Gustavson) SpMSpM with FiberCache and hardware
+mergers.
+
+Einsum/mapping follow Figure 8a: the ``take()`` Einsum fetches exactly the
+B rows selected by the nonzeros of each A row, then the second Einsum
+multiplies and reduces them; the two Einsums *fuse* into one block (paper
+section 4.3), so the intermediate T never reaches DRAM.
+
+Architecture per Table 5: 32 PEs at 1 GHz, a 64-way merger per PE, 3 MB
+FiberCache, 16 HBM channels x 8 GB/s.  B rows are cached in the FiberCache
+(eager row fetches); A and Z stream.  The consumer-side swizzle of T to
+``[M, N, K]`` (paper section 5) is priced by the per-PE mergers.
+"""
+
+from __future__ import annotations
+
+from ..spec import AcceleratorSpec, load_spec
+
+YAML_TEMPLATE = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    T: [K, M, N]
+    Z: [M, N]
+  expressions:
+    - T[k, m, n] = take(A[k, m], B[k, n], 1)
+    - Z[m, n] = T[k, m, n] * A[k, m]
+mapping:
+  rank-order:
+    A: [M, K]
+    B: [K, N]
+    T: [M, K, N]
+    Z: [M, N]
+  partitioning:
+    T:
+      M: [uniform_occupancy(A.{pe_rows})]
+      K: [uniform_occupancy(A.{merge_way})]
+    Z:
+      M: [uniform_occupancy(A.{pe_rows})]
+      K: [uniform_occupancy(A.{merge_way})]
+  loop-order:
+    T: [M1, M0, K1, K0, N]
+    Z: [M1, M0, K1, N, K0]
+  spacetime:
+    T:
+      space: [M0, K1]
+      time: [M1, K0, N]
+    Z:
+      space: [M0, K1]
+      time: [M1, N, K0]
+format:
+  A:
+    CSR:
+      M: {{format: U, pbits: 32}}
+      K: {{format: C, cbits: 32, pbits: 64}}
+  B:
+    CSR:
+      K: {{format: U, pbits: 32}}
+      N: {{format: C, cbits: 32, pbits: 64}}
+  T:
+    OnChip:
+      M: {{format: C, cbits: 32, pbits: 32}}
+      K: {{format: C, cbits: 32, pbits: 32}}
+      N: {{format: C, cbits: 32, pbits: 64}}
+  Z:
+    CSR:
+      M: {{format: U, pbits: 32}}
+      N: {{format: C, cbits: 32, pbits: 64}}
+architecture:
+  Gamma:
+    clock: 1.0e9
+    subtree:
+      - name: System
+        local:
+          - name: HBM
+            class: DRAM
+            attributes: {{bandwidth: 128}}
+          - name: FiberCache
+            class: Buffer
+            attributes: {{type: cache, width: 512, depth: 49152,
+                          bandwidth: 512}}
+        subtree:
+          - name: PE
+            num: 32
+            local:
+              - name: AStream
+                class: Buffer
+                attributes: {{type: buffet, width: 64, depth: 256}}
+              - name: OutBuf
+                class: Buffer
+                attributes: {{type: buffet, width: 64, depth: 1024}}
+              - name: Fetcher
+                class: Intersection
+                attributes: {{type: leader-follower, leader: A}}
+              - name: Merger
+                class: Merger
+                attributes: {{inputs: 64, comparator_radix: 64, outputs: 1,
+                              order: opt, reduce: true}}
+              - name: FPU
+                class: Compute
+                attributes: {{type: mul}}
+binding:
+  T:
+    config: Gamma
+    components:
+      AStream:
+        - tensor: A
+          rank: K
+          type: elem
+          style: lazy
+          evict-on: K1
+          config: CSR
+      FiberCache:
+        - tensor: B
+          rank: K
+          type: elem
+          style: eager
+          config: CSR
+        - tensor: T
+          rank: root
+          type: subtree
+          spill: false
+          config: OnChip
+      Fetcher:
+        - op: intersect
+          rank: K0
+  Z:
+    config: Gamma
+    components:
+      AStream:
+        - tensor: A
+          rank: K
+          type: elem
+          style: lazy
+          evict-on: K1
+          config: CSR
+      FiberCache:
+        - tensor: T
+          rank: root
+          type: subtree
+          spill: false
+          config: OnChip
+      OutBuf:
+        - tensor: Z
+          rank: N
+          type: elem
+          style: lazy
+          evict-on: M0
+          config: CSR
+      Merger:
+        - op: swizzle
+          tensor: T
+      FPU:
+        - op: mul
+"""
+
+
+def spec(pe_rows: int = 32, merge_way: int = 64) -> AcceleratorSpec:
+    """The Gamma accelerator spec (Figure 8a + Table 5).
+
+    ``pe_rows`` is the number of A rows distributed across PEs per round;
+    ``merge_way`` the radix of the per-PE merger (both scale down for small
+    workloads).
+    """
+    text = YAML_TEMPLATE.format(pe_rows=pe_rows, merge_way=merge_way)
+    return load_spec(text, name="gamma")

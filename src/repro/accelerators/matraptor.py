@@ -1,0 +1,96 @@
+"""MatRaptor [42]: row-wise product SpMSpM with parallel summation.
+
+Table 1: "Row-wise Product with parallel summation ... co-design of
+micro-architecture and C2SR format".  As a cascade it is Gustavson's
+algorithm like Gamma, but without the take() prefetch stage — partial
+rows stream into per-PE sorting queues (modeled as a merger) and rows of
+A are distributed round-robin across PEs (an occupancy split of M).
+C2SR — channel-cyclic sparse rows — manifests as the format block's
+per-rank widths; its channel interleaving is a layout attribute.
+"""
+
+from __future__ import annotations
+
+from ..spec import AcceleratorSpec, load_spec
+
+YAML_TEMPLATE = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    Z: [M, N]
+  expressions:
+    - Z[m, n] = A[k, m] * B[k, n]
+mapping:
+  rank-order:
+    A: [M, K]
+    B: [K, N]
+    Z: [M, N]
+  partitioning:
+    Z:
+      M: [uniform_occupancy(A.{pe_rows})]
+  loop-order:
+    Z: [M1, M0, K, N]
+  spacetime:
+    Z:
+      space: [M0]
+      time: [M1, K, N]
+format:
+  A:
+    C2SR:
+      M: {{format: U, pbits: 32}}
+      K: {{format: C, cbits: 32, pbits: 64, layout: interleaved}}
+  B:
+    C2SR:
+      K: {{format: U, pbits: 32}}
+      N: {{format: C, cbits: 32, pbits: 64, layout: interleaved}}
+  Z:
+    C2SR:
+      M: {{format: U, pbits: 32}}
+      N: {{format: C, cbits: 32, pbits: 64, layout: interleaved}}
+architecture:
+  MatRaptor:
+    clock: 2.0e9
+    subtree:
+      - name: System
+        local:
+          - name: HBM
+            class: DRAM
+            attributes: {{bandwidth: 128}}
+        subtree:
+          - name: PE
+            num: 8
+            local:
+              - name: RowBuf
+                class: Buffer
+                attributes: {{type: buffet, width: 64, depth: 1024}}
+              - name: SortQueues
+                class: Merger
+                attributes: {{inputs: 10, comparator_radix: 2, outputs: 1,
+                              order: fifo, reduce: true}}
+              - name: FPU
+                class: Compute
+                attributes: {{type: mul}}
+binding:
+  Z:
+    config: MatRaptor
+    components:
+      RowBuf:
+        - tensor: Z
+          rank: N
+          type: elem
+          style: lazy
+          evict-on: M0
+          config: C2SR
+      SortQueues:
+        - op: swizzle
+          tensor: Z
+      FPU:
+        - op: mul
+"""
+
+
+def spec(pe_rows: int = 8) -> AcceleratorSpec:
+    """The MatRaptor row-wise SpMSpM spec."""
+    return load_spec(YAML_TEMPLATE.format(pe_rows=pe_rows),
+                     name="matraptor")

@@ -1,0 +1,185 @@
+"""OuterSPACE [34]: outer-product SpMSpM with multiply-merge phases.
+
+The einsum/mapping blocks are the paper's Figure 3 verbatim; the format
+block follows Figure 5b (the array-of-linked-lists representation of the
+partial-product tensor T); the architecture and binding blocks realize the
+Table 5 configuration (16 processing tiles of 16 PEs at 1.5 GHz, 16 kB L0
+per PT, HBM at 16 x 8 GB/s), with a distinct topology per phase because
+OuterSPACE reorganizes itself between multiply and merge.
+
+``spec()`` accepts scaled-down partitioning sizes so the model runs on
+laptop-sized workloads; defaults are the paper's values.
+"""
+
+from __future__ import annotations
+
+from ..spec import AcceleratorSpec, load_spec
+
+YAML_TEMPLATE = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    T: [K, M, N]
+    Z: [M, N]
+  expressions:
+    - T[k, m, n] = A[k, m] * B[k, n]
+    - Z[m, n] = T[k, m, n]
+mapping:
+  rank-order:
+    A: [K, M]
+    B: [K, N]
+    T: [M, K, N]
+    Z: [M, N]
+  partitioning:
+    T:
+      (K, M): [flatten()]
+      KM: [uniform_occupancy(A.{mult_outer}), uniform_occupancy(A.{mult_inner})]
+    Z:
+      M: [uniform_occupancy(T.{merge_outer}), uniform_occupancy(T.{merge_inner})]
+  loop-order:
+    T: [KM2, KM1, KM0, N]
+    Z: [M2, M1, M0, N, K]
+  spacetime:
+    T:
+      space: [KM1, KM0]
+      time: [KM2, N]
+    Z:
+      space: [M1, M0]
+      time: [M2, N, K]
+format:
+  A:
+    CSC:
+      K: {{format: U, pbits: 32}}
+      M: {{format: C, cbits: 32, pbits: 64}}
+  B:
+    CSR:
+      K: {{format: U, pbits: 32}}
+      N: {{format: C, cbits: 32, pbits: 64}}
+  T:
+    LinkedLists:
+      M: {{format: U, pbits: 32}}
+      K: {{format: C, cbits: 32, pbits: 32}}
+      N: {{format: C, fhbits: 32, layout: interleaved, cbits: 32, pbits: 64}}
+  Z:
+    CSR:
+      M: {{format: U, pbits: 32}}
+      N: {{format: C, cbits: 32, pbits: 64}}
+architecture:
+  MultiplyPhase:
+    clock: 1.5e9
+    subtree:
+      - name: System
+        local:
+          - name: HBM
+            class: DRAM
+            attributes: {{bandwidth: 128}}
+        subtree:
+          - name: PT
+            num: 16
+            local:
+              - name: L0Cache
+                class: Buffer
+                attributes: {{type: cache, width: 64, depth: 2048}}
+            subtree:
+              - name: PE
+                num: 16
+                local:
+                  - name: RegFile
+                    class: Buffer
+                    attributes: {{type: buffet, width: 64, depth: 64}}
+                  - name: Mult
+                    class: Compute
+                    attributes: {{type: mul}}
+  MergePhase:
+    clock: 1.5e9
+    subtree:
+      - name: System
+        local:
+          - name: HBM
+            class: DRAM
+            attributes: {{bandwidth: 128}}
+        subtree:
+          - name: PT
+            num: 16
+            local:
+              - name: CacheSPM
+                class: Buffer
+                attributes: {{type: buffet, width: 64, depth: 2048}}
+            subtree:
+              - name: PE
+                num: 8
+                local:
+                  - name: RegFileM
+                    class: Buffer
+                    attributes: {{type: buffet, width: 64, depth: 64}}
+                  - name: SortALU
+                    class: Compute
+                    attributes: {{type: add}}
+                  - name: SortNet
+                    class: Merger
+                    attributes: {{inputs: 16, comparator_radix: 2,
+                                  outputs: 1, order: fifo, reduce: true}}
+binding:
+  T:
+    config: MultiplyPhase
+    components:
+      L0Cache:
+        - tensor: B
+          rank: K
+          type: elem
+          style: eager
+          config: CSR
+      RegFile:
+        - tensor: A
+          rank: M
+          type: elem
+          style: lazy
+          evict-on: KM1
+          config: CSC
+      Mult:
+        - op: mul
+  Z:
+    config: MergePhase
+    components:
+      CacheSPM:
+        - tensor: T
+          rank: N
+          type: elem
+          style: lazy
+          evict-on: M0
+          config: LinkedLists
+      RegFileM:
+        - tensor: Z
+          rank: N
+          type: elem
+          style: lazy
+          evict-on: N
+          config: CSR
+      SortALU:
+        - op: add
+      SortNet:
+        - op: swizzle
+          tensor: T
+"""
+
+
+def spec(
+    mult_outer: int = 256,
+    mult_inner: int = 16,
+    merge_outer: int = 128,
+    merge_inner: int = 8,
+) -> AcceleratorSpec:
+    """The OuterSPACE accelerator spec (Figure 3 + Table 5).
+
+    The four sizes are the occupancy-partitioning factors of the multiply
+    and merge phases (paper defaults: 256/16 and 128/8).  Pass smaller
+    values to scale the model down with small workloads.
+    """
+    text = YAML_TEMPLATE.format(
+        mult_outer=mult_outer,
+        mult_inner=mult_inner,
+        merge_outer=merge_outer,
+        merge_inner=merge_inner,
+    )
+    return load_spec(text, name="outerspace")

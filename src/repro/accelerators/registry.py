@@ -1,0 +1,41 @@
+"""Registry of fully-modeled accelerator specs."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..spec import AcceleratorSpec
+from . import (
+    extensor,
+    eyeriss,
+    flexagon,
+    gamma,
+    matraptor,
+    outerspace,
+    sigma,
+    sparch,
+    tensaurus,
+)
+
+FACTORIES: Dict[str, Callable[..., AcceleratorSpec]] = {
+    "extensor": extensor.spec,
+    "eyeriss": eyeriss.spec,
+    "flexagon": flexagon.spec,
+    "gamma": gamma.spec,
+    "matraptor": matraptor.spec,
+    "outerspace": outerspace.spec,
+    "sigma": sigma.spec,
+    "sparch": sparch.spec,
+    "tensaurus": tensaurus.spec,
+}
+
+
+def accelerator(name: str, **params) -> AcceleratorSpec:
+    """Instantiate a modeled accelerator spec by name."""
+    try:
+        factory = FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown accelerator {name!r}; known: {sorted(FACTORIES)}"
+        ) from None
+    return factory(**params)

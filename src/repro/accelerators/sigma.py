@@ -1,0 +1,185 @@
+"""SIGMA [38]: sparse GEMM on a flexible PE fabric with bitmap formats.
+
+Einsum/mapping follow Figure 8c: a two-stage ``take()`` cascade first marks
+the K-rows of B that are nonempty (S), filters A down to the elements whose
+row survives (T), then multiplies.  Occupancy partitioning of the flattened
+``(M, K0)`` rank distributes only *nonzero* stationary elements across the
+PE array — SIGMA's headline feature.
+
+Architecture per Table 5: 128 FlexDPEs x 128 PEs at 500 MHz, 32 MB data
+SRAM, 4 MB bitmap SRAM, 960 GB/s SRAM bandwidth, 1 TB/s HBM.  The
+``N.coord`` spacetime stamp in the mapping models SIGMA's time alignment
+by coordinate rather than position (section 5).
+"""
+
+from __future__ import annotations
+
+from ..spec import AcceleratorSpec, load_spec
+
+YAML_TEMPLATE = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    S: [K, M]
+    T: [K, M]
+    Z: [M, N]
+  expressions:
+    - S[k, m] = take(A[k, m], B[k, n], 0)
+    - T[k, m] = take(A[k, m], S[k, m], 0)
+    - Z[m, n] = T[k, m] * B[k, n]
+mapping:
+  rank-order:
+    A: [K, M]
+    B: [K, N]
+    S: [K, M]
+    T: [K, M]
+    Z: [M, N]
+  partitioning:
+    Z:
+      K: [uniform_shape({k_tile})]
+      (M, K0): [flatten()]
+      MK0: [uniform_occupancy(T.{pe_array})]
+  loop-order:
+    S: [K, M, N]
+    T: [K, M]
+    Z: [K1, MK01, MK00, N]
+  spacetime:
+    S:
+      space: []
+      time: [K, M, N]
+    T:
+      space: []
+      time: [K, M]
+    Z:
+      space: [MK00]
+      time: [K1, MK01, N.coord]
+format:
+  A:
+    Bitmap:
+      K: {{format: U, pbits: 0}}
+      M: {{format: B, cbits: 1, pbits: 64}}
+  B:
+    Bitmap:
+      K: {{format: U, pbits: 0}}
+      N: {{format: B, cbits: 1, pbits: 64}}
+  S:
+    Bitmap:
+      K: {{format: U, pbits: 0}}
+      M: {{format: B, cbits: 1, pbits: 0}}
+  T:
+    Bitmap:
+      K: {{format: U, pbits: 0}}
+      M: {{format: B, cbits: 1, pbits: 64}}
+  Z:
+    Dense:
+      M: {{format: U, pbits: 0}}
+      N: {{format: U, cbits: 0, pbits: 64}}
+architecture:
+  SIGMA:
+    clock: 5.0e8
+    subtree:
+      - name: System
+        local:
+          - name: HBM
+            class: DRAM
+            attributes: {{bandwidth: 1024}}
+          - name: DataSRAM
+            class: Buffer
+            attributes: {{type: buffet, width: 512, depth: 524288,
+                          bandwidth: 960}}
+          - name: BitmapSRAM
+            class: Buffer
+            attributes: {{type: buffet, width: 512, depth: 65536,
+                          bandwidth: 960}}
+        subtree:
+          - name: FlexDPE
+            num: 128
+            local:
+              - name: Distributor
+                class: Sequencer
+                attributes: {{num_ranks: 2}}
+            subtree:
+              - name: PE
+                num: 128
+                local:
+                  - name: MACC
+                    class: Compute
+                    attributes: {{type: mul}}
+binding:
+  S:
+    config: SIGMA
+    components:
+      BitmapSRAM:
+        - tensor: A
+          rank: M
+          type: coord
+          style: lazy
+          config: Bitmap
+        - tensor: B
+          rank: N
+          type: coord
+          style: lazy
+          config: Bitmap
+        - tensor: S
+          rank: root
+          type: subtree
+          spill: false
+          config: Bitmap
+  T:
+    config: SIGMA
+    components:
+      BitmapSRAM:
+        - tensor: S
+          rank: root
+          type: subtree
+          spill: false
+          config: Bitmap
+        - tensor: T
+          rank: root
+          type: subtree
+          spill: false
+          config: Bitmap
+      DataSRAM:
+        - tensor: A
+          rank: M
+          type: payload
+          style: lazy
+          config: Bitmap
+  Z:
+    config: SIGMA
+    components:
+      DataSRAM:
+        - tensor: T
+          rank: root
+          type: subtree
+          spill: false
+          config: Bitmap
+        - tensor: B
+          rank: N
+          type: elem
+          style: lazy
+          evict-on: K1
+          config: Bitmap
+        - tensor: Z
+          rank: N
+          type: elem
+          style: lazy
+          evict-on: K1
+          config: Dense
+      Distributor:
+        - op: sequence
+      MACC:
+        - op: mul
+"""
+
+
+def spec(k_tile: int = 128, pe_array: int = 16384) -> AcceleratorSpec:
+    """The SIGMA accelerator spec (Figure 8c + Table 5).
+
+    ``k_tile`` is the shape-based K split (128 in the paper);
+    ``pe_array`` the occupancy chunk distributed across the PE fabric
+    (16384 = 128 FlexDPEs x 128 PEs in the paper).
+    """
+    text = YAML_TEMPLATE.format(k_tile=k_tile, pe_array=pe_array)
+    return load_spec(text, name="sigma")

@@ -1,0 +1,116 @@
+"""SpArch [56]: outer-product SpMSpM with a pipelined parallel merge.
+
+Table 1: "Outer Product with parallel merge ... optimized RAM interface in
+sum phase".  The cascade is OuterSPACE's multiply-merge, but where
+OuterSPACE serializes the two phases through DRAM, SpArch's huge
+comparator array merges partial products as they stream — expressed here
+as the same two Einsums with matching temporal prefixes (so they fuse)
+and the intermediate pinned on-chip ahead of a high-radix merger.
+"""
+
+from __future__ import annotations
+
+from ..spec import AcceleratorSpec, load_spec
+
+YAML_TEMPLATE = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    T: [K, M, N]
+    Z: [M, N]
+  expressions:
+    - T[k, m, n] = A[k, m] * B[k, n]
+    - Z[m, n] = T[k, m, n]
+mapping:
+  rank-order:
+    A: [K, M]
+    B: [K, N]
+    T: [M, K, N]
+    Z: [M, N]
+  partitioning:
+    T:
+      K: [uniform_occupancy(A.{merge_way})]
+    Z:
+      K: [uniform_occupancy(T.{merge_way})]
+  loop-order:
+    T: [K1, K0, M, N]
+    Z: [K1, K0, M, N]
+  spacetime:
+    T:
+      space: [K0]
+      time: [K1, M, N]
+    Z:
+      space: [K0]
+      time: [K1, M, N]
+format:
+  A:
+    CSC:
+      K: {{format: U, pbits: 32}}
+      M: {{format: C, cbits: 32, pbits: 64}}
+  B:
+    CSR:
+      K: {{format: U, pbits: 32}}
+      N: {{format: C, cbits: 32, pbits: 64}}
+  T:
+    OnChip:
+      M: {{format: C, cbits: 32, pbits: 32}}
+      K: {{format: C, cbits: 32, pbits: 32}}
+      N: {{format: C, cbits: 32, pbits: 64}}
+  Z:
+    CSR:
+      M: {{format: U, pbits: 32}}
+      N: {{format: C, cbits: 32, pbits: 64}}
+architecture:
+  SpArch:
+    clock: 1.0e9
+    subtree:
+      - name: System
+        local:
+          - name: HBM
+            class: DRAM
+            attributes: {{bandwidth: 128}}
+          - name: MergeBuf
+            class: Buffer
+            attributes: {{type: buffet, width: 512, depth: 8192}}
+        subtree:
+          - name: MergerTree
+            local:
+              - name: Comparators
+                class: Merger
+                attributes: {{inputs: 64, comparator_radix: 64,
+                              outputs: 16, order: opt, reduce: true}}
+              - name: Mult
+                class: Compute
+                attributes: {{type: mul}}
+binding:
+  T:
+    config: SpArch
+    components:
+      MergeBuf:
+        - tensor: T
+          rank: root
+          type: subtree
+          spill: false
+          config: OnChip
+      Mult:
+        - op: mul
+  Z:
+    config: SpArch
+    components:
+      MergeBuf:
+        - tensor: T
+          rank: root
+          type: subtree
+          spill: false
+          config: OnChip
+      Comparators:
+        - op: swizzle
+          tensor: T
+"""
+
+
+def spec(merge_way: int = 64) -> AcceleratorSpec:
+    """The SpArch pipelined multiply-merge spec."""
+    return load_spec(YAML_TEMPLATE.format(merge_way=merge_way),
+                     name="sparch")

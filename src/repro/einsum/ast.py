@@ -1,0 +1,300 @@
+"""AST for TeAAL's extended Einsum notation (paper section 2.2).
+
+An Einsum names its output tensor, an expression over input tensors, and —
+implicitly — an iteration space (the Cartesian product of all index
+variables' ranges).  Index expressions may be plain variables (``k``), affine
+sums (``q + s``, as in convolution), or integer literals (``0``, as in the
+Cooley-Tukey FFT cascade of Table 2).
+
+The extension over classic Einsums is the ``take()`` operator (section 3.1),
+which decouples intersection from computation: the output is zero wherever
+any input is zero, and a copy of the selected input elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+
+# ----------------------------------------------------------------------
+# Index expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IndexExpr:
+    """An affine index expression: the sum of index variables plus a constant.
+
+    ``IndexExpr(("q", "s"))`` is ``q + s``; ``IndexExpr((), 0)`` is the
+    literal coordinate 0; ``IndexExpr(("k",))`` is the plain variable ``k``.
+    """
+
+    vars: Tuple[str, ...] = ()
+    const: int = 0
+
+    @classmethod
+    def var(cls, name: str) -> "IndexExpr":
+        return cls((name,), 0)
+
+    @classmethod
+    def literal(cls, value: int) -> "IndexExpr":
+        return cls((), value)
+
+    @property
+    def is_var(self) -> bool:
+        return len(self.vars) == 1 and self.const == 0
+
+    @property
+    def is_literal(self) -> bool:
+        return not self.vars
+
+    def evaluate(self, bindings: dict) -> int:
+        """Coordinate value under the given variable bindings."""
+        return sum(bindings[v] for v in self.vars) + self.const
+
+    def unbound(self, bindings: dict) -> Tuple[str, ...]:
+        """Variables of this expression not present in ``bindings``."""
+        return tuple(v for v in self.vars if v not in bindings)
+
+    def __str__(self) -> str:
+        parts = list(self.vars)
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return "+".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Expression tree
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Access:
+    """A tensor access ``A[k, m]``.  ``indices is None`` means the whole
+    tensor (``P1 = P0`` in the GraphDynS cascade); the cascade resolves it
+    against the tensor declaration."""
+
+    tensor: str
+    indices: Optional[Tuple[IndexExpr, ...]] = None
+
+    @property
+    def index_vars(self) -> Tuple[str, ...]:
+        out: List[str] = []
+        for expr in self.indices or ():
+            for v in expr.vars:
+                if v not in out:
+                    out.append(v)
+        return tuple(out)
+
+    def __str__(self) -> str:
+        if self.indices is None:
+            return self.tensor
+        inner = ", ".join(str(e) for e in self.indices)
+        return f"{self.tensor}[{inner}]"
+
+
+@dataclass(frozen=True)
+class Mul:
+    """Product of factors (n-ary, associative)."""
+
+    factors: Tuple["Expr", ...]
+
+    def __str__(self) -> str:
+        return " * ".join(str(f) for f in self.factors)
+
+
+@dataclass(frozen=True)
+class Add:
+    """Sum of two terms; ``negate`` marks subtraction of the second term."""
+
+    left: "Expr"
+    right: "Expr"
+    negate: bool = False
+
+    def __str__(self) -> str:
+        op = "-" if self.negate else "+"
+        return f"{self.left} {op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Take:
+    """``take(in0, in1, ..., which)``: zero where any input is zero,
+    otherwise a copy of input ``which`` (paper equation 6)."""
+
+    args: Tuple[Access, ...]
+    which: int
+
+    def __post_init__(self):
+        if not 0 <= self.which < len(self.args):
+            raise ValueError(
+                f"take() selects input {self.which} of {len(self.args)}"
+            )
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"take({inner}, {self.which})"
+
+
+Expr = Union[Access, Mul, Add, Take]
+
+
+def accesses(expr: Expr) -> Iterator[Access]:
+    """Yield every tensor access in an expression tree, left to right."""
+    if isinstance(expr, Access):
+        yield expr
+    elif isinstance(expr, Mul):
+        for f in expr.factors:
+            yield from accesses(f)
+    elif isinstance(expr, Add):
+        yield from accesses(expr.left)
+        yield from accesses(expr.right)
+    elif isinstance(expr, Take):
+        yield from expr.args
+    else:
+        raise TypeError(f"not an expression node: {expr!r}")
+
+
+# ----------------------------------------------------------------------
+# Einsum
+# ----------------------------------------------------------------------
+@dataclass
+class Einsum:
+    """One mapped-Einsum statement: ``output = expr``."""
+
+    output: Access
+    expr: Expr
+
+    @property
+    def name(self) -> str:
+        """Einsums are named after their output tensor."""
+        return self.output.tensor
+
+    @property
+    def input_tensors(self) -> List[str]:
+        seen: List[str] = []
+        for acc in accesses(self.expr):
+            if acc.tensor not in seen:
+                seen.append(acc.tensor)
+        return seen
+
+    @property
+    def output_vars(self) -> Tuple[str, ...]:
+        return self.output.index_vars
+
+    @property
+    def all_vars(self) -> Tuple[str, ...]:
+        out = list(self.output.index_vars)
+        for acc in accesses(self.expr):
+            for v in acc.index_vars:
+                if v not in out:
+                    out.append(v)
+        return tuple(out)
+
+    @property
+    def reduction_vars(self) -> Tuple[str, ...]:
+        """Variables iterated but absent from the output (reduced over)."""
+        outs = set(self.output.index_vars)
+        return tuple(v for v in self.all_vars if v not in outs)
+
+    @property
+    def is_take(self) -> bool:
+        """Take-Einsums reduce by (idempotent) overwrite, not accumulation."""
+        return isinstance(self.expr, Take)
+
+    def __str__(self) -> str:
+        return f"{self.output} = {self.expr}"
+
+
+# ----------------------------------------------------------------------
+# Cascades
+# ----------------------------------------------------------------------
+class CascadeError(ValueError):
+    """A cascade violates single-assignment or dependency ordering."""
+
+
+@dataclass
+class Cascade:
+    """An ordered DAG of Einsums (paper insight 1, section 3.1).
+
+    The list order is the execution order; validation checks that it is a
+    legal topological order (every tensor is produced before it is consumed
+    and written at most once).
+    """
+
+    einsums: List[Einsum] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.validate()
+
+    def validate(self) -> None:
+        produced = set()
+        for e in self.einsums:
+            if e.output.tensor in produced:
+                raise CascadeError(
+                    f"tensor {e.output.tensor} is written more than once"
+                )
+            for t in e.input_tensors:
+                if t == e.output.tensor:
+                    raise CascadeError(
+                        f"Einsum for {t} reads its own output (cycle)"
+                    )
+            produced.add(e.output.tensor)
+        order = {e.output.tensor: i for i, e in enumerate(self.einsums)}
+        for i, e in enumerate(self.einsums):
+            for t in e.input_tensors:
+                if t in order and order[t] > i:
+                    raise CascadeError(
+                        f"Einsum for {e.output.tensor} reads {t} before it "
+                        "is produced"
+                    )
+
+    def __iter__(self) -> Iterator[Einsum]:
+        return iter(self.einsums)
+
+    def __len__(self) -> int:
+        return len(self.einsums)
+
+    def __getitem__(self, name_or_index) -> Einsum:
+        if isinstance(name_or_index, int):
+            return self.einsums[name_or_index]
+        for e in self.einsums:
+            if e.name == name_or_index:
+                return e
+        raise KeyError(f"no Einsum produces {name_or_index!r}")
+
+    @property
+    def produced(self) -> List[str]:
+        return [e.output.tensor for e in self.einsums]
+
+    @property
+    def inputs(self) -> List[str]:
+        """Tensors read by the cascade but never produced by it."""
+        made = set(self.produced)
+        seen: List[str] = []
+        for e in self.einsums:
+            for t in e.input_tensors:
+                if t not in made and t not in seen:
+                    seen.append(t)
+        return seen
+
+    @property
+    def intermediates(self) -> List[str]:
+        """Tensors both produced and consumed within the cascade."""
+        consumed = {t for e in self.einsums for t in e.input_tensors}
+        return [t for t in self.produced if t in consumed]
+
+    @property
+    def outputs(self) -> List[str]:
+        """Tensors produced but never consumed (the cascade's results)."""
+        consumed = {t for e in self.einsums for t in e.input_tensors}
+        return [t for t in self.produced if t not in consumed]
+
+    def dependency_edges(self) -> List[Tuple[str, str]]:
+        """(producer_output, consumer_output) edges of the cascade DAG."""
+        order = {e.output.tensor: i for i, e in enumerate(self.einsums)}
+        edges = []
+        for e in self.einsums:
+            for t in e.input_tensors:
+                if t in order:
+                    edges.append((t, e.output.tensor))
+        return edges
+
+    def __str__(self) -> str:
+        return "\n".join(str(e) for e in self.einsums)

@@ -1,0 +1,179 @@
+"""Parser for extended-Einsum statements.
+
+Accepts the concrete syntax used throughout the paper's figures, e.g.::
+
+    T[k, m, n] = A[k, m] * B[k, n]
+    Z[m, n] = T[k, m, n]
+    S[k, m] = take(A[k, m], B[k, n], 0)
+    O[q] = I[q + s] * F[s]
+    Y1[k0] = E[0, k0] - T[k0]
+    P1 = P0
+
+Grammar (whitespace-insensitive)::
+
+    stmt   := access '=' expr
+    expr   := term (('+' | '-') term)*
+    term   := factor ('*' factor)*
+    factor := take | access
+    take   := 'take' '(' access (',' access)* ',' INT ')'
+    access := NAME ('[' index (',' index)* ']')?
+    index  := INT | NAME ('+' (NAME | INT))*
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from .ast import Access, Add, Cascade, Einsum, Expr, IndexExpr, Mul, Take
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z_0-9]*)|(?P<int>\d+)|(?P<sym>[\[\],=+\-*()]))"
+)
+
+
+class EinsumSyntaxError(ValueError):
+    """Raised when an Einsum statement cannot be parsed."""
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise EinsumSyntaxError(
+                f"unexpected character {text[pos]!r} at offset {pos} in {text!r}"
+            )
+        pos = match.end()
+        if match.lastgroup and match.group(match.lastgroup).strip():
+            kind = match.lastgroup
+            tokens.append((kind, match.group(kind)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def peek(self) -> Tuple[str, str]:
+        if self.pos >= len(self.tokens):
+            return ("eof", "")
+        return self.tokens[self.pos]
+
+    def next(self) -> Tuple[str, str]:
+        tok = self.peek()
+        self.pos += 1
+        return tok
+
+    def expect(self, value: str) -> None:
+        kind, tok = self.next()
+        if tok != value:
+            raise EinsumSyntaxError(
+                f"expected {value!r} but found {tok!r} in {self.text!r}"
+            )
+
+    # -- grammar ------------------------------------------------------
+    def statement(self) -> Einsum:
+        out = self.access()
+        self.expect("=")
+        expr = self.expr()
+        if self.peek()[0] != "eof":
+            raise EinsumSyntaxError(
+                f"trailing tokens after expression in {self.text!r}"
+            )
+        return Einsum(out, expr)
+
+    def expr(self) -> Expr:
+        node = self.term()
+        while self.peek()[1] in ("+", "-"):
+            _, op = self.next()
+            right = self.term()
+            node = Add(node, right, negate=(op == "-"))
+        return node
+
+    def term(self) -> Expr:
+        factors = [self.factor()]
+        while self.peek()[1] == "*":
+            self.next()
+            factors.append(self.factor())
+        if len(factors) == 1:
+            return factors[0]
+        return Mul(tuple(factors))
+
+    def factor(self) -> Expr:
+        kind, tok = self.peek()
+        if kind == "name" and tok == "take":
+            return self.take()
+        if kind == "name":
+            return self.access()
+        raise EinsumSyntaxError(f"expected a tensor access, found {tok!r}")
+
+    def take(self) -> Take:
+        self.next()  # 'take'
+        self.expect("(")
+        args = [self.access()]
+        which = None
+        while self.peek()[1] == ",":
+            self.next()
+            kind, tok = self.peek()
+            if kind == "int":
+                self.next()
+                which = int(tok)
+                break
+            args.append(self.access())
+        self.expect(")")
+        if which is None:
+            raise EinsumSyntaxError(
+                f"take() requires a final integer selector in {self.text!r}"
+            )
+        return Take(tuple(args), which)
+
+    def access(self) -> Access:
+        kind, name = self.next()
+        if kind != "name":
+            raise EinsumSyntaxError(f"expected tensor name, found {name!r}")
+        if self.peek()[1] != "[":
+            return Access(name, None)
+        self.next()  # '['
+        indices = [self.index()]
+        while self.peek()[1] == ",":
+            self.next()
+            indices.append(self.index())
+        self.expect("]")
+        return Access(name, tuple(indices))
+
+    def index(self) -> IndexExpr:
+        vars_: List[str] = []
+        const = 0
+        while True:
+            kind, tok = self.next()
+            if kind == "name":
+                vars_.append(tok)
+            elif kind == "int":
+                const += int(tok)
+            else:
+                raise EinsumSyntaxError(
+                    f"expected index variable or literal, found {tok!r}"
+                )
+            if self.peek()[1] == "+":
+                self.next()
+                continue
+            break
+        return IndexExpr(tuple(vars_), const)
+
+
+def parse_einsum(text: str) -> Einsum:
+    """Parse a single extended-Einsum statement."""
+    return _Parser(text).statement()
+
+
+def parse_cascade(statements) -> Cascade:
+    """Parse an ordered sequence of statements into a validated cascade."""
+    if isinstance(statements, str):
+        statements = [
+            line.strip() for line in statements.strip().splitlines() if line.strip()
+        ]
+    return Cascade([parse_einsum(s) for s in statements])

@@ -1,0 +1,155 @@
+"""Mapping-space exploration on top of the TeAAL model.
+
+The paper's future-work section sketches using TeAAL inside a hierarchical
+design-space-exploration flow.  This module provides the straightforward
+first rung: enumerate candidate mappings (loop orders, shape-partitioning
+tile sizes) for a single-Einsum spec, evaluate each candidate on real data
+with the full trace-driven model, and rank the results.
+
+The search is deliberately exhaustive-over-small-spaces — the point of the
+paper's middle-fidelity position is that each candidate evaluation is cheap
+enough to afford real-data fidelity, not that the search is clever.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .einsum.operators import ARITHMETIC, OpSet
+from .fibertree.rankid import rank_of_var
+from .model.evaluate import EvaluationResult, evaluate
+from .spec.loader import AcceleratorSpec
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point in the mapping space."""
+
+    loop_order: Tuple[str, ...]
+    tiles: Tuple[Tuple[str, int], ...] = ()  # (rank, uniform_shape size)
+
+    def describe(self) -> str:
+        tiles = ", ".join(f"{r}:{s}" for r, s in self.tiles) or "none"
+        return f"loop=[{', '.join(self.loop_order)}] tiles={tiles}"
+
+
+@dataclass
+class ExplorationResult:
+    """Ranked outcomes of a mapping sweep."""
+
+    candidates: List[Tuple[Candidate, EvaluationResult]] = field(
+        default_factory=list
+    )
+
+    def ranked(self, metric: str = "exec_seconds"):
+        def key(pair):
+            cand, res = pair
+            if metric == "exec_seconds":
+                return res.exec_seconds
+            if metric == "traffic":
+                return res.traffic_bytes()
+            if metric == "energy":
+                return res.energy_pj
+            raise ValueError(f"unknown metric {metric!r}")
+
+        return sorted(self.candidates, key=key)
+
+    def best(self, metric: str = "exec_seconds"):
+        if not self.candidates:
+            raise ValueError("no candidates evaluated")
+        return self.ranked(metric)[0]
+
+
+def enumerate_candidates(
+    ranks: Sequence[str],
+    tile_sizes: Optional[Dict[str, Sequence[int]]] = None,
+    max_loop_orders: Optional[int] = None,
+) -> List[Candidate]:
+    """All loop orders x tile choices for the given iteration ranks.
+
+    ``tile_sizes`` maps a rank to candidate ``uniform_shape`` sizes (always
+    including the untiled option).  Tiled ranks split into R1/R0 with R1
+    placed outermost and R0 in the original position.
+    """
+    tile_sizes = tile_sizes or {}
+    orders = list(itertools.permutations(ranks))
+    if max_loop_orders is not None:
+        orders = orders[:max_loop_orders]
+    tile_options: List[Tuple[Tuple[str, int], ...]] = [()]
+    for rank, sizes in tile_sizes.items():
+        tile_options = [
+            existing + extra
+            for existing in tile_options
+            for extra in [()] + [((rank, s),) for s in sizes]
+        ]
+    out = []
+    for order in orders:
+        for tiles in tile_options:
+            tiled = dict(tiles)
+            loop: List[str] = []
+            for r in order:
+                if r in tiled:
+                    loop.append(f"{r}1")
+            for r in order:
+                loop.append(f"{r}0" if r in tiled else r)
+            out.append(Candidate(tuple(loop), tiles))
+    return out
+
+
+def apply_candidate(spec: AcceleratorSpec, einsum: str,
+                    candidate: Candidate) -> AcceleratorSpec:
+    """A copy of ``spec`` with the candidate's mapping for one Einsum."""
+    from .spec.mapping import EinsumMapping, PartitionDirective
+
+    mapping = spec.mapping
+    new_einsum_mapping = EinsumMapping(
+        name=einsum,
+        loop_order=list(candidate.loop_order),
+        partitioning=[
+            ((rank,), [PartitionDirective("uniform_shape", size)])
+            for rank, size in candidate.tiles
+        ],
+    )
+    new_mapping = type(mapping)(
+        rank_order=dict(mapping.rank_order),
+        einsums={**mapping.einsums, einsum: new_einsum_mapping},
+    )
+    return AcceleratorSpec(
+        einsum=spec.einsum,
+        mapping=new_mapping,
+        format=spec.format,
+        architecture=spec.architecture,
+        binding=spec.binding,
+        params=dict(spec.params),
+        name=f"{spec.name}+{candidate.describe()}",
+    )
+
+
+def explore(
+    spec: AcceleratorSpec,
+    tensors,
+    einsum: Optional[str] = None,
+    tile_sizes: Optional[Dict[str, Sequence[int]]] = None,
+    max_loop_orders: Optional[int] = None,
+    opset: OpSet = ARITHMETIC,
+) -> ExplorationResult:
+    """Sweep mappings of one Einsum and evaluate each on real tensors.
+
+    Only single-Einsum exploration is supported (exploring whole cascades
+    is the open problem the paper's future-work section names).
+    """
+    if einsum is None:
+        if len(spec.einsum.cascade) != 1:
+            raise ValueError("name the Einsum to explore in a cascade")
+        einsum = spec.einsum.cascade.produced[0]
+    ranks = [rank_of_var(v) for v in spec.einsum.cascade[einsum].all_vars]
+    result = ExplorationResult()
+    for candidate in enumerate_candidates(ranks, tile_sizes,
+                                          max_loop_orders):
+        cand_spec = apply_candidate(spec, einsum, candidate)
+        res = evaluate(cand_spec, {k: t.copy() for k, t in tensors.items()},
+                       opset=opset)
+        result.candidates.append((candidate, res))
+    return result

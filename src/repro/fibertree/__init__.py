@@ -1,0 +1,24 @@
+"""Fibertree substrate: fibers, tensors, and content-preserving transforms."""
+
+from .fiber import Fiber
+from .rankid import flatten_name, index_var, rank_of_var, split_names
+from .tensor import Tensor
+from .convert import (
+    tensor_from_dense,
+    tensor_from_scipy,
+    tensor_to_dense,
+    tensor_to_scipy,
+)
+
+__all__ = [
+    "Fiber",
+    "Tensor",
+    "flatten_name",
+    "index_var",
+    "rank_of_var",
+    "split_names",
+    "tensor_from_dense",
+    "tensor_from_scipy",
+    "tensor_to_dense",
+    "tensor_to_scipy",
+]

@@ -1,0 +1,194 @@
+"""Concrete representations: materialize fibertrees to byte-level arrays.
+
+Paper section 4.1.1: "to model a specific design, all fibertrees are
+lowered to concrete representations, like CSR or COO".  This module does
+that lowering for real — each rank becomes coordinate/payload/header
+arrays per its :class:`~repro.spec.format.RankFormat` — and the inverse,
+so round-trip tests can prove the format machinery loses nothing.
+
+Materialized sizes also cross-check the footprint oracle: the byte counts
+the performance model charges are exactly the bytes a real memory would
+hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..spec.format import RankFormat, TensorFormat
+from .fiber import Fiber
+from .tensor import Tensor
+
+
+@dataclass
+class RankArrays:
+    """One rank's concrete storage.
+
+    ``coords``/``payloads`` follow the format type: for ``U`` the payload
+    array is shape-indexed (with ``empty`` markers); for ``C`` both arrays
+    are occupancy-indexed; for ``B`` coords is a shape-indexed bitmap and
+    payloads occupancy-indexed.  ``headers`` holds per-fiber
+    (start, length) bookkeeping when ``fhbits`` is nonzero.
+    """
+
+    format: RankFormat
+    coords: List = field(default_factory=list)
+    payloads: List = field(default_factory=list)
+    headers: List[Tuple[int, int]] = field(default_factory=list)
+
+    def size_bits(self) -> int:
+        fmt = self.format
+        return (
+            len(self.coords) * fmt.cbits
+            + len(self.payloads) * fmt.pbits
+            + len(self.headers) * fmt.fhbits
+        )
+
+
+EMPTY = object()  # marker for absent payloads in uncompressed arrays
+
+
+@dataclass
+class ConcreteTensor:
+    """A tensor lowered onto per-rank arrays."""
+
+    name: str
+    rank_ids: List[str]
+    shape: List[Optional[int]]
+    ranks: Dict[str, RankArrays] = field(default_factory=dict)
+
+    def size_bits(self) -> int:
+        return sum(r.size_bits() for r in self.ranks.values())
+
+    def size_bytes(self) -> float:
+        return self.size_bits() / 8
+
+
+def materialize(tensor: Tensor, formats: TensorFormat,
+                config: Optional[str] = None) -> ConcreteTensor:
+    """Lower a fibertree to concrete per-rank arrays under a format."""
+    out = ConcreteTensor(tensor.name, list(tensor.rank_ids),
+                         list(tensor.shape))
+    for depth, rank in enumerate(tensor.rank_ids):
+        fmt = formats.rank_format(rank, config)
+        arrays = RankArrays(format=fmt)
+        is_leaf = depth == len(tensor.rank_ids) - 1
+        for fiber in tensor.fibers_at_rank(rank):
+            _lower_fiber(fiber, fmt, arrays, tensor.shape[depth], is_leaf)
+        out.ranks[rank] = arrays
+    return out
+
+
+def _lower_fiber(fiber: Fiber, fmt: RankFormat, arrays: RankArrays,
+                 shape: Optional[int], is_leaf: bool) -> None:
+    start = len(arrays.payloads)
+    if fmt.format == "U":
+        extent = shape if shape is not None else (
+            (max(fiber.coords) + 1) if fiber.coords else 0
+        )
+        dense = [EMPTY] * extent
+        for c, p in fiber:
+            dense[c] = p if is_leaf else len(arrays.headers)
+        arrays.payloads.extend(dense)
+    elif fmt.format == "B":
+        extent = shape if shape is not None else (
+            (max(fiber.coords) + 1) if fiber.coords else 0
+        )
+        bitmap = [0] * extent
+        for c in fiber.coords:
+            bitmap[c] = 1
+        arrays.coords.extend(bitmap)
+        for c, p in fiber:
+            arrays.payloads.append(p if is_leaf else None)
+    else:  # C
+        for c, p in fiber:
+            arrays.coords.append(c)
+            arrays.payloads.append(p if is_leaf else None)
+    arrays.headers.append((start, len(arrays.payloads) - start))
+
+
+def dematerialize(concrete: ConcreteTensor) -> Tensor:
+    """Rebuild the fibertree from concrete arrays (round-trip inverse).
+
+    Reconstruction walks the per-rank header arrays: header ``j`` of rank
+    ``r`` spans the child fibers of the ``j``-th fiber at rank ``r``.
+    """
+    rank_ids = concrete.rank_ids
+
+    def rebuild(depth: int, header_index: int) -> Fiber:
+        rank = rank_ids[depth]
+        arrays = concrete.ranks[rank]
+        fmt = arrays.format
+        start, length = arrays.headers[header_index]
+        is_leaf = depth == len(rank_ids) - 1
+        coords = []
+        payloads = []
+        child_counter = _child_base(concrete, depth, header_index)
+        if fmt.format == "U":
+            for offset in range(length):
+                value = arrays.payloads[start + offset]
+                if value is EMPTY:
+                    continue
+                coords.append(offset)
+                if is_leaf:
+                    payloads.append(value)
+                else:
+                    payloads.append(rebuild(depth + 1, child_counter))
+                    child_counter += 1
+        elif fmt.format == "B":
+            # The bitmap for this fiber occupies its own shape-slots span.
+            present = 0
+            span = _bitmap_span(concrete, depth)
+            bit_start = header_index * span
+            for offset in range(span):
+                if arrays.coords[bit_start + offset]:
+                    coords.append(offset)
+                    value = arrays.payloads[start + present]
+                    if is_leaf:
+                        payloads.append(value)
+                    else:
+                        payloads.append(rebuild(depth + 1, child_counter))
+                        child_counter += 1
+                    present += 1
+        else:
+            for offset in range(length):
+                coords.append(arrays.coords[start + offset])
+                value = arrays.payloads[start + offset]
+                if is_leaf:
+                    payloads.append(value)
+                else:
+                    payloads.append(rebuild(depth + 1, child_counter))
+                    child_counter += 1
+        return Fiber(coords, payloads)
+
+    root = rebuild(0, 0)
+    return Tensor(concrete.name, rank_ids, root, concrete.shape)
+
+
+def _child_base(concrete: ConcreteTensor, depth: int,
+                header_index: int) -> int:
+    """Index of the first child fiber (at depth+1) under this fiber."""
+    if depth + 1 >= len(concrete.rank_ids):
+        return 0
+    rank = concrete.rank_ids[depth]
+    arrays = concrete.ranks[rank]
+    total = 0
+    for j in range(header_index):
+        start, length = arrays.headers[j]
+        if arrays.format.format == "U":
+            total += sum(
+                1 for v in arrays.payloads[start : start + length]
+                if v is not EMPTY
+            )
+        else:
+            total += length
+    return total
+
+
+def _bitmap_span(concrete: ConcreteTensor, depth: int) -> int:
+    shape = concrete.shape[depth]
+    if shape is not None:
+        return shape
+    arrays = concrete.ranks[concrete.rank_ids[depth]]
+    return len(arrays.coords) // max(1, len(arrays.headers))

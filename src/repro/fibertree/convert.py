@@ -1,0 +1,87 @@
+"""Conversions between fibertree tensors and numpy / scipy representations.
+
+These are the bridges used by tests (to validate kernel outputs against dense
+references) and by workload loaders (to ingest scipy sparse matrices).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor
+
+
+def tensor_from_dense(
+    name: str, rank_ids: Sequence[str], array: np.ndarray
+) -> Tensor:
+    """Build a (sparse) fibertree from a dense numpy array, omitting zeros."""
+    array = np.asarray(array)
+    if array.ndim != len(rank_ids):
+        raise ValueError(
+            f"array has {array.ndim} dims but {len(rank_ids)} rank ids given"
+        )
+    points = (
+        (tuple(int(c) for c in idx), array[idx].item())
+        for idx in zip(*np.nonzero(array))
+    )
+    return Tensor.from_coo(name, rank_ids, points, shape=list(array.shape))
+
+
+def tensor_to_dense(tensor: Tensor, shape: Optional[Sequence[int]] = None) -> np.ndarray:
+    """Materialize a fibertree tensor as a dense numpy array.
+
+    Requires integer coordinates (i.e. no flattened tuple ranks).  ``shape``
+    overrides the tensor's recorded shape; missing extents are inferred from
+    the maximum coordinate present.
+    """
+    if shape is None:
+        shape = list(tensor.shape)
+    shape = list(shape)
+    points = list(tensor.leaves())
+    for axis in range(len(shape)):
+        if shape[axis] is None:
+            extent = 0
+            for point, _ in points:
+                coord = point[axis]
+                if isinstance(coord, tuple):
+                    raise TypeError(
+                        f"tensor {tensor.name} has tuple coordinates at rank "
+                        f"{tensor.rank_ids[axis]}; densify before flattening"
+                    )
+                extent = max(extent, coord + 1)
+            shape[axis] = extent
+    out = np.zeros(shape)
+    for point, value in points:
+        out[point] = value
+    return out
+
+
+def tensor_from_scipy(name: str, rank_ids: Sequence[str], matrix) -> Tensor:
+    """Build a 2-rank fibertree from any scipy sparse matrix."""
+    if len(rank_ids) != 2:
+        raise ValueError("scipy sparse matrices are 2-dimensional")
+    coo = sp.coo_matrix(matrix)
+    points = (
+        ((int(r), int(c)), float(v))
+        for r, c, v in zip(coo.row, coo.col, coo.data)
+    )
+    return Tensor.from_coo(name, rank_ids, points, shape=list(coo.shape))
+
+
+def tensor_to_scipy(tensor: Tensor) -> sp.csr_matrix:
+    """Materialize a 2-rank fibertree as a scipy CSR matrix."""
+    if tensor.num_ranks != 2:
+        raise ValueError("only 2-rank tensors convert to scipy matrices")
+    rows, cols, data = [], [], []
+    for (r, c), v in tensor.leaves():
+        rows.append(r)
+        cols.append(c)
+        data.append(v)
+    shape = tuple(
+        s if s is not None else (max(axis) + 1 if axis else 0)
+        for s, axis in zip(tensor.shape, (rows, cols))
+    )
+    return sp.csr_matrix((data, (rows, cols)), shape=shape)

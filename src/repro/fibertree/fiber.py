@@ -1,0 +1,365 @@
+"""Fibers: the building block of the fibertree abstraction (paper section 2.1).
+
+A fiber is an ordered sequence of (coordinate, payload) elements where the
+payload is either a scalar value (at the leaf level of a fibertree) or a
+child :class:`Fiber` (at intermediate levels).  Coordinates are integers, or
+tuples of integers after a rank flattening (paper Figure 2).
+
+Fibers sort their elements by coordinate, enabling the sequential, concordant
+traversal that sparse accelerators rely on, as well as efficient two-finger
+intersection and union (merge) co-iteration.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Iterable, Iterator, Optional, Tuple
+
+Coord = Any  # int, or tuple of ints after flattening
+
+
+class Fiber:
+    """An ordered collection of coordinate/payload pairs.
+
+    Payloads are scalars (leaf level) or child fibers (intermediate levels).
+    An optional ``coord_range`` records the half-open interval of legal
+    coordinates covered by this fiber; partitioning operators set it so that
+    follower tensors can adopt a leader's partition boundaries.
+    """
+
+    __slots__ = ("coords", "payloads", "coord_range")
+
+    def __init__(
+        self,
+        coords: Optional[Iterable[Coord]] = None,
+        payloads: Optional[Iterable[Any]] = None,
+        coord_range: Optional[Tuple[Coord, Coord]] = None,
+    ):
+        self.coords = list(coords) if coords is not None else []
+        self.payloads = list(payloads) if payloads is not None else []
+        if len(self.coords) != len(self.payloads):
+            raise ValueError(
+                "coords and payloads must have equal length: "
+                f"{len(self.coords)} != {len(self.payloads)}"
+            )
+        if any(
+            self.coords[i] >= self.coords[i + 1] for i in range(len(self.coords) - 1)
+        ):
+            order = sorted(range(len(self.coords)), key=lambda i: self.coords[i])
+            self.coords = [self.coords[i] for i in order]
+            self.payloads = [self.payloads[i] for i in order]
+        self.coord_range = coord_range
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, mapping: dict) -> "Fiber":
+        """Build a fiber from a {coord: payload} mapping (payloads may be dicts)."""
+        coords = sorted(mapping)
+        payloads = [
+            cls.from_dict(mapping[c]) if isinstance(mapping[c], dict) else mapping[c]
+            for c in coords
+        ]
+        return cls(coords, payloads)
+
+    def to_dict(self) -> dict:
+        """Inverse of :meth:`from_dict` — a nested {coord: payload} mapping."""
+        return {
+            c: p.to_dict() if isinstance(p, Fiber) else p
+            for c, p in zip(self.coords, self.payloads)
+        }
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.coords)
+
+    def __iter__(self) -> Iterator[Tuple[Coord, Any]]:
+        return iter(zip(self.coords, self.payloads))
+
+    def __bool__(self) -> bool:
+        return len(self.coords) > 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fiber):
+            return NotImplemented
+        return self.coords == other.coords and self.payloads == other.payloads
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{c}: {p!r}" for c, p in self)
+        return f"Fiber({{{items}}})"
+
+    @property
+    def occupancy(self) -> int:
+        """Number of elements present (the fiber's occupancy)."""
+        return len(self.coords)
+
+    def is_empty(self) -> bool:
+        return not self.coords
+
+    # ------------------------------------------------------------------
+    # Lookup and mutation
+    # ------------------------------------------------------------------
+    def position_of(self, coord: Coord) -> Optional[int]:
+        """Position of ``coord`` in this fiber, or None when absent."""
+        i = bisect.bisect_left(self.coords, coord)
+        if i < len(self.coords) and self.coords[i] == coord:
+            return i
+        return None
+
+    def get_payload(self, coord: Coord, default: Any = None) -> Any:
+        """Payload at ``coord``, or ``default`` when the coordinate is absent."""
+        pos = self.position_of(coord)
+        return default if pos is None else self.payloads[pos]
+
+    def get_payload_ref(self, coord: Coord, make: Callable[[], Any]) -> Any:
+        """Payload at ``coord``, inserting ``make()`` first when absent.
+
+        Used when building output fibertrees: intermediate levels insert child
+        fibers, leaf levels insert a zero scalar that the caller then updates
+        via :meth:`set_payload`.
+        """
+        i = bisect.bisect_left(self.coords, coord)
+        if i < len(self.coords) and self.coords[i] == coord:
+            return self.payloads[i]
+        payload = make()
+        self.coords.insert(i, coord)
+        self.payloads.insert(i, payload)
+        return payload
+
+    def set_payload(self, coord: Coord, payload: Any) -> None:
+        """Insert or overwrite the payload at ``coord``."""
+        i = bisect.bisect_left(self.coords, coord)
+        if i < len(self.coords) and self.coords[i] == coord:
+            self.payloads[i] = payload
+        else:
+            self.coords.insert(i, coord)
+            self.payloads.insert(i, payload)
+
+    def append(self, coord: Coord, payload: Any) -> None:
+        """Append an element with a coordinate beyond any current coordinate."""
+        if self.coords and coord <= self.coords[-1]:
+            raise ValueError(
+                f"append requires increasing coordinates: {coord} after "
+                f"{self.coords[-1]}"
+            )
+        self.coords.append(coord)
+        self.payloads.append(payload)
+
+    # ------------------------------------------------------------------
+    # Slicing and projection
+    # ------------------------------------------------------------------
+    def slice(self, lo: Coord, hi: Coord) -> "Fiber":
+        """Sub-fiber with coordinates in the half-open interval [lo, hi)."""
+        i = bisect.bisect_left(self.coords, lo)
+        j = bisect.bisect_left(self.coords, hi)
+        return Fiber(self.coords[i:j], self.payloads[i:j], coord_range=(lo, hi))
+
+    def project(
+        self,
+        offset: int,
+        lo: Optional[int] = None,
+        hi: Optional[int] = None,
+    ) -> "Fiber":
+        """Shift every coordinate by ``offset``, keeping those in [lo, hi).
+
+        Used to co-iterate tensors accessed through affine index expressions
+        like ``I[q + s]``: at a fixed ``q`` the ``s`` coordinates of ``I`` are
+        its own coordinates shifted by ``-q``.
+        """
+        coords = []
+        payloads = []
+        for c, p in self:
+            nc = c + offset
+            if lo is not None and nc < lo:
+                continue
+            if hi is not None and nc >= hi:
+                continue
+            coords.append(nc)
+            payloads.append(p)
+        return Fiber(coords, payloads)
+
+    # ------------------------------------------------------------------
+    # Co-iteration (merge-based set operations)
+    # ------------------------------------------------------------------
+    def intersect(self, other: "Fiber") -> Iterator[Tuple[Coord, Any, Any]]:
+        """Two-finger intersection: yields (coord, payload_a, payload_b)."""
+        i, j = 0, 0
+        a_coords, b_coords = self.coords, other.coords
+        while i < len(a_coords) and j < len(b_coords):
+            ca, cb = a_coords[i], b_coords[j]
+            if ca == cb:
+                yield ca, self.payloads[i], other.payloads[j]
+                i += 1
+                j += 1
+            elif ca < cb:
+                i += 1
+            else:
+                j += 1
+
+    def union(self, other: "Fiber") -> Iterator[Tuple[Coord, Any, Any]]:
+        """Merge union: yields (coord, payload_a_or_None, payload_b_or_None)."""
+        i, j = 0, 0
+        a_coords, b_coords = self.coords, other.coords
+        while i < len(a_coords) or j < len(b_coords):
+            if j >= len(b_coords) or (i < len(a_coords) and a_coords[i] < b_coords[j]):
+                yield a_coords[i], self.payloads[i], None
+                i += 1
+            elif i >= len(a_coords) or b_coords[j] < a_coords[i]:
+                yield b_coords[j], None, other.payloads[j]
+                j += 1
+            else:
+                yield a_coords[i], self.payloads[i], other.payloads[j]
+                i += 1
+                j += 1
+
+    # ------------------------------------------------------------------
+    # Splitting (rank partitioning primitives; paper section 3.2.1)
+    # ------------------------------------------------------------------
+    def split_uniform_shape(self, step: int, shape: Optional[int] = None) -> "Fiber":
+        """Coordinate-based split into chunks covering ``step`` coordinates.
+
+        Returns a fiber-of-fibers whose upper coordinates are the first legal
+        coordinate of each chunk (0, step, 2*step, ...).  Empty chunks are
+        omitted, matching sparse fibertree semantics.
+        """
+        if step <= 0:
+            raise ValueError(f"split step must be positive, got {step}")
+        upper = Fiber()
+        for c, p in self:
+            base = (c // step) * step
+            chunk = upper.get_payload(base)
+            if chunk is None:
+                chunk = Fiber(coord_range=(base, base + step))
+                upper.set_payload(base, chunk)
+            chunk.append(c, p)
+        if shape is not None:
+            upper.coord_range = (0, shape)
+        return upper
+
+    def split_equal(self, size: int) -> "Fiber":
+        """Occupancy-based split into chunks of ``size`` elements each.
+
+        The last chunk may hold fewer elements (the "modulo remainder" of the
+        paper).  Upper coordinates are the first coordinate present in each
+        chunk; each chunk records its half-open coordinate range so follower
+        tensors can adopt the same boundaries (leader-follower paradigm).
+        """
+        if size <= 0:
+            raise ValueError(f"split size must be positive, got {size}")
+        upper = Fiber()
+        for start in range(0, len(self.coords), size):
+            chunk_coords = self.coords[start : start + size]
+            chunk_payloads = self.payloads[start : start + size]
+            lo = chunk_coords[0]
+            nxt = start + size
+            hi = self.coords[nxt] if nxt < len(self.coords) else None
+            chunk = Fiber(chunk_coords, chunk_payloads, coord_range=(lo, hi))
+            upper.append(lo, chunk)
+        return upper
+
+    def split_by_boundaries(self, boundaries: Iterable[Coord]) -> "Fiber":
+        """Split at explicit coordinate boundaries (follower-side split).
+
+        ``boundaries`` is the sorted list of lower coordinates of each chunk;
+        elements below the first boundary are dropped (they fall outside the
+        leader's coordinate space).
+        """
+        bounds = list(boundaries)
+        upper = Fiber()
+        for idx, lo in enumerate(bounds):
+            hi = bounds[idx + 1] if idx + 1 < len(bounds) else None
+            if hi is None:
+                i = bisect.bisect_left(self.coords, lo)
+                chunk = Fiber(self.coords[i:], self.payloads[i:], coord_range=(lo, hi))
+            else:
+                chunk = self.slice(lo, hi)
+            if chunk:
+                upper.append(lo, chunk)
+        return upper
+
+    def boundaries(self) -> list:
+        """Lower coordinate of each chunk of a split fiber (for followers)."""
+        out = []
+        for c, p in self:
+            if isinstance(p, Fiber) and p.coord_range is not None:
+                out.append(p.coord_range[0])
+            else:
+                out.append(c)
+        return out
+
+    # ------------------------------------------------------------------
+    # Flattening (paper Figure 2)
+    # ------------------------------------------------------------------
+    def flatten(self, levels: int = 1) -> "Fiber":
+        """Flatten this fiber with ``levels`` child levels into one fiber.
+
+        Coordinates of the result are tuples of the original coordinates; the
+        payloads are the payloads from the original lowest flattened level.
+        Tuple components that are themselves tuples (repeated flattening) are
+        concatenated, matching TeAAL's generic flattening.
+        """
+        if levels < 1:
+            raise ValueError("flatten requires at least one child level")
+        flat = Fiber()
+        for c, p in self:
+            if not isinstance(p, Fiber):
+                raise TypeError("cannot flatten a leaf fiber")
+            child = p.flatten(levels - 1) if levels > 1 else p
+            c_tuple = c if isinstance(c, tuple) else (c,)
+            for cc, pp in child:
+                cc_tuple = cc if isinstance(cc, tuple) else (cc,)
+                flat.append(c_tuple + cc_tuple, pp)
+        return flat
+
+    # ------------------------------------------------------------------
+    # Whole-tree utilities
+    # ------------------------------------------------------------------
+    def count_leaves(self) -> int:
+        """Total number of scalar leaves under this fiber."""
+        total = 0
+        for _, p in self:
+            total += p.count_leaves() if isinstance(p, Fiber) else 1
+        return total
+
+    def leaves(self, prefix: Tuple[Coord, ...] = ()) -> Iterator[Tuple[tuple, Any]]:
+        """Yield (full coordinate tuple, scalar value) for every leaf."""
+        for c, p in self:
+            point = prefix + (c,)
+            if isinstance(p, Fiber):
+                yield from p.leaves(point)
+            else:
+                yield point, p
+
+    def prune_empty(self) -> "Fiber":
+        """Copy with empty sub-fibers and zero-valued leaves removed."""
+        coords = []
+        payloads = []
+        for c, p in self:
+            if isinstance(p, Fiber):
+                pruned = p.prune_empty()
+                if pruned:
+                    coords.append(c)
+                    payloads.append(pruned)
+            elif p != 0:
+                coords.append(c)
+                payloads.append(p)
+        return Fiber(coords, payloads, coord_range=self.coord_range)
+
+    def copy(self) -> "Fiber":
+        """Deep copy of this fiber."""
+        return Fiber(
+            list(self.coords),
+            [p.copy() if isinstance(p, Fiber) else p for p in self.payloads],
+            coord_range=self.coord_range,
+        )
+
+    def depth(self) -> int:
+        """Number of levels below and including this fiber (1 for a leaf fiber)."""
+        for _, p in self:
+            if isinstance(p, Fiber):
+                return 1 + p.depth()
+            return 1
+        return 1

@@ -1,0 +1,50 @@
+"""Naming rules for ranks under partitioning and flattening.
+
+TeAAL derives new rank names mechanically from mapping directives:
+
+* splitting rank ``K`` with ``n`` directives yields ranks ``K{n} ... K1 K0``
+  (top-down), e.g. one directive gives ``K1, K0``;
+* flattening ranks ``(M, K0)`` yields the concatenated rank ``MK0``;
+* index variables are the lower-cased rank names (rank ``KM1`` is indexed by
+  the variable ``km1``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def split_names(rank: str, num_directives: int) -> List[str]:
+    """Names created by ``num_directives`` split directives on ``rank``.
+
+    >>> split_names("K", 1)
+    ['K1', 'K0']
+    >>> split_names("KM", 2)
+    ['KM2', 'KM1', 'KM0']
+    """
+    if num_directives < 1:
+        raise ValueError("a split requires at least one directive")
+    return [f"{rank}{level}" for level in range(num_directives, -1, -1)]
+
+
+def flatten_name(ranks: Sequence[str]) -> str:
+    """Name of the rank produced by flattening ``ranks`` together.
+
+    >>> flatten_name(("K", "M"))
+    'KM'
+    >>> flatten_name(("M", "K0"))
+    'MK0'
+    """
+    if len(ranks) < 2:
+        raise ValueError("flattening combines at least two ranks")
+    return "".join(ranks)
+
+
+def index_var(rank: str) -> str:
+    """Index variable used for a rank in Einsum expressions (lower-cased)."""
+    return rank.lower()
+
+
+def rank_of_var(var: str) -> str:
+    """Rank name corresponding to an index variable (upper-cased)."""
+    return var.upper()

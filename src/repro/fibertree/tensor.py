@@ -1,0 +1,306 @@
+"""Tensors represented as named fibertrees (paper section 2.1).
+
+A :class:`Tensor` couples a root :class:`~repro.fibertree.fiber.Fiber` with a
+rank order (list of rank names, top to bottom of the tree) and a per-rank
+shape.  All of TeAAL's content-preserving transformations — rank swizzling,
+partitioning, and flattening — are methods here; each returns a new tensor and
+leaves the receiver unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .fiber import Fiber
+from .rankid import flatten_name, split_names
+
+
+class Tensor:
+    """A named fibertree with labeled ranks and per-rank shapes.
+
+    ``shape[r]`` is the integer extent of rank ``rank_ids[r]`` (coordinates
+    live in ``[0, shape[r])``) or ``None`` when unknown / not meaningful
+    (tuple-coordinate ranks created by flattening).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        rank_ids: Sequence[str],
+        root: Optional[Fiber] = None,
+        shape: Optional[Sequence[Optional[int]]] = None,
+    ):
+        if len(set(rank_ids)) != len(rank_ids):
+            raise ValueError(f"duplicate rank ids in {list(rank_ids)}")
+        self.name = name
+        self.rank_ids = list(rank_ids)
+        self.root = root if root is not None else Fiber()
+        if shape is None:
+            self.shape: List[Optional[int]] = [None] * len(self.rank_ids)
+        else:
+            self.shape = list(shape)
+        if len(self.shape) != len(self.rank_ids):
+            raise ValueError(
+                f"shape length {len(self.shape)} does not match "
+                f"rank count {len(self.rank_ids)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls,
+        name: str,
+        rank_ids: Sequence[str],
+        points: Iterable[Tuple[tuple, Any]],
+        shape: Optional[Sequence[Optional[int]]] = None,
+    ) -> "Tensor":
+        """Build a tensor from (coordinate tuple, value) pairs.
+
+        Later duplicates overwrite earlier ones.  Zero values are kept out of
+        the tree (a sparse fibertree omits empty payloads).
+        """
+        dedup: Dict[tuple, Any] = {}
+        for point, value in points:
+            if len(point) != len(rank_ids):
+                raise ValueError(
+                    f"point {point} does not match rank count {len(rank_ids)}"
+                )
+            dedup[tuple(point)] = value
+        items = sorted((p, v) for p, v in dedup.items() if v != 0)
+        root = _build_from_sorted(items, len(rank_ids))
+        return cls(name, rank_ids, root, shape)
+
+    @classmethod
+    def empty(
+        cls,
+        name: str,
+        rank_ids: Sequence[str],
+        shape: Optional[Sequence[Optional[int]]] = None,
+    ) -> "Tensor":
+        """An output tensor with no elements yet."""
+        return cls(name, rank_ids, Fiber(), shape)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_ranks(self) -> int:
+        return len(self.rank_ids)
+
+    def rank_index(self, rank: str) -> int:
+        try:
+            return self.rank_ids.index(rank)
+        except ValueError:
+            raise KeyError(f"tensor {self.name} has no rank {rank!r}") from None
+
+    def shape_of(self, rank: str) -> Optional[int]:
+        return self.shape[self.rank_index(rank)]
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored scalar values."""
+        return self.root.count_leaves()
+
+    def leaves(self) -> Iterator[Tuple[tuple, Any]]:
+        """Yield (point, value) for every stored scalar."""
+        if self.num_ranks == 0:
+            return iter(())
+        return self.root.leaves()
+
+    def points(self) -> Dict[tuple, Any]:
+        """All stored scalars as a {point: value} dict (flattened coords kept)."""
+        return dict(self.leaves())
+
+    def fibers_at_rank(self, rank: str) -> Iterator[Fiber]:
+        """Yield every fiber in the level labeled by ``rank``."""
+        depth = self.rank_index(rank)
+        frontier = [self.root]
+        for _ in range(depth):
+            frontier = [p for f in frontier for p in f.payloads if isinstance(p, Fiber)]
+        return iter(frontier)
+
+    def get(self, point: Sequence[Any], default: Any = 0) -> Any:
+        """Scalar value at a fully specified point (``default`` when absent)."""
+        node: Any = self.root
+        for coord in point:
+            if not isinstance(node, Fiber):
+                raise KeyError(f"point {tuple(point)} is too deep for {self.name}")
+            node = node.get_payload(coord)
+            if node is None:
+                return default
+        return node
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tensor):
+            return NotImplemented
+        return self.rank_ids == other.rank_ids and self.root == other.root
+
+    def __repr__(self) -> str:
+        return f"Tensor({self.name!r}, rank_ids={self.rank_ids}, nnz={self.nnz})"
+
+    def copy(self, name: Optional[str] = None) -> "Tensor":
+        return Tensor(
+            name or self.name, list(self.rank_ids), self.root.copy(), list(self.shape)
+        )
+
+    # ------------------------------------------------------------------
+    # Content-preserving transformations (paper section 3.2)
+    # ------------------------------------------------------------------
+    def swizzle(self, new_rank_ids: Sequence[str]) -> "Tensor":
+        """Reorder the ranks of the fibertree (a rank swizzle).
+
+        The set of values at the leaves is unchanged; only the coordinate
+        system (level order) changes.  This models offline transposition and
+        online sort/merge operations (paper section 3.2.2).
+        """
+        new_rank_ids = list(new_rank_ids)
+        if sorted(new_rank_ids) != sorted(self.rank_ids):
+            raise ValueError(
+                f"swizzle target {new_rank_ids} is not a permutation of "
+                f"{self.rank_ids}"
+            )
+        if new_rank_ids == self.rank_ids:
+            return self.copy()
+        perm = [self.rank_index(r) for r in new_rank_ids]
+        items = sorted(
+            (tuple(point[i] for i in perm), value) for point, value in self.leaves()
+        )
+        root = _build_from_sorted(items, len(new_rank_ids))
+        new_shape = [self.shape[i] for i in perm]
+        return Tensor(self.name, new_rank_ids, root, new_shape)
+
+    def partition_uniform_shape(self, rank: str, steps: Sequence[int]) -> "Tensor":
+        """Coordinate-based (shape) partitioning of ``rank``.
+
+        ``steps`` lists the chunk shapes top-down; ``n`` steps create ranks
+        ``rank{n} .. rank1 rank0``.  Chunks keep original coordinates; the new
+        upper coordinates are the first legal coordinate of each chunk.
+        """
+        names = split_names(rank, len(steps))
+        depth = self.rank_index(rank)
+        shape = self.shape_of(rank)
+        root = self.root.copy()
+        for level, step in enumerate(steps):
+            root = _split_at_depth(
+                root, depth + level, lambda f, s=step: f.split_uniform_shape(s, shape)
+            )
+        new_ranks = self.rank_ids[:depth] + names + self.rank_ids[depth + 1 :]
+        new_shape = (
+            self.shape[:depth] + [shape] * len(names) + self.shape[depth + 1 :]
+        )
+        return Tensor(self.name, new_ranks, root, new_shape)
+
+    def partition_uniform_occupancy(self, rank: str, sizes: Sequence[int]) -> "Tensor":
+        """Occupancy-based partitioning of ``rank`` (leader side).
+
+        Each fiber at the rank's level is split into chunks of equal occupancy
+        (modulo remainders).  ``sizes`` lists the chunk occupancies top-down.
+        Chunk fibers record their coordinate ranges so follower tensors can
+        adopt the leader's boundaries.
+        """
+        names = split_names(rank, len(sizes))
+        depth = self.rank_index(rank)
+        root = self.root.copy()
+        for level, size in enumerate(sizes):
+            root = _split_at_depth(
+                root, depth + level, lambda f, s=size: f.split_equal(s)
+            )
+        new_ranks = self.rank_ids[:depth] + names + self.rank_ids[depth + 1 :]
+        shape = self.shape_of(rank)
+        new_shape = (
+            self.shape[:depth] + [shape] * len(names) + self.shape[depth + 1 :]
+        )
+        return Tensor(self.name, new_ranks, root, new_shape)
+
+    def partition_by_boundaries(
+        self, rank: str, names: Sequence[str], boundaries: Sequence[Any]
+    ) -> "Tensor":
+        """Split ``rank`` at explicit boundaries (follower side of a split)."""
+        if len(names) != 2:
+            raise ValueError("boundary partitioning adds exactly one level")
+        depth = self.rank_index(rank)
+        root = _split_at_depth(
+            self.root.copy(),
+            depth,
+            lambda f: f.split_by_boundaries(boundaries),
+        )
+        new_ranks = self.rank_ids[:depth] + list(names) + self.rank_ids[depth + 1 :]
+        shape = self.shape_of(rank)
+        new_shape = self.shape[:depth] + [shape, shape] + self.shape[depth + 1 :]
+        return Tensor(self.name, new_ranks, root, new_shape)
+
+    def flatten_ranks(self, ranks: Sequence[str]) -> "Tensor":
+        """Flatten adjacent ranks into one tuple-coordinate rank (Figure 2)."""
+        ranks = list(ranks)
+        start = self.rank_index(ranks[0])
+        if self.rank_ids[start : start + len(ranks)] != ranks:
+            raise ValueError(
+                f"ranks {ranks} are not adjacent (in order) in {self.rank_ids}"
+            )
+        new_name = flatten_name(ranks)
+        root = _split_at_depth(
+            self.root.copy(), start, lambda f: f.flatten(len(ranks) - 1)
+        )
+        new_ranks = (
+            self.rank_ids[:start] + [new_name] + self.rank_ids[start + len(ranks) :]
+        )
+        new_shape = self.shape[:start] + [None] + self.shape[start + len(ranks) :]
+        return Tensor(self.name, new_ranks, root, new_shape)
+
+    def unpartition(self, upper: str, lower: str, merged: str) -> "Tensor":
+        """Merge adjacent split ranks back into one (inverse of partitioning)."""
+        depth = self.rank_index(upper)
+        if self.rank_ids[depth + 1 : depth + 2] != [lower]:
+            raise ValueError(f"{lower} is not directly below {upper}")
+
+        def merge(fiber: Fiber) -> Fiber:
+            out = Fiber()
+            for _, chunk in fiber:
+                for c, p in chunk:
+                    out.set_payload(c, p)
+            return out
+
+        root = _split_at_depth(self.root.copy(), depth, merge)
+        new_ranks = self.rank_ids[:depth] + [merged] + self.rank_ids[depth + 2 :]
+        new_shape = self.shape[:depth] + [self.shape[depth]] + self.shape[depth + 2 :]
+        return Tensor(self.name, new_ranks, root, new_shape)
+
+    def prune_empty(self) -> "Tensor":
+        """Copy with zero leaves and empty fibers removed."""
+        return Tensor(self.name, list(self.rank_ids), self.root.prune_empty(),
+                      list(self.shape))
+
+
+# ----------------------------------------------------------------------
+# Internal helpers
+# ----------------------------------------------------------------------
+def _build_from_sorted(items: List[Tuple[tuple, Any]], num_ranks: int) -> Fiber:
+    """Build a fibertree from sorted, de-duplicated (point, value) pairs."""
+    if num_ranks == 0:
+        raise ValueError("cannot build a fibertree with zero ranks")
+    fiber = Fiber()
+    if num_ranks == 1:
+        for point, value in items:
+            fiber.append(point[0], value)
+        return fiber
+    for coord, group in itertools.groupby(items, key=lambda item: item[0][0]):
+        sub = [(point[1:], value) for point, value in group]
+        fiber.append(coord, _build_from_sorted(sub, num_ranks - 1))
+    return fiber
+
+
+def _split_at_depth(root: Fiber, depth: int, op) -> Fiber:
+    """Apply ``op`` to every fiber at ``depth`` levels below ``root``."""
+    if depth == 0:
+        return op(root)
+    return Fiber(
+        list(root.coords),
+        [
+            _split_at_depth(p, depth - 1, op) if isinstance(p, Fiber) else p
+            for p in root.payloads
+        ],
+        coord_range=root.coord_range,
+    )

@@ -1,0 +1,52 @@
+"""Reference graph algorithms for validating the vertex-centric cascades.
+
+Plain-Python BFS and Dijkstra over the adjacency fibertree; the
+vertex-centric runs must produce identical distance maps.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict
+
+from ..fibertree import Tensor
+
+
+def _out_edges(graph: Tensor) -> Dict[int, list]:
+    """source -> [(dest, weight)] from an adjacency tensor G[d, s]."""
+    out: Dict[int, list] = {}
+    for (d, s), w in graph.leaves():
+        out.setdefault(s, []).append((d, w))
+    return out
+
+
+def reference_bfs(graph: Tensor, source: int) -> Dict[int, float]:
+    """Hop counts from ``source`` for every reachable vertex."""
+    adj = _out_edges(graph)
+    dist = {source: 0.0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v, _ in adj.get(u, ()):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+def reference_sssp(graph: Tensor, source: int) -> Dict[int, float]:
+    """Dijkstra shortest-path distances from ``source``."""
+    adj = _out_edges(graph)
+    dist = {source: 0.0}
+    heap = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, float("inf")):
+            continue
+        for v, w in adj.get(u, ()):
+            nd = d + w
+            if nd < dist.get(v, float("inf")):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist

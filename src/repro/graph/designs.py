@@ -1,0 +1,96 @@
+"""The three vertex-centric accelerator designs of the Figure 13 study.
+
+All three share Graphicionado's hardware parameterization (Table 5) so the
+comparison is apples-to-apples; they differ exactly where the paper says
+they differ:
+
+* **Graphicionado** [14] — edge-list graph format (source id re-read per
+  edge, weight always read) and a dense apply phase touching *every*
+  vertex each iteration.
+* **GraphDynS-like** [53] — CSR format (no source-id re-reads; weight read
+  only when the algorithm uses it) and a 256-partition bitmap apply: any
+  partition holding a modified vertex is eagerly loaded and applied whole.
+* **Our Proposal** — removes the partitioning: properties are loaded and
+  applied only for the vertices actually modified, while keeping the CSR
+  format optimization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GraphicionadoConfig:
+    """Table 5: Graphicionado's parameterization, shared by all designs."""
+
+    clock_hz: float = 1.0e9
+    streams: int = 8
+    bandwidth_gbps: float = 68.0
+    edram_bytes: int = 64 * 1024 * 1024
+    vertex_id_bytes: int = 4
+    weight_bytes: int = 4
+    property_bytes: int = 8
+
+
+@dataclass(frozen=True)
+class Design:
+    """One vertex-centric design point."""
+
+    name: str
+    cascade: str  # 'graphicionado' | 'graphdyns'
+    graph_format: str  # 'edge-list' | 'csr'
+    apply_granularity: str  # 'all' | 'partition' | 'exact'
+    bitmap_partitions: int = 256
+
+    def edge_bytes(self, uses_weight: bool,
+                   cfg: GraphicionadoConfig) -> int:
+        """Bytes read from memory per processed edge."""
+        if self.graph_format == "edge-list":
+            # (src id, dst id, weight) per edge, weight always present.
+            return 2 * cfg.vertex_id_bytes + cfg.weight_bytes
+        # CSR: dst id per edge (+ weight only if the algorithm uses it).
+        return cfg.vertex_id_bytes + (cfg.weight_bytes if uses_weight else 0)
+
+    def apply_ops(self, num_vertices: int, modified) -> int:
+        """Apply operations performed this iteration.
+
+        ``modified`` is the iterable of vertex ids receiving updates.
+        """
+        modified = list(modified)
+        if self.apply_granularity == "all":
+            return num_vertices
+        if self.apply_granularity == "partition":
+            part = max(1, math.ceil(num_vertices / self.bitmap_partitions))
+            touched = {v // part for v in modified}
+            return min(num_vertices, len(touched) * part)
+        return len(modified)
+
+
+GRAPHICIONADO = Design(
+    name="Graphicionado",
+    cascade="graphicionado",
+    graph_format="edge-list",
+    apply_granularity="all",
+)
+
+GRAPHDYNS = Design(
+    name="GraphDynS-like",
+    cascade="graphdyns",
+    graph_format="csr",
+    apply_granularity="partition",
+)
+
+PROPOSAL = Design(
+    name="Our Proposal",
+    cascade="graphdyns",
+    graph_format="csr",
+    apply_granularity="exact",
+)
+
+DESIGNS = {
+    "graphicionado": GRAPHICIONADO,
+    "graphdyns": GRAPHDYNS,
+    "proposal": PROPOSAL,
+}

@@ -1,0 +1,110 @@
+"""Vertex-centric programming cascades (paper section 8, Figure 12).
+
+Each iteration of a vertex-centric algorithm is one cascade evaluation:
+
+* **processing phase** — active vertices ``A0`` select the edges to process
+  (``SO``), edge weights combine with source properties and reduce into the
+  per-destination messages ``R``;
+* **apply phase** — messages update the vertex properties ``P0 -> P1`` and
+  the changed vertices become the next active set ``A1``.
+
+A specific algorithm manifests by redefining the x and + operators: for
+SSSP, to (+, min); for BFS, to (hop+1, min).  Note one deviation from the
+paper's Figure 12b: its line 9 updates ``P0`` in place and line 11 aliases
+``P1 = P0``, which a single-assignment cascade cannot express — the driver
+merges the filtered property writes (``PU``) into the property tensor
+between iterations instead, preserving the semantics.
+"""
+
+from __future__ import annotations
+
+from ..einsum.operators import BFS_HOPS, MIN_PLUS, OpSet
+from ..spec import AcceleratorSpec, load_spec
+
+# Connected components by label propagation: a vertex's property is its
+# component label; edges pass the source's label through unchanged and the
+# reduction keeps the minimum label seen.
+CC_LABELS = OpSet(
+    name="cc-labels",
+    mul=lambda edge, label: label,
+    add=min,
+    sub=lambda a, b: a if a != b else 0,
+    zero=float("inf"),
+)
+
+GRAPHICIONADO_YAML = """
+einsum:
+  declaration:
+    G: [V, S]
+    A0: [S]
+    SO: [V, S]
+    R: [V]
+    P0: [V]
+    P1: [V]
+    M: [V]
+    A1: [V]
+  expressions:
+    - SO[v, s] = take(G[v, s], A0[s], 0)
+    - R[v] = SO[v, s] * A0[s]
+    - P1[v] = R[v] + P0[v]
+    - M[v] = P1[v] - P0[v]
+    - A1[v] = take(M[v], P1[v], 1)
+mapping:
+  rank-order:
+    G: [V, S]
+    SO: [V, S]
+"""
+
+GRAPHDYNS_YAML = """
+einsum:
+  declaration:
+    G: [V, S]
+    A0: [S]
+    SO: [V, S]
+    R: [V]
+    P0: [V]
+    MP: [V]
+    NP: [V]
+    M: [V]
+    PU: [V]
+    A1: [V]
+  expressions:
+    - SO[v, s] = take(G[v, s], A0[s], 0)
+    - R[v] = SO[v, s] * A0[s]
+    - MP[v] = take(R[v], P0[v], 1)
+    - NP[v] = R[v] + MP[v]
+    - M[v] = NP[v] - MP[v]
+    - PU[v] = take(M[v], NP[v], 1)
+    - A1[v] = take(M[v], NP[v], 1)
+mapping:
+  rank-order:
+    G: [V, S]
+    SO: [V, S]
+"""
+
+
+def graphicionado_cascade() -> AcceleratorSpec:
+    """Figure 12a: the Graphicionado processing + apply cascade."""
+    return load_spec(GRAPHICIONADO_YAML, name="graphicionado")
+
+
+def graphdyns_cascade() -> AcceleratorSpec:
+    """Figure 12b: GraphDynS's cascade with filtered property updates."""
+    return load_spec(GRAPHDYNS_YAML, name="graphdyns")
+
+
+ALGORITHM_OPSETS = {
+    "bfs": BFS_HOPS,
+    "sssp": MIN_PLUS,
+    "cc": CC_LABELS,
+}
+
+
+def opset_for(algorithm: str) -> OpSet:
+    try:
+        return ALGORITHM_OPSETS[algorithm]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {algorithm!r}; known: "
+            f"{sorted(ALGORITHM_OPSETS)}"
+        ) from None

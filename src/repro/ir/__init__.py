@@ -1,0 +1,31 @@
+"""Loop-nest IR: nodes, builder, and pretty-printer."""
+
+from .builder import BuildError, build_cascade_ir, build_ir
+from .nodes import (
+    FLAT,
+    FLAT_UPPER,
+    PLAIN,
+    UPPER,
+    VIRTUAL,
+    AccessPlan,
+    Level,
+    LoopNestIR,
+    OutputPlan,
+    PrepStep,
+)
+
+__all__ = [
+    "AccessPlan",
+    "BuildError",
+    "FLAT",
+    "FLAT_UPPER",
+    "Level",
+    "LoopNestIR",
+    "OutputPlan",
+    "PLAIN",
+    "PrepStep",
+    "UPPER",
+    "VIRTUAL",
+    "build_cascade_ir",
+    "build_ir",
+]

@@ -1,0 +1,346 @@
+"""Code generation: lower loop-nest IR to standalone Python source.
+
+This is the "simulator generator" output stage in the spirit of the paper's
+HiFiber backend (section 4.3): the IR becomes a plain Python function whose
+nested loops co-iterate fibertrees through a small runtime
+(:mod:`repro.ir.codegen_runtime`).  The generated source is readable,
+importable, and — for the supported mapping subset — produces exactly the
+same outputs as the interpreting executor (tests enforce this).
+
+Supported: plain/flat/upper levels, eager shape and occupancy splits,
+flattening, inferred swizzles, lookups (including chunk search), affine
+projection, intersect/union/single co-iteration, take()/Mul/Add leaves,
+dense iteration for undriven ranks.  Not supported: occupancy *followers*
+(virtual levels) — those need runtime windows; use the interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..einsum.ast import Access, Add, Expr, Mul, Take
+from .nodes import FLAT, FLAT_UPPER, PLAIN, UPPER, VIRTUAL, LoopNestIR
+
+
+class CodegenError(NotImplementedError):
+    pass
+
+
+class _Emitter:
+    def __init__(self):
+        self.lines: List[str] = []
+        self.indent = 0
+
+    def emit(self, text: str = "") -> None:
+        self.lines.append("    " * self.indent + text if text else "")
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _expr_code(e) -> str:
+    """Python expression computing an IndexExpr from bound loop variables."""
+    parts = [f"v_{v}" for v in e.vars]
+    if e.const or not parts:
+        parts.append(str(e.const))
+    return " + ".join(parts)
+
+
+def generate_source(ir: LoopNestIR, func_name: str = "kernel") -> str:
+    """Generate Python source for one lowered Einsum.
+
+    The generated function has the signature
+    ``kernel(tensors, opset, shapes)`` where ``tensors`` maps names to
+    *prepared* tensors (rank-order swizzle and prep steps already applied,
+    e.g. via :func:`repro.model.executor.prepare_tensor`) and returns the
+    output :class:`~repro.fibertree.tensor.Tensor`.
+    """
+    for plan in ir.accesses:
+        for lvl in plan.levels:
+            if lvl.kind == VIRTUAL:
+                raise CodegenError(
+                    f"codegen does not support occupancy followers "
+                    f"(tensor {plan.tensor}); use the interpreter"
+                )
+
+    em = _Emitter()
+    em.emit(f"def {func_name}(tensors, opset, shapes):")
+    em.indent += 1
+    em.emit(f'"""Generated from: {ir.einsum}"""')
+    # Cursor roots, one per access (duplicate tensors get distinct cursors).
+    for i, plan in enumerate(ir.accesses):
+        em.emit(f"n{i}_0 = tensors[{plan.tensor!r}].root")
+    em.emit("out = Fiber()")
+    depths = {i: 0 for i in range(len(ir.accesses))}
+    # Literal-index levels (e.g. the FFT's P[0, k0, n1, 0]) are bound
+    # before any loop runs; advance those cursors up front.
+    _emit_lookups(em, ir, level=-1, depths=depths)
+    _emit_rank(em, ir, level=0, depths=depths)
+    em.emit(
+        "return Tensor("
+        f"{ir.output.tensor!r}, {ir.output.storage_ranks!r}, out, "
+        f"[shapes.get(r) for r in {ir.output.storage_ranks!r}])"
+    )
+    em.indent -= 1
+    return em.source()
+
+
+def _emit_rank(em: _Emitter, ir: LoopNestIR, level: int,
+               depths: Dict[int, int]) -> None:
+    if level == len(ir.loop_ranks):
+        _emit_leaf(em, ir, depths)
+        return
+    rank = ir.loop_ranks[level]
+    binds = ir.binds.get(rank, ())
+
+    drivers: List[Tuple[int, object]] = []
+    for i, plan in enumerate(ir.accesses):
+        d = depths[i]
+        if d < len(plan.levels) and plan.levels[d].rank == rank:
+            lvl = plan.levels[d]
+            if _drivable(lvl, binds):
+                drivers.append((i, lvl))
+
+    new_depths = dict(depths)
+    if not drivers:
+        if rank in _statically_driven(ir):
+            raise CodegenError(
+                f"rank {rank} is driven only dynamically; unsupported"
+            )
+        _emit_dense(em, ir, level, rank, binds, new_depths)
+        return
+
+    fiber_exprs = []
+    for i, lvl in drivers:
+        base = f"n{i}_{depths[i]}"
+        if lvl.kind == PLAIN and not lvl.exprs[0].is_var:
+            e = lvl.exprs[0]
+            bound = [f"v_{v}" for v in e.vars if v != binds[0]]
+            offset = " + ".join(bound + [str(e.const)]) or "0"
+            origin = ir.origin.get(rank, rank)
+            fiber_exprs.append(
+                f"rt.project({base}, -({offset}), shapes[{origin!r}])"
+            )
+        else:
+            fiber_exprs.append(base)
+        new_depths[i] = depths[i] + 1
+
+    mode = ir.modes.get(rank, "single")
+    if len(drivers) == 1:
+        call = f"rt.iterate({fiber_exprs[0]})"
+    elif mode == "union":
+        call = f"rt.coiterate_union({', '.join(fiber_exprs)})"
+    else:
+        call = f"rt.coiterate_intersect({', '.join(fiber_exprs)})"
+
+    payloads = ", ".join(f"p{i}" for i, _ in drivers)
+    em.emit(f"for c_{rank}, [{payloads}] in {call}:")
+    em.indent += 1
+    if len(binds) == 1:
+        em.emit(f"v_{binds[0]} = c_{rank}")
+    elif len(binds) > 1:
+        em.emit(f"{', '.join('v_' + v for v in binds)} = c_{rank}")
+    for i, _ in drivers:
+        em.emit(f"n{i}_{new_depths[i]} = p{i}")
+    _emit_lookups(em, ir, level, new_depths)
+    _emit_rank(em, ir, level + 1, new_depths)
+    em.indent -= 1
+
+
+def _emit_dense(em, ir, level, rank, binds, depths) -> None:
+    if len(binds) != 1:
+        raise CodegenError(f"cannot iterate rank {rank} densely")
+    origin = ir.origin.get(rank, rank)
+    em.emit(f"for v_{binds[0]} in range(shapes[{origin!r}]):")
+    em.indent += 1
+    _emit_lookups(em, ir, level, depths)
+    _emit_rank(em, ir, level + 1, depths)
+    em.indent -= 1
+
+
+def _emit_lookups(em: _Emitter, ir: LoopNestIR, level: int,
+                  depths: Dict[int, int]) -> None:
+    """Advance cursors through levels fully bound after this rank."""
+    bound_vars = set()
+    for r in ir.loop_ranks[: level + 1]:
+        bound_vars.update(ir.binds.get(r, ()))
+    for i, plan in enumerate(ir.accesses):
+        d = depths[i]
+        while d < len(plan.levels):
+            lvl = plan.levels[d]
+            later_rank = lvl.rank in ir.loop_ranks[level + 1:]
+            if lvl.kind in (UPPER, FLAT_UPPER):
+                below = _physical_below(plan, d, lvl.of)
+                if below is None or any(
+                    set(e.vars) - bound_vars for e in below.exprs
+                ) or later_rank and _drivable(lvl, ir.binds.get(lvl.rank, ())):
+                    break
+                target = _coord_code(below)
+                em.emit(f"n{i}_{d + 1} = rt.lookup_chunk(n{i}_{d}, {target})")
+                d += 1
+                depths[i] = d
+                continue
+            unbound = any(set(e.vars) - bound_vars for e in lvl.exprs)
+            if unbound:
+                break
+            if later_rank and _drivable(lvl, ir.binds.get(lvl.rank, ())):
+                break  # it will drive its own loop
+            em.emit(
+                f"n{i}_{d + 1} = rt.lookup(n{i}_{d}, {_coord_code(lvl)})"
+            )
+            d += 1
+            depths[i] = d
+
+
+def _coord_code(lvl) -> str:
+    if lvl.kind == FLAT or len(lvl.exprs) > 1:
+        return "(" + ", ".join(_expr_code(e) for e in lvl.exprs) + ")"
+    return _expr_code(lvl.exprs[0])
+
+
+def _physical_below(plan, depth, of):
+    for lvl in plan.levels[depth + 1:]:
+        if lvl.of == of and lvl.kind in (PLAIN, FLAT):
+            return lvl
+    return None
+
+
+def _drivable(lvl, binds) -> bool:
+    if lvl.kind in (UPPER, FLAT_UPPER):
+        return True
+    if lvl.kind == FLAT:
+        return tuple(v for e in lvl.exprs for v in e.vars) == binds
+    expr = lvl.exprs[0]
+    if expr.is_var:
+        return binds == expr.vars
+    return len(binds) == 1 and binds[0] in expr.vars and expr.vars
+
+
+def _statically_driven(ir) -> set:
+    out = set()
+    for plan in ir.accesses:
+        for lvl in plan.levels:
+            if lvl.kind != VIRTUAL and _drivable(
+                lvl, ir.binds.get(lvl.rank, ())
+            ):
+                out.add(lvl.rank)
+    return out
+
+
+def _emit_leaf(em: _Emitter, ir: LoopNestIR, depths: Dict[int, int]) -> None:
+    counter = [0]
+    guards: List[str] = []
+    value = _emit_expr(ir.einsum.expr, depths, counter, guards)
+    for g in guards:
+        em.emit(f"if {g} is None:")
+        em.indent += 1
+        em.emit("continue")
+        em.indent -= 1
+    point = ", ".join(_expr_code(e) for e in ir.output.indices)
+    overwrite = "True" if ir.einsum.is_take else "False"
+    em.emit(f"value = {value}")
+    em.emit("if value is None:")
+    em.indent += 1
+    em.emit("continue")
+    em.indent -= 1
+    em.emit(f"rt.reduce_into(out, ({point},), value, opset, {overwrite})")
+
+
+def _emit_expr(expr: Expr, depths, counter, guards) -> str:
+    """Python expression computing the leaf value (None = ineffectual)."""
+    if isinstance(expr, Access):
+        i = counter[0]
+        counter[0] += 1
+        return f"rt.scalar(n{i}_{depths[i]})"
+    if isinstance(expr, Mul):
+        parts = [_emit_expr(f, depths, counter, guards) for f in expr.factors]
+        names = []
+        for idx, part in enumerate(parts):
+            names.append(part)
+        # Build a guarded fold: None if any factor is None.
+        inner = parts[0]
+        for p in parts[1:]:
+            inner = f"_mul(opset, {inner}, {p})"
+        return inner
+    if isinstance(expr, Add):
+        left = _emit_expr(expr.left, depths, counter, guards)
+        right = _emit_expr(expr.right, depths, counter, guards)
+        op = "_sub" if expr.negate else "_add"
+        return f"{op}(opset, {left}, {right})"
+    if isinstance(expr, Take):
+        args = []
+        for a in expr.args:
+            i = counter[0]
+            counter[0] += 1
+            args.append(f"rt.scalar(n{i}_{depths[i]})")
+        return f"_take([{', '.join(args)}], {expr.which})"
+    raise CodegenError(f"cannot generate code for {expr!r}")
+
+
+_PRELUDE = '''"""TeAAL-generated simulator module."""
+
+from repro.fibertree.fiber import Fiber
+from repro.fibertree.tensor import Tensor
+import repro.ir.codegen_runtime as rt
+
+
+def _mul(opset, a, b):
+    if a is None or b is None:
+        return None
+    return opset.mul(a, b)
+
+
+def _add(opset, a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return opset.add(a, b)
+
+
+def _sub(opset, a, b):
+    if a is None:
+        return None
+    if b is None:
+        return a
+    return opset.sub(a, b)
+
+
+def _take(args, which):
+    if any(a is None for a in args):
+        return None
+    return args[which]
+
+
+'''
+
+
+def generate_module(irs, name: str = "generated") -> str:
+    """Full module source: prelude + one function per Einsum + a driver."""
+    parts = [_PRELUDE]
+    names = []
+    for ir in irs:
+        fname = f"compute_{ir.name.lower()}"
+        names.append((fname, ir.name))
+        parts.append(generate_source(ir, fname))
+        parts.append("\n")
+    parts.append("def run_cascade(tensors, opset, shapes, prepare):\n")
+    parts.append('    """Run every Einsum in cascade order.\n\n'
+                 "    ``prepare(name, env)`` returns the prepared tensors "
+                 'for one Einsum.\n    """\n')
+    parts.append("    env = dict(tensors)\n")
+    for fname, out in names:
+        parts.append(
+            f"    env[{out!r}] = {fname}(prepare({out!r}, env), opset, "
+            "shapes).prune_empty()\n"
+        )
+    parts.append("    return env\n")
+    return "".join(parts)
+
+
+def compile_ir(ir: LoopNestIR, func_name: str = "kernel"):
+    """Compile one Einsum's generated source and return the function."""
+    source = _PRELUDE + generate_source(ir, func_name)
+    namespace: Dict[str, object] = {}
+    exec(compile(source, f"<teaal:{ir.name}>", "exec"), namespace)
+    return namespace[func_name], source

@@ -1,0 +1,100 @@
+"""Runtime helpers imported by TeAAL-generated loop-nest code.
+
+The code generator (:mod:`repro.ir.codegen`) emits plain Python whose only
+dependencies are the fibertree API and these helpers: k-way intersection
+and union co-iterators, chunk lookup for split (upper) levels, affine
+projection windows, and reduction into the output fibertree.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
+
+from ..fibertree.fiber import Fiber
+
+
+def coiterate_intersect(*fibers: Fiber) -> Iterator[Tuple[Any, List[Any]]]:
+    """Yield (coord, [payloads...]) present in every fiber."""
+    if not fibers or any(f is None or not isinstance(f, Fiber) for f in fibers):
+        return
+    positions = [0] * len(fibers)
+    lengths = [len(f) for f in fibers]
+    while all(p < n for p, n in zip(positions, lengths)):
+        heads = [f.coords[p] for f, p in zip(fibers, positions)]
+        top = max(heads)
+        if all(h == top for h in heads):
+            yield top, [f.payloads[p] for f, p in zip(fibers, positions)]
+            positions = [p + 1 for p in positions]
+        else:
+            positions = [
+                bisect.bisect_left(f.coords, top, p)
+                for f, p in zip(fibers, positions)
+            ]
+
+
+def coiterate_union(*fibers: Optional[Fiber]) -> Iterator[Tuple[Any, List[Any]]]:
+    """Yield (coord, [payload-or-None...]) present in any fiber."""
+    live = [f for f in fibers if isinstance(f, Fiber)]
+    if not live:
+        return
+    coords = sorted(set().union(*(set(f.coords) for f in live)))
+    for c in coords:
+        yield c, [
+            f.get_payload(c) if isinstance(f, Fiber) else None
+            for f in fibers
+        ]
+
+
+def iterate(fiber: Optional[Fiber]) -> Iterator[Tuple[Any, List[Any]]]:
+    """Single-fiber iteration in the co-iterator calling convention."""
+    if not isinstance(fiber, Fiber):
+        return
+    for c, p in fiber:
+        yield c, [p]
+
+
+def lookup(node: Any, coord: Any) -> Any:
+    """Payload lookup; None when the node is absent or not a fiber."""
+    if not isinstance(node, Fiber):
+        return None
+    return node.get_payload(coord)
+
+
+def lookup_chunk(node: Any, coord: Any) -> Any:
+    """Find the split-level chunk containing an original coordinate."""
+    if not isinstance(node, Fiber) or not node.coords:
+        return None
+    pos = bisect.bisect_right(node.coords, coord) - 1
+    if pos < 0:
+        return None
+    return node.payloads[pos]
+
+
+def project(node: Any, offset: int, shape: int) -> Optional[Fiber]:
+    """Affine projection: shift coordinates by ``offset`` into [0, shape)."""
+    if not isinstance(node, Fiber):
+        return None
+    return node.project(offset, lo=0, hi=shape)
+
+
+def scalar(node: Any) -> Optional[float]:
+    """Leaf value of a cursor; None when absent or still a fiber."""
+    if node is None or isinstance(node, Fiber):
+        return None
+    return node
+
+
+def reduce_into(root: Fiber, point: tuple, value: Any, opset,
+                overwrite: bool) -> None:
+    """Insert ``value`` at ``point``, reducing with ``opset.add`` on
+    collision (or overwriting, for take() Einsums)."""
+    node = root
+    for coord in point[:-1]:
+        node = node.get_payload_ref(coord, make=Fiber)
+    leaf = point[-1] if point else 0
+    existing = node.get_payload(leaf)
+    if existing is None or overwrite:
+        node.set_payload(leaf, value)
+    else:
+        node.set_payload(leaf, opset.add(existing, value))

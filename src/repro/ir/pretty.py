@@ -1,0 +1,56 @@
+"""Render loop-nest IR as readable pseudo-code.
+
+TeAAL lowers specifications to an executable loop nest; this module prints
+that loop nest the way the paper's Figure 6 describes it — useful for
+understanding what a mapping does and for documentation/examples.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .nodes import FLAT, FLAT_UPPER, UPPER, VIRTUAL, LoopNestIR
+
+
+def format_ir(ir: LoopNestIR) -> str:
+    """Multi-line pseudo-code for one lowered Einsum."""
+    lines: List[str] = [f"# Einsum: {ir.einsum}"]
+    for plan in ir.accesses:
+        order = " -> ".join(
+            f"{l.rank}{'*' if l.kind == VIRTUAL else ''}" for l in plan.levels
+        )
+        lines.append(f"# {plan.tensor}: levels {order}")
+        for step in plan.prep:
+            lines.append(f"#   prep: {step.describe()}")
+    if ir.output.needs_producer_swizzle:
+        lines.append(
+            f"#   note: {ir.output.tensor} is built discordantly and "
+            f"swizzled to {ir.output.storage_ranks} for storage"
+        )
+    indent = 0
+    for rank in ir.loop_ranks:
+        binds = ir.binds.get(rank, ())
+        mode = ir.modes.get(rank, "single")
+        drivers = [
+            p.tensor
+            for p in ir.accesses
+            for l in p.levels
+            if l.rank == rank and l.kind != VIRTUAL
+        ]
+        where = (
+            "space" if rank in ir.space_ranks
+            else "time" if rank in ir.time_ranks else "-"
+        )
+        bind_text = ", ".join(binds) if binds else "-"
+        body = f"for {rank} ({bind_text}) in {mode}({', '.join(drivers) or 'range'})"
+        lines.append("    " * indent + body + f":  # {where}")
+        indent += 1
+    target = ir.output.tensor
+    subscript = ", ".join(str(e) for e in ir.output.indices)
+    lines.append("    " * indent + f"{target}[{subscript}] += {ir.einsum.expr}")
+    return "\n".join(lines)
+
+
+def format_cascade(irs: List[LoopNestIR]) -> str:
+    """Pseudo-code for a whole cascade, one block per Einsum."""
+    return "\n\n".join(format_ir(ir) for ir in irs)

@@ -1,0 +1,97 @@
+"""Validation metrics: the error statistics the paper reports.
+
+Section 7 quotes average modeling errors (3.8% traffic, 9.0%/6.6%/2.5%
+speedup, 7.8% energy, 187% for Sparseloop) computed as arithmetic-mean
+relative errors following Jacob & Mudge [21].  These helpers compute the
+same statistics for any reported-vs-measured series, and shape-agreement
+measures (ordering preservation, win/loss agreement) that the scaled
+stand-in workloads can be judged by.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Sequence, Tuple
+
+
+def relative_error(reported: float, measured: float) -> float:
+    """|measured - reported| / reported (reported must be nonzero)."""
+    if reported == 0:
+        raise ValueError("reported value must be nonzero")
+    return abs(measured - reported) / abs(reported)
+
+
+def mean_relative_error(reported: Mapping, measured: Mapping) -> float:
+    """Arithmetic mean of per-key relative errors (paper's methodology)."""
+    keys = [k for k in reported if k in measured and
+            not _is_nan(reported[k])]
+    if not keys:
+        raise ValueError("no comparable keys")
+    return sum(relative_error(reported[k], measured[k]) for k in keys) / \
+        len(keys)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def ordering_agreement(reported: Mapping, measured: Mapping) -> float:
+    """Kendall-style pairwise ordering agreement in [0, 1].
+
+    1.0 means the measured series ranks every pair of keys the same way
+    the reported series does — the "who wins / who is biggest" shape.
+    """
+    keys = [k for k in reported if k in measured and
+            not _is_nan(reported[k])]
+    pairs = [(a, b) for i, a in enumerate(keys) for b in keys[i + 1:]]
+    if not pairs:
+        raise ValueError("need at least two comparable keys")
+    agree = 0
+    for a, b in pairs:
+        rep = _sign(reported[a] - reported[b])
+        meas = _sign(measured[a] - measured[b])
+        if rep == meas:
+            agree += 1
+    return agree / len(pairs)
+
+
+def win_agreement(reported: Mapping, measured: Mapping,
+                  threshold: float = 1.0) -> float:
+    """Fraction of keys where both series land on the same side of a
+    threshold (e.g. speedup > 1: does the accelerator win?)."""
+    keys = [k for k in reported if k in measured and
+            not _is_nan(reported[k])]
+    if not keys:
+        raise ValueError("no comparable keys")
+    same = sum(
+        1 for k in keys
+        if (reported[k] > threshold) == (measured[k] > threshold)
+    )
+    return same / len(keys)
+
+
+def summarize(reported: Mapping, measured: Mapping) -> Dict[str, float]:
+    """All comparison statistics for one reported-vs-measured series."""
+    return {
+        "mean_relative_error": mean_relative_error(reported, measured),
+        "ordering_agreement": ordering_agreement(reported, measured),
+        "win_agreement": win_agreement(reported, measured),
+        "reported_geomean": geometric_mean(
+            [v for v in reported.values() if not _is_nan(v)]
+        ),
+        "measured_geomean": geometric_mean(
+            [measured[k] for k in reported if k in measured
+             and not _is_nan(reported[k])]
+        ),
+    }
+
+
+def _sign(x: float) -> int:
+    return (x > 0) - (x < 0)
+
+
+def _is_nan(x) -> bool:
+    return isinstance(x, float) and math.isnan(x)

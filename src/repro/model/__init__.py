@@ -1,0 +1,59 @@
+"""Performance model: executor, traces, components, footprints, energy."""
+
+from .components import (
+    BuffetModel,
+    CacheModel,
+    ComputeModel,
+    DramModel,
+    IntersectModel,
+    MergerModel,
+    SequencerModel,
+    Traffic,
+)
+from .energy import DEFAULT_ENERGY_PJ, EnergyModel
+from .evaluate import (
+    EinsumModel,
+    EvaluationResult,
+    ModelSink,
+    evaluate,
+    fuse_blocks,
+)
+from .executor import (
+    ExecutionError,
+    execute_cascade,
+    execute_einsum,
+    prepare_tensor,
+)
+from .footprint import (
+    FootprintOracle,
+    algorithmic_minimum_bits,
+    tensor_rank_stats,
+)
+from .traces import CountingSink, TraceSink
+
+__all__ = [
+    "BuffetModel",
+    "CacheModel",
+    "ComputeModel",
+    "CountingSink",
+    "DEFAULT_ENERGY_PJ",
+    "DramModel",
+    "EinsumModel",
+    "EnergyModel",
+    "EvaluationResult",
+    "ExecutionError",
+    "FootprintOracle",
+    "IntersectModel",
+    "MergerModel",
+    "ModelSink",
+    "SequencerModel",
+    "TraceSink",
+    "Traffic",
+    "algorithmic_minimum_bits",
+    "evaluate",
+    "execute_cascade",
+    "execute_einsum",
+    "fuse_blocks",
+    "prepare_tensor",
+    "tensor_rank_stats",
+]

@@ -1,0 +1,52 @@
+"""Accelergy-style energy reduction (paper section 4.3, Figure 11).
+
+Action counts from the component models are multiplied by per-action energy
+constants.  The defaults are 45nm-class figures in picojoules, in line with
+the classic Eyeriss/Accelergy ratios (a DRAM bit costs roughly two orders
+of magnitude more than an on-chip SRAM bit; a 32-bit MAC is ~1 pJ).
+Override any entry through ``EnergyModel(table={...})``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+DEFAULT_ENERGY_PJ: Dict[str, float] = {
+    "dram_read_bits": 20.0,  # pJ per bit moved from DRAM
+    "dram_write_bits": 20.0,
+    "buffer_read_bits": 0.20,  # large on-chip SRAM
+    "buffer_write_bits": 0.25,
+    "buffer_fill_bits": 0.05,  # network/controller overhead per fill bit
+    "cache_read_bits": 0.40,  # tag + data access
+    "cache_write_bits": 0.45,
+    "cache_fill_bits": 0.05,
+    "alu_mul_ops": 1.0,  # 32-bit multiply
+    "alu_add_ops": 0.5,
+    "isect_compares": 0.08,
+    "merger_elements": 0.40,
+    "sequencer_issues": 0.05,
+}
+
+
+@dataclass
+class EnergyModel:
+    """Maps aggregated action counts to energy."""
+
+    table: Dict[str, float] = field(default_factory=dict)
+
+    def energy_pj(self, action_counts: Dict[str, float]) -> float:
+        total = 0.0
+        for action, count in action_counts.items():
+            per_action = self.table.get(
+                action, DEFAULT_ENERGY_PJ.get(action, 0.0)
+            )
+            total += per_action * count
+        return total
+
+    def breakdown_pj(self, action_counts: Dict[str, float]) -> Dict[str, float]:
+        return {
+            action: self.table.get(action, DEFAULT_ENERGY_PJ.get(action, 0.0))
+            * count
+            for action, count in action_counts.items()
+        }

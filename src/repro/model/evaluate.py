@@ -1,0 +1,464 @@
+"""End-to-end evaluation: run a spec on real tensors and produce traffic,
+time, and energy (paper Figure 6, right half).
+
+:class:`ModelSink` routes executor trace events to component models per the
+binding specification; :func:`evaluate` runs the whole cascade, applies the
+paper's Einsum-block fusion rules (section 4.3), performs the per-block
+bottleneck analysis, and reduces action counts to energy.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..einsum.operators import ARITHMETIC, OpSet
+from ..fibertree.tensor import Tensor
+from ..spec.architecture import Component, Topology
+from ..spec.loader import AcceleratorSpec
+from .components import (
+    BuffetModel,
+    CacheModel,
+    ComputeModel,
+    DramModel,
+    IntersectModel,
+    MergerModel,
+    SequencerModel,
+    Traffic,
+)
+from .energy import EnergyModel
+from .executor import execute_cascade
+from .footprint import FootprintOracle, algorithmic_minimum_bits
+from .traces import TraceSink
+
+_DEFAULT_DRAM = Component(name="DRAM", klass="DRAM",
+                          attributes={"bandwidth": 128})
+_DEFAULT_COMPUTE = Component(name="ALU", klass="Compute",
+                             attributes={"type": "mul"})
+
+
+@dataclass
+class EinsumModel:
+    """All component models active for one Einsum."""
+
+    name: str
+    config: Optional[str]
+    topology: Optional[Topology]
+    dram: DramModel
+    buffers: List = field(default_factory=list)  # Buffet/Cache models
+    intersects: Dict[str, IntersectModel] = field(default_factory=dict)
+    computes: Dict[str, ComputeModel] = field(default_factory=dict)
+    mergers: Dict[str, MergerModel] = field(default_factory=dict)
+    sequencers: Dict[str, SequencerModel] = field(default_factory=dict)
+    routes: Dict[str, list] = field(default_factory=dict)  # tensor -> bindings
+
+    @property
+    def clock_hz(self) -> float:
+        return self.topology.clock_hz if self.topology else 1e9
+
+    def all_models(self) -> list:
+        return (
+            [self.dram]
+            + self.buffers
+            + list(self.intersects.values())
+            + list(self.computes.values())
+            + list(self.mergers.values())
+            + list(self.sequencers.values())
+        )
+
+    def action_counts(self) -> Dict[str, float]:
+        counts: Counter = Counter()
+        for model in self.all_models():
+            for action, n in model.action_counts().items():
+                counts[action] += n
+        return dict(counts)
+
+    def component_times(self) -> Dict[str, float]:
+        """Per-component execution time of this Einsum, in seconds."""
+        times: Dict[str, float] = {"DRAM": self.dram.time_seconds()}
+        clock = self.clock_hz
+        for model in self.buffers:
+            name = model.component.name
+            times[name] = times.get(name, 0.0) + model.time_seconds(clock)
+        for group in (self.intersects, self.computes, self.mergers,
+                      self.sequencers):
+            for model in group.values():
+                name = model.component.name
+                times[name] = times.get(name, 0.0) + model.time_seconds(clock)
+        return times
+
+
+class ModelSink(TraceSink):
+    """Routes trace events to component models per the binding spec."""
+
+    def __init__(self, spec: AcceleratorSpec, env: Dict[str, Tensor]):
+        self.spec = spec
+        self.env = env
+        config_of: Dict[str, str] = {}
+        for binding in spec.binding.einsums.values():
+            for entries in binding.data.values():
+                for entry in entries:
+                    if entry.config:
+                        config_of.setdefault(entry.tensor, entry.config)
+        self.oracle = FootprintOracle(spec.format, config_of)
+        self.einsums: Dict[str, EinsumModel] = {}
+        self.current: Optional[EinsumModel] = None
+        self._stored_cache: Dict[str, Tensor] = {}
+
+    def stored(self, name: str) -> Tensor:
+        """The tensor as stored: swizzled to its mapping rank-order."""
+        if name not in self._stored_cache:
+            t = self.env[name]
+            order = self.spec.mapping.rank_order_of(
+                name, self.spec.einsum.ranks_of(name)
+            )
+            if list(t.rank_ids) != order:
+                t = t.swizzle(order)
+            self._stored_cache[name] = t
+        return self._stored_cache[name]
+
+    # ------------------------------------------------------------------
+    def einsum_begin(self, name: str, ir) -> None:
+        binding = self.spec.binding.for_einsum(name)
+        topo: Optional[Topology] = None
+        if self.spec.architecture.topologies:
+            topo = self.spec.architecture.topology(binding.config)
+        drams = topo.of_class("DRAM") if topo else []
+        dram = DramModel(drams[0] if drams else _DEFAULT_DRAM)
+        em = EinsumModel(name=name, config=binding.config, topology=topo,
+                         dram=dram)
+
+        for comp_name, entries in binding.data.items():
+            component = topo.component(comp_name) if topo else None
+            if component is None or component.klass == "DRAM":
+                # Data bound straight to DRAM needs no buffer model; events
+                # fall through to direct traffic accounting.
+                continue
+            for entry in entries:
+                kind = entry.type if entry.type in ("coord", "payload") else "elem"
+                element_bits = self.oracle.access_bits(
+                    entry.tensor, entry.rank, kind
+                )
+                fill_bits = element_bits
+                if (entry.style == "eager" or entry.type == "subtree") and \
+                        entry.tensor in self.env:
+                    fill_bits = self.oracle.subtree_bits_per_element(
+                        self.stored(entry.tensor), entry.rank
+                    )
+                # Subtree/eager bindings cover every rank at-or-below the
+                # bound rank; keys are truncated to the bound rank's depth so
+                # lower-rank touches hit the same buffered entry.
+                key_depth = None
+                declared = self.spec.einsum.declaration.get(entry.tensor)
+                if entry.type == "subtree" or entry.style == "eager":
+                    if entry.rank == "root":
+                        key_depth = 0
+                    elif declared and entry.rank in declared:
+                        key_depth = declared.index(entry.rank) + 1
+                if component.attr("type", "buffet") == "cache":
+                    model = CacheModel(component, entry, dram, element_bits,
+                                       fill_bits, key_depth)
+                else:
+                    model = BuffetModel(component, entry, dram, element_bits,
+                                        fill_bits, key_depth)
+                em.buffers.append(model)
+                em.routes.setdefault(entry.tensor, []).append((entry, model))
+
+        for comp_name, entries in binding.ops.items():
+            component = topo.component(comp_name) if topo else None
+            for entry in entries:
+                if component is None:
+                    continue
+                if component.klass == "Intersection":
+                    em.intersects[comp_name] = IntersectModel(component)
+                elif component.klass == "Merger":
+                    em.mergers[comp_name] = MergerModel(component)
+                elif component.klass == "Sequencer":
+                    em.sequencers[comp_name] = SequencerModel(component)
+                elif component.klass == "Compute":
+                    em.computes.setdefault(entry.op, ComputeModel(component))
+        if not em.computes:
+            em.computes["mul"] = ComputeModel(_DEFAULT_COMPUTE)
+        self.einsums[name] = em
+        self.current = em
+
+    def einsum_end(self, name: str) -> None:
+        em = self.einsums[name]
+        for model in em.buffers:
+            model.finish()
+        self.current = None
+
+    # ------------------------------------------------------------------
+    def _route(self, tensor: str, rank: str, kind: str):
+        em = self.current
+        declared = self.spec.einsum.declaration.get(tensor)
+        for entry, model in em.routes.get(tensor, ()):  # in binding order
+            if entry.type == "subtree" or entry.style == "eager":
+                if entry.rank == "root":
+                    return model
+                if declared and rank in declared and entry.rank in declared:
+                    if declared.index(rank) >= declared.index(entry.rank):
+                        return model
+                continue
+            if entry.rank not in (rank, "root"):
+                continue
+            if entry.type == "elem" or entry.type == kind:
+                return model
+        return None
+
+    def read(self, tensor, rank, kind, key, ctx) -> None:
+        em = self.current
+        if em is None:
+            return
+        model = self._route(tensor, rank, kind)
+        if model is None:
+            em.dram.read(tensor, self.oracle.access_bits(tensor, rank, kind))
+        else:
+            model.access_read((rank, key), ctx)
+
+    def write(self, tensor, rank, kind, key, ctx) -> None:
+        em = self.current
+        if em is None:
+            return
+        model = self._route(tensor, rank, kind)
+        if model is None:
+            em.dram.write(tensor, self.oracle.access_bits(tensor, rank, kind))
+        else:
+            model.access_write((rank, key), ctx)
+
+    def isect(self, rank, visited, matched) -> None:
+        em = self.current
+        if em is None or not em.intersects:
+            # Co-iteration without a bound intersection unit is not priced
+            # (e.g. Gamma's second Einsum, where T was built from A's
+            # nonzeros and the co-iteration is an identity).
+            return
+        for model in em.intersects.values():
+            model.isect(visited, matched)
+            break
+
+    def compute(self, op, n, time_stamp, space_stamp) -> None:
+        em = self.current
+        if em is None:
+            return
+        model = em.computes.get(op)
+        if model is None:
+            model = next(iter(em.computes.values()))
+        model.compute(n, time_stamp, space_stamp)
+        for seq in em.sequencers.values():
+            seq.compute(n)
+
+    def swizzle(self, tensor, n, side) -> None:
+        em = self.current
+        if em is None or not em.mergers:
+            return  # unbound swizzles are free (offline or unpriced)
+        for model in em.mergers.values():
+            if model.component.name in self.spec.binding.for_einsum(
+                em.name
+            ).ops:
+                model.swizzle(n)
+                break
+
+
+# ----------------------------------------------------------------------
+# Fusion and bottleneck analysis (paper section 4.3)
+# ----------------------------------------------------------------------
+def fuse_blocks(spec: AcceleratorSpec, sink: ModelSink) -> List[List[str]]:
+    """Greedy fusion of consecutive Einsums into blocks.
+
+    Two consecutive Einsums fuse when (1) they use the same accelerator
+    configuration, (2) the temporal ranks before the first spatial rank
+    agree, and (3) their non-storage components are disjoint.
+    """
+    names = [e.name for e in spec.einsum.cascade]
+    blocks: List[List[str]] = []
+    for name in names:
+        if not blocks:
+            blocks.append([name])
+            continue
+        prev = blocks[-1][-1]
+        if _can_fuse(spec, sink, prev, name):
+            blocks[-1].append(name)
+        else:
+            blocks.append([name])
+    return blocks
+
+
+def _temporal_prefix(spec: AcceleratorSpec, name: str) -> List[str]:
+    mapping = spec.mapping.for_einsum(name)
+    prefix = []
+    space = set(mapping.space_ranks)
+    for rank in mapping.loop_order:
+        if rank in space:
+            break
+        prefix.append(rank)
+    return prefix
+
+
+def _can_fuse(spec, sink, a: str, b: str) -> bool:
+    ba = spec.binding.for_einsum(a)
+    bb = spec.binding.for_einsum(b)
+    if ba.config != bb.config:
+        return False
+    if _temporal_prefix(spec, a) != _temporal_prefix(spec, b):
+        return False
+    ops_a = set(ba.ops)
+    ops_b = set(bb.ops)
+    return not (ops_a & ops_b)
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class EvaluationResult:
+    """Traffic, execution time, and energy of one cascade evaluation."""
+
+    spec: AcceleratorSpec
+    einsums: Dict[str, EinsumModel]
+    blocks: List[List[str]]
+    env: Dict[str, Tensor]
+    oracle: FootprintOracle
+    energy_model: EnergyModel
+
+    @property
+    def spec_name(self) -> str:
+        return self.spec.name
+
+    # ---- traffic ------------------------------------------------------
+    @property
+    def traffic(self) -> Traffic:
+        total = Traffic()
+        for em in self.einsums.values():
+            for tensor, bits in em.dram.traffic.read_bits.items():
+                total.read(tensor, bits)
+            for tensor, bits in em.dram.traffic.write_bits.items():
+                total.write(tensor, bits)
+        return total
+
+    def traffic_bytes(self, tensor: Optional[str] = None) -> float:
+        t = self.traffic
+        if tensor is None:
+            return t.total_bits / 8
+        return t.tensor_bits(tensor) / 8
+
+    def partial_output_fills(self) -> int:
+        return sum(
+            getattr(m, "partial_output_fills", 0)
+            for em in self.einsums.values()
+            for m in em.buffers
+        )
+
+    def algorithmic_minimum_bytes(self) -> float:
+        """Each cascade input read once plus each final output written once."""
+        cascade = self.spec.einsum.cascade
+        inputs = {t: self._stored(t) for t in cascade.inputs if t in self.env}
+        outputs = {t: self._stored(t) for t in cascade.outputs
+                   if t in self.env}
+        return algorithmic_minimum_bits(self.oracle, inputs, outputs) / 8
+
+    def _stored(self, name: str) -> Tensor:
+        t = self.env[name]
+        order = self.spec.mapping.rank_order_of(
+            name, self.spec.einsum.ranks_of(name)
+        )
+        if list(t.rank_ids) != order:
+            t = t.swizzle(order)
+        return t
+
+    def normalized_traffic(self) -> float:
+        minimum = self.algorithmic_minimum_bytes()
+        if minimum == 0:
+            return 0.0
+        return self.traffic_bytes() / minimum
+
+    # ---- timing -------------------------------------------------------
+    def block_times(self) -> List[Dict[str, float]]:
+        """Per-block component times (seconds), summed within each block."""
+        out = []
+        for block in self.blocks:
+            combined: Dict[str, float] = {}
+            for name in block:
+                for comp, t in self.einsums[name].component_times().items():
+                    combined[comp] = combined.get(comp, 0.0) + t
+            out.append(combined)
+        return out
+
+    def block_bottlenecks(self) -> List[tuple]:
+        """(component, seconds) of the slowest component per block."""
+        out = []
+        for times in self.block_times():
+            name = max(times, key=times.get)
+            out.append((name, times[name]))
+        return out
+
+    @property
+    def exec_seconds(self) -> float:
+        """Cascade execution time: sum over blocks of the bottleneck time."""
+        return sum(t for _, t in self.block_bottlenecks())
+
+    @property
+    def exec_cycles(self) -> float:
+        clocks = [em.clock_hz for em in self.einsums.values()]
+        clock = clocks[0] if clocks else 1e9
+        return self.exec_seconds * clock
+
+    # ---- energy -------------------------------------------------------
+    def action_counts(self) -> Dict[str, float]:
+        counts: Counter = Counter()
+        for em in self.einsums.values():
+            for action, n in em.action_counts().items():
+                counts[action] += n
+        return dict(counts)
+
+    @property
+    def energy_pj(self) -> float:
+        return self.energy_model.energy_pj(self.action_counts())
+
+    @property
+    def energy_mj(self) -> float:
+        return self.energy_pj * 1e-9
+
+    def energy_breakdown_pj(self) -> Dict[str, float]:
+        return self.energy_model.breakdown_pj(self.action_counts())
+
+    # ---- compute ------------------------------------------------------
+    def total_ops(self) -> float:
+        return sum(
+            m.ops for em in self.einsums.values()
+            for m in em.computes.values()
+        )
+
+    def utilization(self) -> float:
+        models = [m for em in self.einsums.values()
+                  for m in em.computes.values()]
+        total_steps = sum(m.serial_steps() for m in models)
+        if not total_steps:
+            return 0.0
+        weighted = sum(m.utilization() * m.serial_steps() for m in models)
+        return weighted / total_steps
+
+
+def evaluate(
+    spec: AcceleratorSpec,
+    tensors: Dict[str, Tensor],
+    opset: OpSet = ARITHMETIC,
+    opsets: Optional[Dict[str, OpSet]] = None,
+    shapes: Optional[Dict[str, int]] = None,
+    energy_model: Optional[EnergyModel] = None,
+) -> EvaluationResult:
+    """Run a full TeAAL evaluation: execute + model + reduce."""
+    env: Dict[str, Tensor] = {}
+    sink = ModelSink(spec, env)
+    execute_cascade(spec, tensors, opset=opset, opsets=opsets, sink=sink,
+                    shapes=shapes, env=env)
+    blocks = fuse_blocks(spec, sink)
+    return EvaluationResult(
+        spec=spec,
+        einsums=sink.einsums,
+        blocks=blocks,
+        env=env,
+        oracle=sink.oracle,
+        energy_model=energy_model or EnergyModel(),
+    )

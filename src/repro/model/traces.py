@@ -1,0 +1,112 @@
+"""Trace events emitted by the executor (paper section 4.3, "Trace
+generation").
+
+The executor streams events to a :class:`TraceSink` as it walks the mapped
+loop nest over real fibertrees.  Component models (buffers, caches,
+intersection units, mergers, ...) subscribe to these events and accumulate
+action counts; nothing is materialized globally unless a sink chooses to.
+
+Event vocabulary:
+
+* ``read`` / ``write`` — one coordinate/payload of one tensor rank touched.
+  ``key`` identifies the element (the coordinate path from the root);
+  ``ctx`` is the current loop context (a list of ``(rank, coord)`` pairs,
+  outermost first) — buffets derive their evict windows from it.
+* ``isect`` — one co-iterated fiber group at a rank: how many coordinates
+  each input visited and how many matched.
+* ``compute`` — one effectual arithmetic operation with its spacetime stamp.
+* ``swizzle`` — an inferred rank swizzle of ``n`` elements on an
+  intermediate tensor (consumer- or producer-side); merger components
+  translate these into merge/sort action counts.
+* ``einsum_begin`` / ``einsum_end`` — bracket each Einsum of the cascade.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, List, Optional, Tuple
+
+
+class TraceSink:
+    """Base sink: ignores everything.  Subclass and override what you need."""
+
+    def einsum_begin(self, name: str, ir) -> None:
+        pass
+
+    def einsum_end(self, name: str) -> None:
+        pass
+
+    def read(self, tensor: str, rank: str, kind: str, key, ctx) -> None:
+        pass
+
+    def write(self, tensor: str, rank: str, kind: str, key, ctx) -> None:
+        pass
+
+    def isect(self, rank: str, visited: int, matched: int) -> None:
+        pass
+
+    def compute(self, op: str, n: int, time_stamp, space_stamp) -> None:
+        pass
+
+    def swizzle(self, tensor: str, n: int, side: str) -> None:
+        pass
+
+
+class CountingSink(TraceSink):
+    """A sink that tallies everything — handy for tests and quick studies."""
+
+    def __init__(self):
+        self.reads = Counter()  # (einsum, tensor, kind) -> count
+        self.writes = Counter()
+        self.computes = Counter()  # (einsum, op) -> count
+        self.isect_visited = Counter()  # (einsum, rank) -> coords visited
+        self.isect_matched = Counter()
+        self.swizzles = Counter()  # (einsum, tensor, side) -> elements
+        self.time_stamps = {}  # einsum -> dict(time_stamp -> leaf count)
+        self.space_lanes = {}  # einsum -> set of space stamps
+        self._einsum: Optional[str] = None
+
+    def einsum_begin(self, name: str, ir) -> None:
+        self._einsum = name
+        self.time_stamps.setdefault(name, Counter())
+        self.space_lanes.setdefault(name, set())
+
+    def einsum_end(self, name: str) -> None:
+        self._einsum = None
+
+    def read(self, tensor, rank, kind, key, ctx) -> None:
+        self.reads[(self._einsum, tensor, kind)] += 1
+
+    def write(self, tensor, rank, kind, key, ctx) -> None:
+        self.writes[(self._einsum, tensor, kind)] += 1
+
+    def isect(self, rank, visited, matched) -> None:
+        self.isect_visited[(self._einsum, rank)] += visited
+        self.isect_matched[(self._einsum, rank)] += matched
+
+    def compute(self, op, n, time_stamp, space_stamp) -> None:
+        self.computes[(self._einsum, op)] += n
+        self.time_stamps[self._einsum][time_stamp] += n
+        self.space_lanes[self._einsum].add(space_stamp)
+
+    def swizzle(self, tensor, n, side) -> None:
+        self.swizzles[(self._einsum, tensor, side)] += n
+
+    # Convenience accessors -------------------------------------------
+    def total_reads(self, tensor: str) -> int:
+        return sum(v for (_, t, _), v in self.reads.items() if t == tensor)
+
+    def total_writes(self, tensor: str) -> int:
+        return sum(v for (_, t, _), v in self.writes.items() if t == tensor)
+
+    def total_computes(self, op: Optional[str] = None) -> int:
+        if op is None:
+            return sum(self.computes.values())
+        return sum(v for (_, o), v in self.computes.items() if o == op)
+
+    def serial_steps(self, einsum: str) -> int:
+        """Distinct time stamps seen by an Einsum (its serial step count)."""
+        return len(self.time_stamps.get(einsum, ()))
+
+    def parallel_lanes(self, einsum: str) -> int:
+        return max(1, len(self.space_lanes.get(einsum, ())))

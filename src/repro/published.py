@@ -1,0 +1,120 @@
+"""Published results digitized from the paper's evaluation figures.
+
+Values are read off Figures 9-11 and 13 (the paper provides no tables of
+raw numbers), so they carry digitization error of a few percent; they are
+the "Reported" series every benchmark prints next to this reproduction's
+measured values.  Keys follow Table 4's dataset abbreviations.
+
+Memory-traffic entries are normalized to the algorithmic minimum exactly
+as the paper plots them; speedups are relative to the baseline named in
+the figure caption.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------
+# Figure 9: memory traffic normalized to the algorithmic minimum
+# (Reported = original publication, TeAAL error averaged 3.8%).
+# ---------------------------------------------------------------------
+FIG9A_EXTENSOR_TRAFFIC = {
+    "wi": 2.6, "p2": 4.6, "ca": 2.6, "po": 1.9, "em": 2.4,
+}
+# The single outlier the paper discusses: TeAAL over-estimates p2 due to a
+# different eager-loading policy.
+FIG9A_EXTENSOR_TRAFFIC_TEAAL = {
+    "wi": 2.6, "p2": 5.9, "ca": 2.7, "po": 1.9, "em": 2.6,
+}
+
+FIG9B_GAMMA_TRAFFIC = {
+    "wi": 1.10, "p2": 1.22, "ca": 1.12, "po": 1.06, "em": 1.09,
+}
+
+FIG9C_OUTERSPACE_TRAFFIC = {
+    "wi": 4.2, "p2": 6.5, "ca": 4.3, "po": 3.1, "em": 3.9,
+}
+
+# ---------------------------------------------------------------------
+# Figure 10a/10b: speedup over Intel MKL.  TeAAL error: 9.0% (ExTensor)
+# and 6.6% (Gamma); Sparseloop error on ExTensor: 187% on average.
+# ---------------------------------------------------------------------
+FIG10A_EXTENSOR_SPEEDUP = {
+    "wi": 3.2, "p2": 1.3, "ca": 3.0, "po": 10.9, "em": 3.1,
+}
+FIG10A_SPARSELOOP_SPEEDUP = {
+    "wi": 9.1, "p2": float("nan"), "ca": 8.2, "po": 6.5, "em": 8.8,
+}
+
+FIG10B_GAMMA_SPEEDUP = {
+    "wi": 38.0, "p2": 13.0, "ca": 26.0, "po": 57.0, "em": 31.0,
+}
+
+# ---------------------------------------------------------------------
+# Figure 10c: OuterSPACE execution time (seconds) on uniform-random
+# matrices, dimension/density pairs as labeled in the figure.  TeAAL is
+# consistently ~80% faster than the original simulator with the same
+# trend.
+# ---------------------------------------------------------------------
+FIG10C_OUTERSPACE_POINTS = [
+    # (dimension, density, reported_seconds)
+    (4_986, 8.0e-3, 0.00125),
+    (9_987, 2.0e-3, 0.00104),
+    (19_937, 5.0e-4, 0.00088),
+    (39_888, 1.3e-4, 0.00100),
+    (79_730, 3.1e-5, 0.00130),
+]
+
+# ---------------------------------------------------------------------
+# Figure 10d: SIGMA speedup over a Cloud TPU, workload dims M/N/K with
+# A 80% sparse and B 10% sparse.  TeAAL error: 2.5%.
+# ---------------------------------------------------------------------
+FIG10D_SIGMA_SPEEDUP = {
+    (128, 2048, 4096): 3.0,
+    (320, 3072, 4096): 2.8,
+    (1632, 36548, 1024): 3.1,
+    (2048, 4096, 32): 1.0,
+    (35, 8457, 2560): 10.8,
+    (31999, 1024, 84): 5.9,
+    (84, 1024, 4096): 4.8,
+    (2048, 1, 128): 15.0,
+    (256, 256, 2048): 2.7,
+}
+
+# ---------------------------------------------------------------------
+# Figure 11: ExTensor energy (mJ).  TeAAL error: 7.8%; em over-estimated
+# because the memory traffic is over-estimated there.
+# ---------------------------------------------------------------------
+FIG11_EXTENSOR_ENERGY_MJ = {
+    "wi": 21.0, "p2": 37.0, "ca": 29.0, "po": 49.0, "em": 74.0,
+}
+FIG11_EXTENSOR_ENERGY_MJ_TEAAL = {
+    "wi": 22.0, "p2": 40.0, "ca": 30.0, "po": 47.0, "em": 84.0,
+}
+
+# ---------------------------------------------------------------------
+# Figure 13: vertex-centric accelerators, speedup over Graphicionado.
+# "Our Proposal" averages 1.9x (BFS) and 1.2x (SSSP) over GraphDynS.
+# ---------------------------------------------------------------------
+FIG13A_BFS_SPEEDUP = {
+    "fl": {"graphdyns": 9.0, "proposal": 17.0},
+    "wk": {"graphdyns": 12.0, "proposal": 23.0},
+    "lj": {"graphdyns": 11.0, "proposal": 21.0},
+}
+
+FIG13B_SSSP_SPEEDUP = {
+    "fl": {"graphdyns": 3.5, "proposal": 4.2},
+    "wk": {"graphdyns": 4.5, "proposal": 5.4},
+    "lj": {"graphdyns": 4.0, "proposal": 4.8},
+}
+
+# Paper-reported average improvements of "Our Proposal" over GraphDynS.
+FIG13_PROPOSAL_OVER_GRAPHDYNS = {"bfs": 1.9, "sssp": 1.2}
+
+# Average modeling errors the paper reports in section 7.
+REPORTED_ERRORS = {
+    "memory_traffic": 0.038,
+    "extensor_speedup": 0.090,
+    "gamma_speedup": 0.066,
+    "sigma_speedup": 0.025,
+    "sparseloop_speedup": 1.87,
+    "energy": 0.078,
+}

@@ -1,0 +1,35 @@
+"""The five TeAAL specification levels and the spec loader."""
+
+from .architecture import ArchitectureSpec, Component, Topology
+from .binding import BindingSpec, DataBinding, EinsumBinding, OpBinding
+from .einsum_spec import EinsumSpec
+from .errors import SpecError
+from .format import FormatSpec, RankFormat, TensorFormat
+from .loader import AcceleratorSpec, load_spec
+from .mapping import (
+    EinsumMapping,
+    MappingSpec,
+    PartitionDirective,
+    SpacetimeRank,
+)
+
+__all__ = [
+    "AcceleratorSpec",
+    "ArchitectureSpec",
+    "BindingSpec",
+    "Component",
+    "DataBinding",
+    "EinsumBinding",
+    "EinsumMapping",
+    "EinsumSpec",
+    "FormatSpec",
+    "MappingSpec",
+    "OpBinding",
+    "PartitionDirective",
+    "RankFormat",
+    "SpacetimeRank",
+    "SpecError",
+    "TensorFormat",
+    "Topology",
+    "load_spec",
+]

@@ -1,0 +1,154 @@
+"""The ``architecture`` specification: the accelerator topology as a tree of
+compute and storage units (paper section 4.1.2, Figure 5f, Table 3).
+
+An architecture block may define several named *topologies* (configs), since
+an accelerator such as OuterSPACE reorganizes itself between phases.  Each
+topology is a tree of levels; a level has ``local`` components and child
+``subtree`` levels, and may carry a ``num`` multiplicity (16 PTs of 16 PEs).
+
+Component classes and attributes follow Table 3:
+
+====================  =====================================================
+Component             Attributes
+====================  =====================================================
+``DRAM``              ``bandwidth`` (GB/s)
+``Buffer``            ``type`` (``buffet`` | ``cache``), ``width`` (bits),
+                      ``depth`` (entries), ``bandwidth`` (GB/s)
+``Intersection``      ``type`` (``two-finger`` | ``leader-follower`` |
+                      ``skip-ahead``), ``leader``
+``Merger``            ``inputs``, ``comparator_radix``, ``outputs``,
+                      ``order`` (``fifo`` | ``opt``), ``reduce``
+``Sequencer``         ``num_ranks``
+``Compute``           ``type`` (``mul`` | ``add``)
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .errors import SpecError
+
+COMPONENT_CLASSES = {
+    "DRAM": {"bandwidth"},
+    "Buffer": {"type", "width", "depth", "bandwidth"},
+    "Intersection": {"type", "leader", "throughput"},
+    "Merger": {"inputs", "comparator_radix", "outputs", "order", "reduce"},
+    "Sequencer": {"num_ranks"},
+    "Compute": {"type", "throughput"},
+}
+
+
+@dataclass
+class Component:
+    """One hardware component instance class within a topology.
+
+    ``count`` is the total number of instances: the product of the ``num``
+    multiplicities on the path from the topology root to the component.
+    """
+
+    name: str
+    klass: str
+    attributes: Dict[str, object] = field(default_factory=dict)
+    count: int = 1
+    level: str = ""
+
+    def __post_init__(self):
+        if self.klass not in COMPONENT_CLASSES:
+            raise SpecError(
+                "architecture",
+                f"unknown component class {self.klass!r} for {self.name}; "
+                f"known: {sorted(COMPONENT_CLASSES)}",
+            )
+        unknown = set(self.attributes) - COMPONENT_CLASSES[self.klass]
+        if unknown:
+            raise SpecError(
+                "architecture",
+                f"component {self.name} ({self.klass}) has unknown "
+                f"attributes {sorted(unknown)}",
+            )
+
+    def attr(self, key: str, default=None):
+        return self.attributes.get(key, default)
+
+
+@dataclass
+class Topology:
+    """A flattened topology: all components with instance counts resolved."""
+
+    name: str
+    clock_hz: float
+    components: Dict[str, Component] = field(default_factory=dict)
+
+    def component(self, name: str) -> Component:
+        try:
+            return self.components[name]
+        except KeyError:
+            raise SpecError(
+                "architecture",
+                f"topology {self.name} has no component {name!r}; "
+                f"known: {sorted(self.components)}",
+            ) from None
+
+    def of_class(self, klass: str) -> List[Component]:
+        return [c for c in self.components.values() if c.klass == klass]
+
+
+def _walk_level(level: dict, multiplier: int, path: str, out: Dict[str, Component]):
+    name = str(level.get("name", path or "root"))
+    num = int(level.get("num", 1))
+    total = multiplier * num
+    for comp in level.get("local") or []:
+        component = Component(
+            name=str(comp["name"]),
+            klass=str(comp.get("class", "Buffer")),
+            attributes=dict(comp.get("attributes") or {}),
+            count=total,
+            level=name,
+        )
+        if component.name in out:
+            raise SpecError(
+                "architecture", f"duplicate component name {component.name!r}"
+            )
+        out[component.name] = component
+    for child in level.get("subtree") or []:
+        _walk_level(child, total, name, out)
+
+
+@dataclass
+class ArchitectureSpec:
+    """All topologies of an accelerator."""
+
+    topologies: Dict[str, Topology] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArchitectureSpec":
+        topologies = {}
+        for name, block in (data or {}).items():
+            block = block or {}
+            clock = float(block.get("clock", 1e9))
+            components: Dict[str, Component] = {}
+            for level in block.get("subtree") or []:
+                _walk_level(level, 1, "", components)
+            topologies[str(name)] = Topology(str(name), clock, components)
+        return cls(topologies)
+
+    def topology(self, name: Optional[str] = None) -> Topology:
+        if not self.topologies:
+            raise SpecError("architecture", "no topologies defined")
+        if name is None:
+            if len(self.topologies) == 1:
+                return next(iter(self.topologies.values()))
+            raise SpecError(
+                "architecture",
+                f"multiple topologies {sorted(self.topologies)}; "
+                "bindings must name one",
+            )
+        try:
+            return self.topologies[name]
+        except KeyError:
+            raise SpecError(
+                "architecture",
+                f"no topology {name!r}; known: {sorted(self.topologies)}",
+            ) from None

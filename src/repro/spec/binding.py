@@ -1,0 +1,145 @@
+"""The ``binding`` specification: matching fibertree operations to concrete
+representations and hardware components (paper section 4.1.3, Figure 5e).
+
+Per Einsum, the binding names the architecture topology used and, per
+component, what is bound there:
+
+* storage components (``DRAM``/``Buffer``) bind data slices, identified by
+  ``tensor``, ``rank``, ``type`` (``coord`` | ``payload`` | ``elem`` |
+  ``subtree``), an optional format ``config``, a ``style`` (``lazy`` loads
+  only the element accessed; ``eager`` loads the whole subtree below it on
+  first access), and — for explicitly-managed buffets — ``evict-on``, the
+  loop rank whose change drains the buffer;
+* compute components bind operations: ``{op: mul}``, ``{op: add}``;
+* intersection units bind the rank they co-iterate: ``{rank: K}``;
+* mergers bind the swizzle of an intermediate tensor: ``{tensor: T, op:
+  swizzle}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .errors import SpecError
+
+_DATA_TYPES = ("coord", "payload", "elem", "subtree")
+_STYLES = ("lazy", "eager")
+
+
+@dataclass(frozen=True)
+class DataBinding:
+    """A slice of a tensor bound to a storage component."""
+
+    tensor: str
+    rank: str = "root"
+    type: str = "elem"
+    style: str = "lazy"
+    evict_on: Optional[str] = None
+    config: Optional[str] = None
+    # spill=False marks data that never reaches DRAM (an intermediate that
+    # lives and dies on-chip, e.g. Gamma's T inside its fused block).
+    spill: bool = True
+
+    def __post_init__(self):
+        if self.type not in _DATA_TYPES:
+            raise SpecError(
+                "binding", f"data type must be one of {_DATA_TYPES}, "
+                f"got {self.type!r}"
+            )
+        if self.style not in _STYLES:
+            raise SpecError(
+                "binding", f"style must be one of {_STYLES}, got {self.style!r}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DataBinding":
+        return cls(
+            tensor=str(data["tensor"]),
+            rank=str(data.get("rank", "root")),
+            type=str(data.get("type", "elem")),
+            style=str(data.get("style", "lazy")),
+            evict_on=data.get("evict-on"),
+            config=data.get("config"),
+            spill=bool(data.get("spill", True)),
+        )
+
+
+@dataclass(frozen=True)
+class OpBinding:
+    """An operation bound to a compute / intersection / merger component."""
+
+    op: str  # 'mul' | 'add' | 'intersect' | 'swizzle' | 'sequence'
+    tensor: Optional[str] = None
+    rank: Optional[str] = None
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OpBinding":
+        return cls(
+            op=str(data.get("op", "intersect")),
+            tensor=data.get("tensor"),
+            rank=data.get("rank"),
+        )
+
+
+@dataclass
+class EinsumBinding:
+    """Bindings of one Einsum: a topology name plus per-component bindings."""
+
+    einsum: str
+    config: Optional[str] = None
+    data: Dict[str, List[DataBinding]] = field(default_factory=dict)
+    ops: Dict[str, List[OpBinding]] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, einsum: str, block: dict) -> "EinsumBinding":
+        block = block or {}
+        data: Dict[str, List[DataBinding]] = {}
+        ops: Dict[str, List[OpBinding]] = {}
+        for component, bindings in (block.get("components") or {}).items():
+            for entry in bindings or []:
+                if "tensor" in entry and "op" not in entry:
+                    data.setdefault(str(component), []).append(
+                        DataBinding.from_dict(entry)
+                    )
+                else:
+                    ops.setdefault(str(component), []).append(
+                        OpBinding.from_dict(entry)
+                    )
+        return cls(
+            einsum=einsum,
+            config=block.get("config"),
+            data=data,
+            ops=ops,
+        )
+
+    def bindings_for_tensor(self, tensor: str) -> List[DataBinding]:
+        return [
+            b for entries in self.data.values() for b in entries
+            if b.tensor == tensor
+        ]
+
+    def component_of_op(self, op: str) -> Optional[str]:
+        for component, entries in self.ops.items():
+            if any(e.op == op for e in entries):
+                return component
+        return None
+
+
+@dataclass
+class BindingSpec:
+    """The whole ``binding`` block: einsum -> EinsumBinding."""
+
+    einsums: Dict[str, EinsumBinding] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BindingSpec":
+        return cls(
+            {
+                str(name): EinsumBinding.from_dict(str(name), block)
+                for name, block in (data or {}).items()
+            }
+        )
+
+    def for_einsum(self, name: str) -> EinsumBinding:
+        return self.einsums.get(name) or EinsumBinding(einsum=name)

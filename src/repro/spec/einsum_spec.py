@@ -1,0 +1,128 @@
+"""The ``einsum`` specification: tensor declarations plus the cascade.
+
+Mirrors the top block of paper Figure 3::
+
+    einsum:
+      declaration:
+        A: [K, M]
+        B: [K, N]
+        T: [K, M, N]
+        Z: [M, N]
+      expressions:
+        - T[k, m, n] = A[k, m] * B[k, n]
+        - Z[m, n] = T[k, m, n]
+
+Declarations list each tensor's ranks alphabetically (the paper's
+convention); the mapping's ``rank-order`` chooses the actual fibertree
+level order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..einsum import Cascade, parse_cascade
+from ..einsum.ast import Access, Add, Einsum, IndexExpr, Mul, Take
+from ..fibertree.rankid import rank_of_var
+from .errors import SpecError
+
+
+def _normalize_bare_accesses(cascade: Cascade,
+                             declaration: Dict[str, List[str]]) -> Cascade:
+    """Expand whole-tensor accesses (``P1 = P0``) to explicit indices.
+
+    A bare access means "all declared ranks, in order"; resolving it here
+    lets the rest of the stack assume every access carries indices.
+    """
+
+    def expand_access(acc: Access) -> Access:
+        if acc.indices is not None:
+            return acc
+        ranks = declaration.get(acc.tensor)
+        if ranks is None:
+            raise SpecError(
+                "einsum", f"tensor {acc.tensor} used but not declared"
+            )
+        return Access(
+            acc.tensor, tuple(IndexExpr.var(r.lower()) for r in ranks)
+        )
+
+    def expand(node):
+        if isinstance(node, Access):
+            return expand_access(node)
+        if isinstance(node, Mul):
+            return Mul(tuple(expand(f) for f in node.factors))
+        if isinstance(node, Add):
+            return Add(expand(node.left), expand(node.right), node.negate)
+        if isinstance(node, Take):
+            return Take(tuple(expand_access(a) for a in node.args),
+                        node.which)
+        raise SpecError("einsum", f"unknown expression node {node!r}")
+
+    return Cascade([
+        Einsum(expand_access(e.output), expand(e.expr)) for e in cascade
+    ])
+
+
+@dataclass
+class EinsumSpec:
+    """Validated declaration + cascade."""
+
+    declaration: Dict[str, List[str]]
+    cascade: Cascade
+    # Optional explicit rank shapes (needed only for ranks that cannot be
+    # inferred from input data, e.g. the Q of a convolution output).
+    shapes: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EinsumSpec":
+        if "declaration" not in data:
+            raise SpecError("einsum", "missing 'declaration'")
+        if "expressions" not in data:
+            raise SpecError("einsum", "missing 'expressions'")
+        declaration = {
+            str(t): [str(r) for r in ranks]
+            for t, ranks in data["declaration"].items()
+        }
+        cascade = parse_cascade([str(e) for e in data["expressions"]])
+        shapes = {str(r): int(s) for r, s in data.get("shapes", {}).items()}
+        cascade = _normalize_bare_accesses(cascade, declaration)
+        spec = cls(declaration, cascade, shapes)
+        spec.validate()
+        return spec
+
+    def validate(self) -> None:
+        for einsum in self.cascade:
+            for acc in [einsum.output, *self._expr_accesses(einsum)]:
+                if acc.tensor not in self.declaration:
+                    raise SpecError(
+                        "einsum", f"tensor {acc.tensor} used but not declared"
+                    )
+                declared = self.declaration[acc.tensor]
+                if acc.indices is not None and len(acc.indices) != len(declared):
+                    raise SpecError(
+                        "einsum",
+                        f"access {acc} has {len(acc.indices)} indices but "
+                        f"{acc.tensor} declares ranks {declared}",
+                    )
+
+    @staticmethod
+    def _expr_accesses(einsum):
+        from ..einsum.ast import accesses
+
+        return list(accesses(einsum.expr))
+
+    def ranks_of(self, tensor: str) -> List[str]:
+        try:
+            return list(self.declaration[tensor])
+        except KeyError:
+            raise SpecError("einsum", f"unknown tensor {tensor!r}") from None
+
+    def einsum_ranks(self, name: str) -> List[str]:
+        """All iteration-space ranks of one Einsum (upper-cased variables)."""
+        return [rank_of_var(v) for v in self.cascade[name].all_vars]
+
+    @property
+    def tensors(self) -> List[str]:
+        return list(self.declaration)

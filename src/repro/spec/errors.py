@@ -1,0 +1,9 @@
+"""Spec validation errors."""
+
+
+class SpecError(ValueError):
+    """A TeAAL specification is malformed or internally inconsistent."""
+
+    def __init__(self, section: str, message: str):
+        self.section = section
+        super().__init__(f"[{section}] {message}")

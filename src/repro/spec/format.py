@@ -1,0 +1,145 @@
+"""The ``format`` specification: lowering fibertrees to concrete
+representations (paper section 4.1.1, Figure 5b).
+
+Each tensor may carry several named format *configurations* (the
+representation can change as the computation manipulates the fibertree).
+Within a configuration, each rank specifies:
+
+* ``format`` — ``U`` (uncompressed: data arrays sized by the fiber shape),
+  ``C`` (compressed: sized by occupancy), or ``B`` (uncompressed coordinates
+  with compressed payloads);
+* ``cbits`` / ``pbits`` / ``fhbits`` — data widths of coordinates, payloads,
+  and fiber headers (0 or omitted = not stored explicitly);
+* ``layout`` — ``contiguous`` (struct-of-arrays) or ``interleaved``
+  (array-of-structs, e.g. OuterSPACE's linked-list elements).
+
+Common formats expressed in this scheme:
+
+* CSR: top rank ``U`` with ``pbits`` = offset width; bottom rank ``C`` with
+  ``cbits`` = column-id width, ``pbits`` = value width.
+* COO: every rank ``C`` with both ``cbits`` and ``pbits``.
+* Bitmap (SIGMA): rank ``B`` with ``cbits: 1``.
+* OuterSPACE linked lists: ``U`` pointer array over interleaved ``C`` fibers
+  with ``fhbits`` next-pointers (Figure 5c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .errors import SpecError
+
+_FORMAT_TYPES = ("U", "C", "B")
+_LAYOUTS = ("contiguous", "interleaved")
+
+
+@dataclass(frozen=True)
+class RankFormat:
+    """Concrete representation of all fibers in one rank."""
+
+    format: str = "C"
+    cbits: int = 32
+    pbits: int = 64
+    fhbits: int = 0
+    layout: str = "contiguous"
+
+    def __post_init__(self):
+        if self.format not in _FORMAT_TYPES:
+            raise SpecError(
+                "format", f"format type must be one of {_FORMAT_TYPES}, "
+                f"got {self.format!r}"
+            )
+        if self.layout not in _LAYOUTS:
+            raise SpecError(
+                "format", f"layout must be one of {_LAYOUTS}, got {self.layout!r}"
+            )
+        for attr in ("cbits", "pbits", "fhbits"):
+            if getattr(self, attr) < 0:
+                raise SpecError("format", f"{attr} must be non-negative")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RankFormat":
+        known = {"format", "cbits", "pbits", "fhbits", "layout"}
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError("format", f"unknown rank-format keys {sorted(unknown)}")
+        return cls(
+            format=str(data.get("format", "C")),
+            cbits=int(data.get("cbits", 0)),
+            pbits=int(data.get("pbits", 0)),
+            fhbits=int(data.get("fhbits", 0)),
+            layout=str(data.get("layout", "contiguous")),
+        )
+
+    def coord_footprint_bits(self) -> int:
+        """Bits moved when one coordinate of this rank is accessed."""
+        return self.cbits
+
+    def payload_footprint_bits(self) -> int:
+        """Bits moved when one payload of this rank is accessed."""
+        return self.pbits
+
+    def element_footprint_bits(self) -> int:
+        """Bits of one (coordinate, payload) element."""
+        return self.cbits + self.pbits
+
+
+@dataclass
+class TensorFormat:
+    """Named format configurations for one tensor: config -> rank -> format."""
+
+    tensor: str
+    configs: Dict[str, Dict[str, RankFormat]] = field(default_factory=dict)
+
+    def rank_format(self, rank: str, config: Optional[str] = None) -> RankFormat:
+        cfg = self._config(config)
+        if rank not in cfg:
+            return RankFormat()
+        return cfg[rank]
+
+    def _config(self, config: Optional[str]) -> Dict[str, RankFormat]:
+        if not self.configs:
+            return {}
+        if config is None:
+            if len(self.configs) == 1:
+                return next(iter(self.configs.values()))
+            raise SpecError(
+                "format",
+                f"tensor {self.tensor} has configs {sorted(self.configs)}; "
+                "bindings must name one",
+            )
+        if config not in self.configs:
+            raise SpecError(
+                "format", f"tensor {self.tensor} has no config {config!r}"
+            )
+        return self.configs[config]
+
+
+@dataclass
+class FormatSpec:
+    """The whole ``format`` block: tensor -> TensorFormat."""
+
+    tensors: Dict[str, TensorFormat] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FormatSpec":
+        tensors = {}
+        for tensor, configs in (data or {}).items():
+            parsed: Dict[str, Dict[str, RankFormat]] = {}
+            for config, ranks in configs.items():
+                parsed[str(config)] = {
+                    str(rank): RankFormat.from_dict(fmt or {})
+                    for rank, fmt in (ranks or {}).items()
+                }
+            tensors[str(tensor)] = TensorFormat(str(tensor), parsed)
+        return cls(tensors)
+
+    def for_tensor(self, tensor: str) -> TensorFormat:
+        """Format of a tensor (an all-default format when unspecified)."""
+        return self.tensors.get(tensor) or TensorFormat(tensor)
+
+    def rank_format(
+        self, tensor: str, rank: str, config: Optional[str] = None
+    ) -> RankFormat:
+        return self.for_tensor(tensor).rank_format(rank, config)

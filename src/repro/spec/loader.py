@@ -1,0 +1,125 @@
+"""Loading complete accelerator specifications.
+
+An :class:`AcceleratorSpec` bundles the five TeAAL specification levels
+(paper Figure 7, top to bottom of the pyramid):
+
+1. ``einsum``       — the cascade of Einsums (most concise),
+2. ``mapping``      — rank orders, partitioning, loop orders, spacetime,
+3. ``format``       — concrete per-rank representations,
+4. ``architecture`` — hardware topologies,
+5. ``binding``      — data/ops bound to components (finest grain).
+
+Specs are written as YAML (matching the paper's concrete syntax) or built
+from dicts.  ``params`` binds symbolic partition sizes (ExTensor's
+``uniform_shape(K1)``) to numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import yaml
+
+from .architecture import ArchitectureSpec
+from .binding import BindingSpec
+from .einsum_spec import EinsumSpec
+from .errors import SpecError
+from .format import FormatSpec
+from .mapping import MappingSpec
+
+
+@dataclass
+class AcceleratorSpec:
+    """A complete, validated accelerator description."""
+
+    einsum: EinsumSpec
+    mapping: MappingSpec
+    format: FormatSpec = field(default_factory=FormatSpec)
+    architecture: ArchitectureSpec = field(default_factory=ArchitectureSpec)
+    binding: BindingSpec = field(default_factory=BindingSpec)
+    params: Dict[str, int] = field(default_factory=dict)
+    name: str = "accelerator"
+
+    @classmethod
+    def from_dict(cls, data: dict, name: str = "accelerator") -> "AcceleratorSpec":
+        if "einsum" not in data:
+            raise SpecError("spec", "missing top-level 'einsum' block")
+        spec = cls(
+            einsum=EinsumSpec.from_dict(data["einsum"]),
+            mapping=MappingSpec.from_dict(data.get("mapping") or {}),
+            format=FormatSpec.from_dict(data.get("format") or {}),
+            architecture=ArchitectureSpec.from_dict(data.get("architecture") or {}),
+            binding=BindingSpec.from_dict(data.get("binding") or {}),
+            params={str(k): int(v) for k, v in (data.get("params") or {}).items()},
+            name=name,
+        )
+        spec.validate()
+        return spec
+
+    @classmethod
+    def from_yaml(cls, text: str, name: str = "accelerator") -> "AcceleratorSpec":
+        data = yaml.safe_load(text)
+        if not isinstance(data, dict):
+            raise SpecError("spec", "top level of a spec must be a mapping")
+        return cls.from_dict(data, name)
+
+    def validate(self) -> None:
+        declared = set(self.einsum.declaration)
+        for tensor in self.mapping.rank_order:
+            if tensor not in declared:
+                raise SpecError(
+                    "mapping", f"rank-order given for undeclared tensor {tensor!r}"
+                )
+        for tensor, order in self.mapping.rank_order.items():
+            if sorted(order) != sorted(self.einsum.declaration[tensor]):
+                raise SpecError(
+                    "mapping",
+                    f"rank-order {order} of {tensor} is not a permutation of "
+                    f"declared ranks {self.einsum.declaration[tensor]}",
+                )
+        produced = set(self.einsum.cascade.produced)
+        for name in self.mapping.einsums:
+            if name not in produced:
+                raise SpecError(
+                    "mapping", f"mapping given for unknown Einsum {name!r}"
+                )
+        for name, binding in self.binding.einsums.items():
+            if name not in produced:
+                raise SpecError(
+                    "binding", f"binding given for unknown Einsum {name!r}"
+                )
+            if binding.config is not None:
+                self.architecture.topology(binding.config)
+
+    def param(self, name: str, default: Optional[int] = None) -> int:
+        if name in self.params:
+            return self.params[name]
+        if default is not None:
+            return default
+        raise SpecError("spec", f"missing parameter {name!r}")
+
+    def with_params(self, **params: int) -> "AcceleratorSpec":
+        """Copy of this spec with additional/overridden parameters."""
+        merged = dict(self.params)
+        merged.update({k: int(v) for k, v in params.items()})
+        return AcceleratorSpec(
+            einsum=self.einsum,
+            mapping=self.mapping,
+            format=self.format,
+            architecture=self.architecture,
+            binding=self.binding,
+            params=merged,
+            name=self.name,
+        )
+
+
+def load_spec(source, name: str = "accelerator") -> AcceleratorSpec:
+    """Load a spec from YAML text or a dict."""
+    if isinstance(source, AcceleratorSpec):
+        return source
+    if isinstance(source, str):
+        return AcceleratorSpec.from_yaml(source, name)
+    if isinstance(source, dict):
+        return AcceleratorSpec.from_dict(source, name)
+    raise TypeError(f"cannot load a spec from {type(source).__name__}")

@@ -1,0 +1,32 @@
+"""Workload generators: synthetic matrices, Table 4 stand-ins, graphs."""
+
+from .datasets import (
+    GRAPH_SET,
+    TABLE4,
+    VALIDATION_SET,
+    Dataset,
+    load,
+    spmspm_pair,
+)
+from .graphs import (
+    adjacency_from_dataset,
+    adjacency_from_networkx,
+    random_graph,
+    reachable_source,
+)
+from .synthetic import power_law, uniform_random
+
+__all__ = [
+    "Dataset",
+    "GRAPH_SET",
+    "TABLE4",
+    "VALIDATION_SET",
+    "adjacency_from_dataset",
+    "adjacency_from_networkx",
+    "load",
+    "power_law",
+    "random_graph",
+    "reachable_source",
+    "spmspm_pair",
+    "uniform_random",
+]

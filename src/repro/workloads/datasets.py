@@ -1,0 +1,109 @@
+"""Table 4 stand-ins: deterministic synthetic matrices with the character
+of the paper's SuiteSparse/SNAP datasets.
+
+The real matrices (wiki-Vote ... soc-LiveJournal1) are not available
+offline and are far too large for a pure-Python trace-driven simulator, so
+each dataset here keeps the original's *shape ratio* and density character
+(power-law for the web/social graphs, near-uniform for poisson3Da) at a
+documented ``scale`` factor.  ``Dataset.paper_*`` fields record the
+original characteristics for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..fibertree import Tensor
+from .synthetic import power_law, uniform_random
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """One Table 4 row plus the stand-in generation recipe."""
+
+    key: str
+    full_name: str
+    domain: str
+    paper_shape: Tuple[int, int]
+    paper_nnz: int
+    kind: str  # 'power-law' | 'uniform'
+    scale: float  # linear shrink factor applied to the paper shape
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        rows = max(16, int(self.paper_shape[0] * self.scale))
+        cols = max(16, int(self.paper_shape[1] * self.scale))
+        return rows, cols
+
+    @property
+    def nnz(self) -> int:
+        # Keep the average nonzeros-per-row of the original.
+        per_row = self.paper_nnz / self.paper_shape[0]
+        return max(32, int(self.shape[0] * per_row))
+
+    def matrix(self, name: str = "A", rank_ids=("M", "K"), seed: int = 0) -> Tensor:
+        if self.kind == "uniform":
+            rows, cols = self.shape
+            density = self.nnz / (rows * cols)
+            return uniform_random(name, list(rank_ids), self.shape, density,
+                                  seed=seed + _stable_seed(self.key))
+        return power_law(name, list(rank_ids), self.shape, self.nnz,
+                         seed=seed + _stable_seed(self.key))
+
+
+def _stable_seed(key: str) -> int:
+    return sum(ord(c) * (i + 1) for i, c in enumerate(key)) % 100003
+
+
+# Validation-study matrices (Figures 9-11), scaled ~1/40th linear.
+VALIDATION_SCALE = 1.0 / 40.0
+# Graph-study matrices (Figure 13), scaled harder — they are much larger.
+GRAPH_SCALE = 1.0 / 400.0
+
+TABLE4: Dict[str, Dataset] = {
+    "wi": Dataset("wi", "wiki-Vote", "elections", (8_300, 8_300), 104_000,
+                  "power-law", VALIDATION_SCALE),
+    "p2": Dataset("p2", "p2p-Gnutella31", "file-sharing", (63_000, 63_000),
+                  148_000, "power-law", VALIDATION_SCALE),
+    "ca": Dataset("ca", "ca-CondMat", "collab. net.", (23_000, 23_000),
+                  187_000, "power-law", VALIDATION_SCALE),
+    "po": Dataset("po", "poisson3Da", "fluid dynamics", (14_000, 23_000),
+                  353_000, "uniform", VALIDATION_SCALE),
+    "em": Dataset("em", "email-Enron", "email comms.", (37_000, 37_000),
+                  368_000, "power-law", VALIDATION_SCALE),
+    "fl": Dataset("fl", "flickr", "site crawl graph", (820_000, 820_000),
+                  9_800_000, "power-law", GRAPH_SCALE),
+    "wk": Dataset("wk", "wikipedia-20070206", "site link graph",
+                  (3_600_000, 3_600_000), 42_000_000, "power-law",
+                  GRAPH_SCALE / 4),
+    "lj": Dataset("lj", "soc-LiveJournal1", "follower graph",
+                  (4_800_000, 4_800_000), 69_000_000, "power-law",
+                  GRAPH_SCALE / 4),
+}
+
+VALIDATION_SET = ["wi", "p2", "ca", "po", "em"]
+GRAPH_SET = ["fl", "wk", "lj"]
+
+
+def load(key: str, name: str = "A", rank_ids=("M", "K"), seed: int = 0) -> Tensor:
+    """Load a Table 4 stand-in matrix by its two-letter key."""
+    try:
+        ds = TABLE4[key]
+    except KeyError:
+        raise KeyError(f"unknown dataset {key!r}; known: {sorted(TABLE4)}") \
+            from None
+    return ds.matrix(name=name, rank_ids=rank_ids, seed=seed)
+
+
+def spmspm_pair(key: str, seed: int = 0):
+    """A (A, B) pair for SpMSpM in [K, M] / [K, N] declared orders.
+
+    Following the papers' methodology, B = A (squaring the matrix), with A
+    in [K, M] order so that both operands derive from the same dataset.
+    """
+    ds = TABLE4[key]
+    a = ds.matrix(name="A", rank_ids=("K", "M"), seed=seed)
+    b = a.copy(name="B")
+    b.rank_ids = ["K", "N"]
+    return a, b

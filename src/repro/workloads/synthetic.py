@@ -1,0 +1,94 @@
+"""Synthetic sparse tensor generators.
+
+Two families, matching the paper's evaluation (section 6):
+
+* uniform-random matrices of a target density (used by Figures 10c/10d);
+* power-law (preferential-attachment-like) matrices that mimic the skewed
+  degree distributions of the SuiteSparse/SNAP graphs in Table 4.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..fibertree import Tensor
+
+
+def uniform_random(
+    name: str,
+    rank_ids,
+    shape: Tuple[int, int],
+    density: float,
+    seed: int = 0,
+    values: str = "uniform",
+) -> Tensor:
+    """A matrix with iid Bernoulli(density) occupancy."""
+    rng = np.random.default_rng(seed)
+    rows, cols = shape
+    nnz_target = int(round(rows * cols * density))
+    return _from_sampled_points(name, rank_ids, shape, nnz_target, rng,
+                                values, power_law=False)
+
+
+def power_law(
+    name: str,
+    rank_ids,
+    shape: Tuple[int, int],
+    nnz: int,
+    seed: int = 0,
+    alpha: float = 1.1,
+    values: str = "uniform",
+) -> Tensor:
+    """A matrix whose row/column selection follows a Zipf-like law.
+
+    Mimics the heavy-tailed structure of web/social graphs: a few dense
+    rows, many near-empty ones — exactly the irregularity that breaks
+    analytical sparsity models (paper section 7).
+    """
+    rng = np.random.default_rng(seed)
+    return _from_sampled_points(name, rank_ids, shape, nnz, rng, values,
+                                power_law=True, alpha=alpha)
+
+
+def _from_sampled_points(name, rank_ids, shape, nnz_target, rng, values,
+                         power_law, alpha=1.1):
+    rows, cols = shape
+    if nnz_target <= 0:
+        return Tensor.empty(name, rank_ids, shape=list(shape))
+    oversample = int(nnz_target * 1.6) + 16
+    if power_law:
+        r = _zipf_indices(rng, rows, oversample, alpha)
+        c = _zipf_indices(rng, cols, oversample, alpha)
+        # Decorrelate rows/columns while keeping marginals heavy-tailed.
+        rng.shuffle(c)
+    else:
+        r = rng.integers(0, rows, size=oversample)
+        c = rng.integers(0, cols, size=oversample)
+    points = np.unique(np.stack([r, c], axis=1), axis=0)
+    if len(points) > nnz_target:
+        idx = rng.choice(len(points), size=nnz_target, replace=False)
+        points = points[idx]
+    if values == "ones":
+        vals = np.ones(len(points))
+    else:
+        vals = rng.uniform(0.5, 1.5, size=len(points))
+    return Tensor.from_coo(
+        name,
+        rank_ids,
+        (((int(a), int(b)), float(v)) for (a, b), v in zip(points, vals)),
+        shape=list(shape),
+    )
+
+
+def _zipf_indices(rng, n, count, alpha):
+    """``count`` indices in [0, n) with a Zipf(alpha) frequency profile."""
+    weights = 1.0 / np.power(np.arange(1, n + 1), alpha)
+    weights /= weights.sum()
+    idx = rng.choice(n, size=count, p=weights)
+    # Randomize which logical index is "popular".
+    perm = rng.permutation(n)
+    return perm[idx]

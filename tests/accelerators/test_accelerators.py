@@ -1,0 +1,150 @@
+"""Integration tests: the four modeled accelerators produce correct results
+and the qualitative behaviors the paper reports."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators import TABLE2_CASCADES, TABLE5, accelerator
+from repro.fibertree import tensor_to_dense
+from repro.model import evaluate
+from repro.workloads import spmspm_pair, uniform_random
+
+SCALED = {
+    "gamma": dict(pe_rows=16, merge_way=16),
+    "outerspace": dict(mult_outer=64, mult_inner=8, merge_outer=32,
+                       merge_inner=4),
+    "extensor": dict(k1=16, k0=8, m1=16, m0=8, n1=16, n0=8),
+    "sigma": dict(k_tile=64, pe_array=512),
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    a = uniform_random("A", ["K", "M"], (60, 50), 0.08, seed=11)
+    b = uniform_random("B", ["K", "N"], (60, 55), 0.08, seed=12)
+    from repro.fibertree import tensor_to_dense as dense
+
+    expected = dense(a, shape=[60, 50]).T @ dense(b, shape=[60, 55])
+    return a, b, expected
+
+
+@pytest.fixture(scope="module")
+def results(workload):
+    a, b, expected = workload
+    out = {}
+    for name, params in SCALED.items():
+        out[name] = evaluate(accelerator(name, **params),
+                             {"A": a.copy(), "B": b.copy()})
+    return out
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("name", sorted(SCALED))
+    def test_matches_dense_reference(self, results, workload, name):
+        _, _, expected = workload
+        z = tensor_to_dense(results[name].env["Z"], shape=expected.shape)
+        np.testing.assert_allclose(z, expected)
+
+    def test_all_accelerators_agree(self, results):
+        zs = [res.env["Z"].points() for res in results.values()]
+        for other in zs[1:]:
+            assert {k: pytest.approx(v) for k, v in other.items()} == zs[0]
+
+
+class TestQualitativeBehaviors:
+    def test_gamma_t_never_reaches_dram(self, results):
+        assert results["gamma"].traffic_bytes("T") == 0
+
+    def test_gamma_einsums_fuse(self, results):
+        assert results["gamma"].blocks == [["T", "Z"]]
+
+    def test_outerspace_phases_do_not_fuse(self, results):
+        assert results["outerspace"].blocks == [["T"], ["Z"]]
+
+    def test_outerspace_t_traffic_dominates(self, results):
+        res = results["outerspace"]
+        t = res.traffic_bytes("T")
+        assert t > res.traffic_bytes("A")
+        assert t > res.traffic_bytes("B")
+
+    def test_outerspace_t_written_and_read(self, results):
+        traffic = results["outerspace"].traffic
+        assert traffic.read_bits["T"] > 0
+        assert traffic.write_bits["T"] > 0
+
+    def test_extensor_has_partial_output_traffic(self, results):
+        assert results["extensor"].partial_output_fills() > 0
+
+    def test_sigma_near_minimum_traffic(self, results):
+        assert results["sigma"].normalized_traffic() < 2.0
+
+    def test_gamma_near_minimum_traffic(self, results):
+        assert results["gamma"].normalized_traffic() < 2.0
+
+    def test_outerspace_traffic_above_others(self, results):
+        assert (
+            results["outerspace"].normalized_traffic()
+            > results["gamma"].normalized_traffic()
+        )
+
+    def test_traffic_at_least_compulsory(self, results):
+        # Inputs must be read at least once each.
+        for name, res in results.items():
+            for tensor in ("A", "B"):
+                stored = res.env[tensor]
+                assert res.traffic_bytes(tensor) > 0, (name, tensor)
+
+
+class TestTiming:
+    def test_positive_execution_time(self, results):
+        for name, res in results.items():
+            assert res.exec_seconds > 0, name
+
+    def test_bottleneck_per_block(self, results):
+        for res in results.values():
+            assert len(res.block_bottlenecks()) == len(res.blocks)
+
+    def test_energy_positive_and_dram_dominated_for_outerspace(self, results):
+        res = results["outerspace"]
+        breakdown = res.energy_breakdown_pj()
+        dram = breakdown.get("dram_read_bits", 0) + breakdown.get(
+            "dram_write_bits", 0
+        )
+        assert dram > 0.3 * res.energy_pj
+
+
+class TestOnRealisticData:
+    def test_gamma_on_wiki_vote_standin(self):
+        a, b = spmspm_pair("wi")
+        res = evaluate(accelerator("gamma"), {"A": a, "B": b})
+        assert res.env["Z"].nnz > 0
+        assert 0.5 < res.normalized_traffic() < 3.0
+
+
+class TestTable5:
+    def test_all_entries_present(self):
+        assert set(TABLE5) == {
+            "extensor", "gamma", "outerspace", "sigma", "graphicionado"
+        }
+
+    def test_clocks_match_paper(self):
+        assert TABLE5["outerspace"].clock_hz == 1.5e9
+        assert TABLE5["sigma"].clock_hz == 5e8
+
+    def test_spec_clocks_match_table(self):
+        for name in ("extensor", "gamma", "outerspace", "sigma"):
+            spec = accelerator(name, **SCALED[name])
+            for topo in spec.architecture.topologies.values():
+                assert topo.clock_hz == TABLE5[name].clock_hz
+
+
+class TestTable2Coverage:
+    def test_nine_cascades(self):
+        assert len(TABLE2_CASCADES) == 9
+
+    @pytest.mark.parametrize("name", sorted(TABLE2_CASCADES))
+    def test_cascade_loads(self, name):
+        from repro.spec import EinsumSpec
+
+        spec = EinsumSpec.from_dict(TABLE2_CASCADES[name])
+        assert len(spec.cascade) >= 1

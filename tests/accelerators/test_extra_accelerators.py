@@ -1,0 +1,139 @@
+"""Tests for the additionally modeled accelerators (paper section 5 lists
+Eyeriss and Tensaurus among omitted-for-space models; MatRaptor and SpArch
+come from Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators import accelerator
+from repro.fibertree import tensor_from_dense, tensor_to_dense
+from repro.model import evaluate
+from repro.workloads import uniform_random
+
+
+class TestEyeriss:
+    @pytest.fixture(scope="class")
+    def result(self):
+        rng = np.random.default_rng(0)
+        image = rng.integers(0, 4, size=(2, 3, 10, 10)).astype(float)
+        kernels = rng.integers(-1, 2, size=(3, 4, 3, 3)).astype(float)
+        spec = accelerator("eyeriss", p=8, q=8)
+        return evaluate(spec, {
+            "I": tensor_from_dense("I", ["B", "C", "H", "W"], image),
+            "F": tensor_from_dense("F", ["C", "M", "R", "S"], kernels),
+        }), image, kernels
+
+    def test_conv_matches_reference(self, result):
+        res, image, kernels = result
+        ours = tensor_to_dense(res.env["O"], shape=[2, 4, 8, 8])
+        ref = np.zeros((2, 4, 8, 8))
+        for b in range(2):
+            for m in range(4):
+                for p in range(8):
+                    for q in range(8):
+                        ref[b, m, p, q] = np.sum(
+                            image[b, :, p:p + 3, q:q + 3]
+                            * kernels[:, m]
+                        )
+        np.testing.assert_allclose(ours, ref)
+
+    def test_filter_rows_spatial(self, result):
+        res, _, _ = result
+        spec = accelerator("eyeriss")
+        assert spec.mapping.for_einsum("O").space_ranks == ["R"]
+
+    def test_model_produces_time_and_energy(self, result):
+        res, _, _ = result
+        assert res.exec_seconds > 0
+        assert res.energy_pj > 0
+
+
+class TestTensaurus:
+    def test_mttkrp_matches_einsum(self):
+        rng = np.random.default_rng(1)
+        t = (rng.random((6, 7, 8)) < 0.2) * rng.integers(1, 5, (6, 7, 8))
+        a = rng.integers(1, 4, size=(8, 5)).astype(float)
+        b = rng.integers(1, 4, size=(7, 5)).astype(float)
+        spec = accelerator("tensaurus")
+        res = evaluate(spec, {
+            "T": tensor_from_dense("T", ["I", "J", "K"], t.astype(float)),
+            "A": tensor_from_dense("A", ["K", "R"], a),
+            "B": tensor_from_dense("B", ["J", "R"], b),
+        })
+        expected = np.einsum("ijk,jr,kr->ir", t.astype(float), b, a)
+        np.testing.assert_allclose(
+            tensor_to_dense(res.env["C"], shape=[6, 5]), expected
+        )
+
+    def test_dense_factors_cached_eagerly(self):
+        spec = accelerator("tensaurus")
+        binding = spec.binding.for_einsum("C")
+        styles = {e.tensor: e.style for entries in binding.data.values()
+                  for e in entries}
+        assert styles["A"] == "eager"
+        assert styles["B"] == "eager"
+
+
+class TestMatRaptor:
+    @pytest.fixture(scope="class")
+    def result(self):
+        a = uniform_random("A", ["K", "M"], (40, 32), 0.15, seed=20)
+        b = uniform_random("B", ["K", "N"], (40, 36), 0.15, seed=21)
+        return evaluate(accelerator("matraptor", pe_rows=8),
+                        {"A": a, "B": b}), a, b
+
+    def test_spmspm_correct(self, result):
+        res, a, b = result
+        expected = (
+            tensor_to_dense(a, shape=[40, 32]).T
+            @ tensor_to_dense(b, shape=[40, 36])
+        )
+        np.testing.assert_allclose(
+            tensor_to_dense(res.env["Z"], shape=[32, 36]), expected
+        )
+
+    def test_row_wise_single_einsum(self, result):
+        res, _, _ = result
+        assert len(res.einsums) == 1
+
+    def test_c2sr_interleaved_layout(self):
+        spec = accelerator("matraptor")
+        assert spec.format.rank_format("A", "K", "C2SR").layout == \
+            "interleaved"
+
+
+class TestSpArch:
+    @pytest.fixture(scope="class")
+    def result(self):
+        a = uniform_random("A", ["K", "M"], (48, 40), 0.12, seed=30)
+        b = uniform_random("B", ["K", "N"], (48, 44), 0.12, seed=31)
+        return evaluate(accelerator("sparch", merge_way=16),
+                        {"A": a, "B": b}), a, b
+
+    def test_multiply_merge_correct(self, result):
+        res, a, b = result
+        expected = (
+            tensor_to_dense(a, shape=[48, 40]).T
+            @ tensor_to_dense(b, shape=[48, 44])
+        )
+        np.testing.assert_allclose(
+            tensor_to_dense(res.env["Z"], shape=[40, 44]), expected
+        )
+
+    def test_phases_fuse_unlike_outerspace(self, result):
+        res, _, _ = result
+        assert res.blocks == [["T", "Z"]], \
+            "SpArch's pipelined merge fuses multiply and merge"
+
+    def test_t_stays_on_chip(self, result):
+        res, _, _ = result
+        assert res.traffic_bytes("T") == 0
+
+    def test_traffic_below_outerspace(self, result):
+        res, a, b = result
+        other = evaluate(
+            accelerator("outerspace", mult_outer=16, mult_inner=4,
+                        merge_outer=8, merge_inner=2),
+            {"A": a.copy(), "B": b.copy()},
+        )
+        assert res.normalized_traffic() < other.normalized_traffic()

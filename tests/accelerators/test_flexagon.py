@@ -1,0 +1,64 @@
+"""Flexagon: three dataflows, one Einsum, identical results."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.flexagon import DATAFLOWS, spec
+from repro.fibertree import tensor_to_dense
+from repro.model import evaluate
+from repro.workloads import uniform_random
+
+
+@pytest.fixture(scope="module")
+def workload():
+    a = uniform_random("A", ["K", "M"], (48, 40), 0.12, seed=50)
+    b = uniform_random("B", ["K", "N"], (48, 36), 0.12, seed=51)
+    expected = (
+        tensor_to_dense(a, shape=[48, 40]).T
+        @ tensor_to_dense(b, shape=[48, 36])
+    )
+    return a, b, expected
+
+
+@pytest.fixture(scope="module")
+def results(workload):
+    a, b, _ = workload
+    return {
+        df: evaluate(spec(df), {"A": a.copy(), "B": b.copy()})
+        for df in DATAFLOWS
+    }
+
+
+class TestFlexagon:
+    def test_three_dataflows(self):
+        assert set(DATAFLOWS) == {"inner", "outer", "gustavson"}
+
+    @pytest.mark.parametrize("df", sorted(DATAFLOWS))
+    def test_each_dataflow_correct(self, results, workload, df):
+        _, _, expected = workload
+        np.testing.assert_allclose(
+            tensor_to_dense(results[df].env["Z"], shape=expected.shape),
+            expected,
+        )
+
+    def test_unknown_dataflow_raises(self):
+        with pytest.raises(KeyError):
+            spec("diagonal")
+
+    def test_only_mapping_differs(self):
+        inner, outer = spec("inner"), spec("outer")
+        assert str(inner.einsum.cascade) == str(outer.einsum.cascade)
+        assert inner.format.tensors.keys() == outer.format.tensors.keys()
+        assert inner.mapping.for_einsum("Z").loop_order != \
+            outer.mapping.for_einsum("Z").loop_order
+
+    def test_dataflows_have_different_costs(self, results):
+        """The whole point of multi-dataflow hardware: costs diverge even
+        though results agree."""
+        traffic = {df: results[df].traffic_bytes() for df in DATAFLOWS}
+        assert len(set(round(v) for v in traffic.values())) > 1
+
+    def test_same_effectual_work(self, results):
+        ops = {df: results[df].total_ops() for df in DATAFLOWS}
+        assert len(set(ops.values())) == 1, \
+            "dataflow changes schedule, not effectual multiplies"

@@ -1,0 +1,65 @@
+"""Property tests for the Einsum AST helpers."""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.einsum import IndexExpr, parse_einsum
+from repro.einsum.ast import accesses
+
+VARS = ["i", "j", "k", "m", "n", "q", "s"]
+
+
+@st.composite
+def index_exprs(draw):
+    vars_ = draw(st.lists(st.sampled_from(VARS), max_size=3, unique=True))
+    const = draw(st.integers(min_value=0, max_value=9))
+    return IndexExpr(tuple(vars_), const)
+
+
+class TestIndexExpr:
+    @given(index_exprs(), st.dictionaries(st.sampled_from(VARS),
+                                          st.integers(0, 50)))
+    def test_unbound_plus_bound_covers_vars(self, expr, bindings):
+        unbound = set(expr.unbound(bindings))
+        bound = set(expr.vars) - unbound
+        assert bound <= set(bindings)
+        assert unbound | bound == set(expr.vars)
+
+    @given(index_exprs())
+    def test_evaluate_with_full_bindings(self, expr):
+        bindings = {v: i + 1 for i, v in enumerate(expr.vars)}
+        assert expr.evaluate(bindings) == sum(bindings.values()) + expr.const
+
+    @given(index_exprs())
+    def test_str_parseable_as_index(self, expr):
+        text = f"Z[{expr}] = A[{expr}]"
+        parsed = parse_einsum(text)
+        assert parsed.output.indices[0] == expr
+
+    def test_literal_and_var_predicates(self):
+        assert IndexExpr.literal(3).is_literal
+        assert not IndexExpr.literal(3).is_var
+        assert IndexExpr.var("k").is_var
+        assert not IndexExpr(("q", "s")).is_var
+
+
+class TestAccessOrderStability:
+    @given(st.sampled_from([
+        "Z[m, n] = A[k, m] * B[k, n]",
+        "C[i, r] = T[i, j, k] * B[j, r] * A[k, r]",
+        "S[k, m] = take(A[k, m], B[k, n], 0)",
+        "Y[k] = E[k] - T[k]",
+        "Z[i] = A[i] * B[i] + C[i] * D[i]",
+    ]))
+    def test_accesses_order_matches_source(self, text):
+        e = parse_einsum(text)
+        names = [a.tensor for a in accesses(e.expr)]
+        # Left-to-right appearance order in the source text.
+        rhs = text.split("=", 1)[1]
+        positions = {n: rhs.index(n) for n in set(names)}
+        assert names == sorted(names, key=lambda n: positions[n])
+
+    def test_reduction_vars_disjoint_from_output(self):
+        e = parse_einsum("C[i, r] = T[i, j, k] * B[j, r] * A[k, r]")
+        assert set(e.reduction_vars).isdisjoint(e.output_vars)
+        assert set(e.reduction_vars) | set(e.output_vars) == set(e.all_vars)

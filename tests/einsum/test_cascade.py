@@ -1,0 +1,104 @@
+"""Cascade DAG tests, including every cascade from paper Table 2."""
+
+import pytest
+
+from repro.einsum import Cascade, CascadeError, parse_cascade, parse_einsum
+
+# The cascades of Table 2, verbatim.
+TABLE2 = {
+    "extensor": ["Z[m, n] = A[k, m] * B[k, n]"],
+    "gamma": [
+        "T[k, m, n] = take(A[k, m], B[k, n], 1)",
+        "Z[m, n] = A[k, m] * T[k, m, n]",
+    ],
+    "outerspace": [
+        "T[k, m, n] = A[k, m] * B[k, n]",
+        "Z[m, n] = T[k, m, n]",
+    ],
+    "sigma": [
+        "S[k, m] = take(A[k, m], B[k, n], 0)",
+        "T[k, m] = take(A[k, m], S[k, m], 0)",
+        "Z[m, n] = T[k, m] * B[k, n]",
+    ],
+    "eyeriss_conv": ["O[b, m, p, q] = I[b, c, p + r, q + s] * F[c, m, r, s]"],
+    "toeplitz_conv": [
+        "T[b, c, p, q, r, s] = I[b, c, p + r, q + s]",
+        "O[b, m, p, q] = T[b, c, p, q, r, s] * F[c, m, r, s]",
+    ],
+    "tensaurus_mttkrp": ["C[i, r] = T[i, j, k] * B[j, r] * A[k, r]"],
+    "factorized_mttkrp": [
+        "S[i, j, r] = T[i, j, k] * A[k, r]",
+        "C[i, r] = S[i, j, r] * B[j, r]",
+    ],
+    "fft_step": [
+        "E[0, k0] = P[0, k0, n1, 0] * X[n1, 0]",
+        "O[0, k0] = P[0, k0, n1, 0] * X[n1, 1]",
+        "T[k0] = P[0, k0, 0, 1] * O[0, k0]",
+        "Y0[k0] = E[0, k0] + T[k0]",
+        "Y1[k0] = E[0, k0] - T[k0]",
+    ],
+}
+
+
+class TestTable2Cascades:
+    @pytest.mark.parametrize("name", sorted(TABLE2))
+    def test_parses_and_validates(self, name):
+        cascade = parse_cascade(TABLE2[name])
+        assert len(cascade) == len(TABLE2[name])
+
+    def test_outerspace_structure(self):
+        c = parse_cascade(TABLE2["outerspace"])
+        assert c.inputs == ["A", "B"]
+        assert c.intermediates == ["T"]
+        assert c.outputs == ["Z"]
+
+    def test_sigma_chain(self):
+        c = parse_cascade(TABLE2["sigma"])
+        assert c.intermediates == ["S", "T"]
+        assert ("S", "T") in c.dependency_edges()
+        assert ("T", "Z") in c.dependency_edges()
+
+    def test_fft_dag(self):
+        c = parse_cascade(TABLE2["fft_step"])
+        assert set(c.outputs) == {"Y0", "Y1"}
+        edges = c.dependency_edges()
+        assert ("E", "Y0") in edges and ("T", "Y1") in edges
+
+
+class TestCascadeValidation:
+    def test_double_write_rejected(self):
+        with pytest.raises(CascadeError):
+            parse_cascade(["Z[m] = A[m]", "Z[m] = B[m]"])
+
+    def test_self_read_rejected(self):
+        with pytest.raises(CascadeError):
+            parse_cascade(["Z[m] = Z[m] * A[m]"])
+
+    def test_use_before_def_rejected(self):
+        with pytest.raises(CascadeError):
+            Cascade(
+                [
+                    parse_einsum("Z[m] = T[m]"),
+                    parse_einsum("T[m] = A[m]"),
+                ]
+            )
+
+    def test_multiline_string_input(self):
+        c = parse_cascade(
+            """
+            T[k, m, n] = A[k, m] * B[k, n]
+            Z[m, n] = T[k, m, n]
+            """
+        )
+        assert c.produced == ["T", "Z"]
+
+    def test_lookup_by_name_and_index(self):
+        c = parse_cascade(TABLE2["gamma"])
+        assert c["Z"].name == "Z"
+        assert c[0].name == "T"
+        with pytest.raises(KeyError):
+            c["Q"]
+
+    def test_str_lists_all(self):
+        c = parse_cascade(TABLE2["gamma"])
+        assert str(c).count("\n") == 1

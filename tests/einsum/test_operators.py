@@ -1,0 +1,55 @@
+"""Tests for operator sets (semiring redefinition, paper section 8)."""
+
+import pytest
+
+from repro.einsum import ARITHMETIC, BFS_HOPS, MIN_PLUS, OpSet, opset
+
+
+class TestArithmetic:
+    def test_defaults(self):
+        assert ARITHMETIC.mul(3, 4) == 12
+        assert ARITHMETIC.add(3, 4) == 7
+        assert ARITHMETIC.sub(3, 4) == -1
+        assert ARITHMETIC.zero == 0
+
+
+class TestMinPlus:
+    def test_relaxation(self):
+        # x combines an edge weight with a path length.
+        assert MIN_PLUS.mul(2.0, 5.0) == 7.0
+
+    def test_reduction_keeps_minimum(self):
+        assert MIN_PLUS.add(7.0, 4.0) == 4.0
+
+    def test_sub_marks_changes(self):
+        assert MIN_PLUS.sub(3.0, 3.0) == 0  # unchanged -> pruned
+        assert MIN_PLUS.sub(2.0, 3.0) == 2.0  # improved -> new value
+
+    def test_zero_is_infinity(self):
+        assert MIN_PLUS.zero == float("inf")
+
+
+class TestBfsHops:
+    def test_hop_increment_ignores_edge_value(self):
+        assert BFS_HOPS.mul(99.0, 3.0) == 4.0
+
+    def test_min_reduction(self):
+        assert BFS_HOPS.add(5.0, 2.0) == 2.0
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert opset("min-plus") is MIN_PLUS
+        assert opset("arithmetic") is ARITHMETIC
+
+    def test_passthrough(self):
+        custom = OpSet(name="max-times", mul=lambda a, b: a * b, add=max)
+        assert opset(custom) is custom
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            opset("tropical-deluxe")
+
+    def test_reduce_into(self):
+        assert MIN_PLUS.reduce_into(None, 5.0) == 5.0
+        assert MIN_PLUS.reduce_into(3.0, 5.0) == 3.0

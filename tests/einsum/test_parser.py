@@ -1,0 +1,138 @@
+"""Parser tests: the concrete syntax from the paper's figures."""
+
+import pytest
+
+from repro.einsum import (
+    Access,
+    Add,
+    EinsumSyntaxError,
+    IndexExpr,
+    Mul,
+    Take,
+    parse_einsum,
+)
+
+
+class TestBasicEinsums:
+    def test_matrix_vector(self):
+        e = parse_einsum("Z[m] = A[m, k] * B[k]")
+        assert e.output == Access("Z", (IndexExpr.var("m"),))
+        assert isinstance(e.expr, Mul)
+        assert e.input_tensors == ["A", "B"]
+
+    def test_matmul(self):
+        e = parse_einsum("Z[m, n] = A[k, m] * B[k, n]")
+        assert e.all_vars == ("m", "n", "k")
+        assert e.reduction_vars == ("k",)
+
+    def test_plain_copy_reduction(self):
+        e = parse_einsum("Z[m, n] = T[k, m, n]")
+        assert isinstance(e.expr, Access)
+        assert e.reduction_vars == ("k",)
+
+    def test_three_factor_product(self):
+        e = parse_einsum("C[i, r] = T[i, j, k] * B[j, r] * A[k, r]")
+        assert isinstance(e.expr, Mul)
+        assert len(e.expr.factors) == 3
+        assert e.reduction_vars == ("j", "k")
+
+    def test_whitespace_insensitive(self):
+        assert parse_einsum("Z[m]=A[m,k]*B[k]") == parse_einsum(
+            "Z[ m ] = A[ m , k ] * B[ k ]"
+        )
+
+
+class TestAffineAndLiterals:
+    def test_convolution(self):
+        e = parse_einsum("O[q] = I[q + s] * F[s]")
+        access_i = e.expr.factors[0]
+        assert access_i.indices[0] == IndexExpr(("q", "s"))
+        assert e.reduction_vars == ("s",)
+
+    def test_eyeriss_conv(self):
+        e = parse_einsum("O[b, m, p, q] = I[b, c, p + r, q + s] * F[c, m, r, s]")
+        assert e.reduction_vars == ("c", "r", "s")
+
+    def test_literal_index(self):
+        e = parse_einsum("E[0, k0] = P[0, k0, n1, 0] * X[n1, 0]")
+        assert e.output.indices[0] == IndexExpr.literal(0)
+        p = e.expr.factors[0]
+        assert p.indices[3].is_literal
+
+    def test_affine_with_constant(self):
+        e = parse_einsum("O[q] = I[q + 1]")
+        assert e.expr.indices[0] == IndexExpr(("q",), 1)
+
+
+class TestTake:
+    def test_take_two_args(self):
+        e = parse_einsum("T[k, m, n] = take(A[k, m], B[k, n], 1)")
+        assert isinstance(e.expr, Take)
+        assert e.expr.which == 1
+        assert e.is_take
+
+    def test_take_selector_zero(self):
+        e = parse_einsum("S[k, m] = take(A[k, m], B[k, n], 0)")
+        assert e.expr.which == 0
+
+    def test_take_missing_selector(self):
+        with pytest.raises(EinsumSyntaxError):
+            parse_einsum("T[k] = take(A[k], B[k])")
+
+    def test_take_selector_out_of_range(self):
+        with pytest.raises(ValueError):
+            parse_einsum("T[k] = take(A[k], B[k], 2)")
+
+
+class TestAddSub:
+    def test_addition(self):
+        e = parse_einsum("P1[v] = R[v] + P0[v]")
+        assert isinstance(e.expr, Add)
+        assert not e.expr.negate
+
+    def test_subtraction(self):
+        e = parse_einsum("M[v] = P1[v] - P0[v]")
+        assert e.expr.negate
+
+    def test_fft_butterfly(self):
+        e = parse_einsum("Y1[k0] = E[0, k0] - T[k0]")
+        assert isinstance(e.expr, Add)
+        assert e.expr.negate
+
+    def test_mixed_product_sum(self):
+        e = parse_einsum("Z[i] = A[i] * B[i] + C[i]")
+        assert isinstance(e.expr, Add)
+        assert isinstance(e.expr.left, Mul)
+
+
+class TestWholeTensor:
+    def test_bare_alias(self):
+        e = parse_einsum("P1 = P0")
+        assert e.output.indices is None
+        assert e.expr.indices is None
+
+
+class TestErrors:
+    def test_missing_equals(self):
+        with pytest.raises(EinsumSyntaxError):
+            parse_einsum("Z[m] A[m]")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(EinsumSyntaxError):
+            parse_einsum("Z[m] = A[m] ]")
+
+    def test_bad_character(self):
+        with pytest.raises(EinsumSyntaxError):
+            parse_einsum("Z[m] = A[m] / B[m]")
+
+    def test_unclosed_bracket(self):
+        with pytest.raises(EinsumSyntaxError):
+            parse_einsum("Z[m = A[m]")
+
+    def test_str_round_trip(self):
+        text = "Z[m, n] = A[k, m] * B[k, n]"
+        assert str(parse_einsum(text)) == text
+
+    def test_take_round_trip(self):
+        text = "T[k, m, n] = take(A[k, m], B[k, n], 1)"
+        assert str(parse_einsum(text)) == text

@@ -1,0 +1,123 @@
+"""Concrete representation lowering: round trips and size cross-checks."""
+
+import numpy as np
+import pytest
+
+from repro.fibertree import Tensor, tensor_from_dense
+from repro.fibertree.concrete import dematerialize, materialize
+from repro.model import FootprintOracle
+from repro.spec import FormatSpec
+
+
+def matrix(seed=0, shape=(8, 10), density=0.3):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random(shape) < density) * rng.integers(1, 9, shape)
+    return tensor_from_dense("A", ["M", "K"], dense.astype(float))
+
+
+CSR = FormatSpec.from_dict({
+    "A": {
+        "CSR": {
+            "M": {"format": "U", "pbits": 32},
+            "K": {"format": "C", "cbits": 32, "pbits": 64},
+        }
+    }
+})
+
+COO_LIKE = FormatSpec.from_dict({
+    "A": {
+        "COO": {
+            "M": {"format": "C", "cbits": 32, "pbits": 32, "fhbits": 32},
+            "K": {"format": "C", "cbits": 32, "pbits": 64, "fhbits": 32},
+        }
+    }
+})
+
+BITMAP = FormatSpec.from_dict({
+    "A": {
+        "Bitmap": {
+            "M": {"format": "U", "pbits": 32},
+            "K": {"format": "B", "cbits": 1, "pbits": 64},
+        }
+    }
+})
+
+
+class TestMaterializeCsr:
+    def test_row_pointer_array_is_shape_sized(self):
+        t = matrix()
+        c = materialize(t, CSR.for_tensor("A"), "CSR")
+        assert len(c.ranks["M"].payloads) == 8  # shape slots
+
+    def test_column_arrays_are_occupancy_sized(self):
+        t = matrix()
+        c = materialize(t, CSR.for_tensor("A"), "CSR")
+        assert len(c.ranks["K"].coords) == t.nnz
+        assert len(c.ranks["K"].payloads) == t.nnz
+
+    def test_round_trip(self):
+        t = matrix()
+        c = materialize(t, CSR.for_tensor("A"), "CSR")
+        assert dematerialize(c).points() == t.points()
+
+    def test_size_matches_footprint_oracle(self):
+        t = matrix()
+        c = materialize(t, CSR.for_tensor("A"), "CSR")
+        oracle = FootprintOracle(CSR)
+        assert c.size_bits() == oracle.tensor_bits(t)
+
+
+class TestMaterializeCoo:
+    def test_round_trip(self):
+        t = matrix(seed=3)
+        c = materialize(t, COO_LIKE.for_tensor("A"), "COO")
+        assert dematerialize(c).points() == t.points()
+
+    def test_headers_count_fibers(self):
+        t = matrix(seed=3)
+        c = materialize(t, COO_LIKE.for_tensor("A"), "COO")
+        assert len(c.ranks["M"].headers) == 1
+        rows = len({m for (m, _), _ in t.leaves()})
+        assert len(c.ranks["K"].headers) == rows
+
+
+class TestMaterializeBitmap:
+    def test_bitmap_is_shape_sized_per_fiber(self):
+        t = matrix(seed=5)
+        c = materialize(t, BITMAP.for_tensor("A"), "Bitmap")
+        rows = len({m for (m, _), _ in t.leaves()})
+        assert len(c.ranks["K"].coords) == rows * 10
+
+    def test_round_trip(self):
+        t = matrix(seed=5)
+        c = materialize(t, BITMAP.for_tensor("A"), "Bitmap")
+        assert dematerialize(c).points() == t.points()
+
+    def test_size_matches_footprint_oracle(self):
+        t = matrix(seed=5)
+        c = materialize(t, BITMAP.for_tensor("A"), "Bitmap")
+        oracle = FootprintOracle(BITMAP)
+        assert c.size_bits() == oracle.tensor_bits(t)
+
+
+class TestThreeRank:
+    def test_round_trip_csf(self):
+        rng = np.random.default_rng(7)
+        dense = (rng.random((4, 5, 6)) < 0.2) * rng.integers(1, 5, (4, 5, 6))
+        t = tensor_from_dense("T", ["A", "B", "C"], dense.astype(float))
+        fmt = FormatSpec.from_dict({
+            "T": {
+                "CSF": {
+                    "A": {"format": "C", "cbits": 16, "pbits": 16},
+                    "B": {"format": "C", "cbits": 16, "pbits": 16},
+                    "C": {"format": "C", "cbits": 16, "pbits": 64},
+                }
+            }
+        })
+        c = materialize(t, fmt.for_tensor("T"), "CSF")
+        assert dematerialize(c).points() == t.points()
+
+    def test_empty_tensor(self):
+        t = Tensor.empty("A", ["M", "K"], shape=[4, 4])
+        c = materialize(t, CSR.for_tensor("A"), "CSR")
+        assert dematerialize(c).nnz == 0

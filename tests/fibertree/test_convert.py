@@ -1,0 +1,59 @@
+"""Tests for numpy / scipy conversions."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.fibertree import (
+    Tensor,
+    tensor_from_dense,
+    tensor_from_scipy,
+    tensor_to_dense,
+    tensor_to_scipy,
+)
+
+
+class TestScipy:
+    def test_from_scipy_csr(self):
+        m = sp.random(10, 8, density=0.3, random_state=7, format="csr")
+        t = tensor_from_scipy("A", ["M", "K"], m)
+        assert t.nnz == m.nnz
+        np.testing.assert_allclose(tensor_to_dense(t), m.toarray())
+
+    def test_to_scipy_round_trip(self):
+        m = sp.random(6, 6, density=0.4, random_state=3, format="csr")
+        t = tensor_from_scipy("A", ["M", "K"], m)
+        np.testing.assert_allclose(tensor_to_scipy(t).toarray(), m.toarray())
+
+    def test_from_scipy_wrong_ranks(self):
+        with pytest.raises(ValueError):
+            tensor_from_scipy("A", ["M"], sp.eye(3))
+
+    def test_to_scipy_requires_two_ranks(self):
+        with pytest.raises(ValueError):
+            tensor_to_scipy(Tensor.empty("T", ["A", "B", "C"]))
+
+
+class TestDense:
+    def test_to_dense_infers_shape(self):
+        t = Tensor.from_coo("A", ["M", "K"], [((2, 3), 5.0)])
+        out = tensor_to_dense(t)
+        assert out.shape == (3, 4)
+        assert out[2, 3] == 5.0
+
+    def test_to_dense_explicit_shape(self):
+        t = Tensor.from_coo("A", ["M"], [((1,), 2.0)])
+        assert tensor_to_dense(t, shape=[5]).shape == (5,)
+
+    def test_to_dense_tuple_coords_raise(self):
+        t = Tensor.from_coo("A", ["M", "K"], [((0, 1), 1.0)]).flatten_ranks(
+            ["M", "K"]
+        )
+        with pytest.raises(TypeError):
+            tensor_to_dense(t)
+
+    def test_3d_round_trip(self):
+        rng = np.random.default_rng(0)
+        dense = rng.integers(0, 3, size=(4, 3, 5)).astype(float)
+        t = tensor_from_dense("T", ["A", "B", "C"], dense)
+        np.testing.assert_allclose(tensor_to_dense(t), dense)

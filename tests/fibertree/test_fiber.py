@@ -1,0 +1,232 @@
+"""Unit tests for the Fiber primitive."""
+
+import pytest
+
+from repro.fibertree import Fiber
+
+
+def make_fiber():
+    return Fiber([0, 2, 5], [1.0, 2.0, 3.0])
+
+
+class TestConstruction:
+    def test_empty(self):
+        f = Fiber()
+        assert len(f) == 0
+        assert not f
+        assert f.is_empty()
+
+    def test_basic(self):
+        f = make_fiber()
+        assert len(f) == 3
+        assert list(f) == [(0, 1.0), (2, 2.0), (5, 3.0)]
+
+    def test_unsorted_input_is_sorted(self):
+        f = Fiber([5, 0, 2], [3.0, 1.0, 2.0])
+        assert f.coords == [0, 2, 5]
+        assert f.payloads == [1.0, 2.0, 3.0]
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            Fiber([0, 1], [1.0])
+
+    def test_from_dict_nested(self):
+        f = Fiber.from_dict({1: {0: 5.0, 3: 6.0}, 4: {2: 7.0}})
+        assert isinstance(f.get_payload(1), Fiber)
+        assert f.get_payload(1).get_payload(3) == 6.0
+        assert f.to_dict() == {1: {0: 5.0, 3: 6.0}, 4: {2: 7.0}}
+
+    def test_repr_mentions_elements(self):
+        assert "0: 1.0" in repr(make_fiber())
+
+
+class TestLookup:
+    def test_get_payload_present(self):
+        assert make_fiber().get_payload(2) == 2.0
+
+    def test_get_payload_absent_returns_default(self):
+        assert make_fiber().get_payload(3) is None
+        assert make_fiber().get_payload(3, default=0.0) == 0.0
+
+    def test_position_of(self):
+        f = make_fiber()
+        assert f.position_of(0) == 0
+        assert f.position_of(5) == 2
+        assert f.position_of(1) is None
+
+    def test_get_payload_ref_inserts(self):
+        f = make_fiber()
+        ref = f.get_payload_ref(3, make=Fiber)
+        assert isinstance(ref, Fiber)
+        assert f.coords == [0, 2, 3, 5]
+
+    def test_get_payload_ref_existing_not_replaced(self):
+        f = make_fiber()
+        assert f.get_payload_ref(2, make=Fiber) == 2.0
+
+    def test_set_payload_overwrites(self):
+        f = make_fiber()
+        f.set_payload(2, 9.0)
+        assert f.get_payload(2) == 9.0
+        assert len(f) == 3
+
+    def test_set_payload_inserts_in_order(self):
+        f = make_fiber()
+        f.set_payload(1, 8.0)
+        assert f.coords == [0, 1, 2, 5]
+
+    def test_append_requires_increasing(self):
+        f = make_fiber()
+        with pytest.raises(ValueError):
+            f.append(5, 1.0)
+        f.append(6, 4.0)
+        assert f.coords[-1] == 6
+
+
+class TestSliceProject:
+    def test_slice_half_open(self):
+        f = make_fiber()
+        s = f.slice(1, 5)
+        assert list(s) == [(2, 2.0)]
+        assert s.coord_range == (1, 5)
+
+    def test_slice_includes_lo(self):
+        assert list(make_fiber().slice(0, 2)) == [(0, 1.0)]
+
+    def test_project_shift(self):
+        f = make_fiber()
+        p = f.project(-2)
+        assert p.coords == [-2, 0, 3]
+
+    def test_project_with_window(self):
+        f = make_fiber()
+        p = f.project(-2, lo=0, hi=3)
+        assert p.coords == [0]
+        assert p.payloads == [2.0]
+
+
+class TestCoIteration:
+    def test_intersect(self):
+        a = Fiber([0, 2, 5], [1, 2, 3])
+        b = Fiber([2, 3, 5], [10, 20, 30])
+        assert list(a.intersect(b)) == [(2, 2, 10), (5, 3, 30)]
+
+    def test_intersect_disjoint(self):
+        a = Fiber([0, 1], [1, 1])
+        b = Fiber([2, 3], [1, 1])
+        assert list(a.intersect(b)) == []
+
+    def test_intersect_with_empty(self):
+        assert list(make_fiber().intersect(Fiber())) == []
+
+    def test_union(self):
+        a = Fiber([0, 2], [1, 2])
+        b = Fiber([2, 3], [10, 20])
+        assert list(a.union(b)) == [(0, 1, None), (2, 2, 10), (3, None, 20)]
+
+    def test_union_with_empty(self):
+        a = make_fiber()
+        assert [(c, pa) for c, pa, _ in a.union(Fiber())] == list(a)
+
+
+class TestSplitting:
+    def test_split_uniform_shape(self):
+        f = Fiber([0, 2, 5, 7], [1, 2, 3, 4])
+        upper = f.split_uniform_shape(4)
+        assert upper.coords == [0, 4]
+        assert upper.get_payload(0).coords == [0, 2]
+        assert upper.get_payload(4).coords == [5, 7]
+
+    def test_split_uniform_shape_sets_ranges(self):
+        upper = Fiber([0, 5], [1, 2]).split_uniform_shape(4)
+        assert upper.get_payload(0).coord_range == (0, 4)
+        assert upper.get_payload(4).coord_range == (4, 8)
+
+    def test_split_uniform_shape_skips_empty_chunks(self):
+        upper = Fiber([0, 9], [1, 2]).split_uniform_shape(3)
+        assert upper.coords == [0, 9]
+
+    def test_split_uniform_shape_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            make_fiber().split_uniform_shape(0)
+
+    def test_split_equal_balanced(self):
+        f = Fiber(list(range(7)), [1] * 7)
+        upper = f.split_equal(3)
+        sizes = [len(chunk) for _, chunk in upper]
+        assert sizes == [3, 3, 1]
+
+    def test_split_equal_upper_coords_are_first_coords(self):
+        f = Fiber([1, 4, 6, 9], [1, 2, 3, 4])
+        upper = f.split_equal(2)
+        assert upper.coords == [1, 6]
+
+    def test_split_equal_ranges_cover_gap(self):
+        f = Fiber([1, 4, 6, 9], [1, 2, 3, 4])
+        upper = f.split_equal(2)
+        assert upper.get_payload(1).coord_range == (1, 6)
+        assert upper.get_payload(6).coord_range == (6, None)
+
+    def test_split_by_boundaries_follows_leader(self):
+        leader = Fiber([1, 4, 6, 9], [1, 2, 3, 4]).split_equal(2)
+        follower = Fiber([2, 5, 6, 7], [10, 20, 30, 40])
+        split = follower.split_by_boundaries(leader.boundaries())
+        assert split.get_payload(1).coords == [2, 5]
+        assert split.get_payload(6).coords == [6, 7]
+
+    def test_split_by_boundaries_drops_below_first(self):
+        follower = Fiber([0, 5], [1, 2])
+        split = follower.split_by_boundaries([3])
+        assert split.get_payload(3).coords == [5]
+
+
+class TestFlatten:
+    def test_flatten_one_level(self):
+        f = Fiber.from_dict({0: {2: 1.0}, 2: {0: 2.0, 1: 3.0, 2: 4.0}})
+        flat = f.flatten()
+        assert flat.coords == [(0, 2), (2, 0), (2, 1), (2, 2)]
+        assert flat.payloads == [1.0, 2.0, 3.0, 4.0]
+
+    def test_flatten_two_levels(self):
+        f = Fiber.from_dict({1: {2: {3: 9.0}}})
+        flat = f.flatten(levels=2)
+        assert flat.coords == [(1, 2, 3)]
+
+    def test_flatten_leaf_raises(self):
+        with pytest.raises(TypeError):
+            make_fiber().flatten()
+
+    def test_flatten_then_split_equal_rebalances(self):
+        # The Figure 2 pipeline: unequal fibers -> flatten -> equal chunks.
+        f = Fiber.from_dict({0: {2: 1.0}, 2: {0: 2.0, 1: 3.0, 2: 4.0}})
+        chunks = f.flatten().split_equal(2)
+        assert [len(c) for _, c in chunks] == [2, 2]
+
+
+class TestTreeUtilities:
+    def test_count_leaves(self):
+        f = Fiber.from_dict({0: {1: 1.0, 2: 2.0}, 3: {0: 3.0}})
+        assert f.count_leaves() == 3
+
+    def test_leaves_full_points(self):
+        f = Fiber.from_dict({0: {1: 1.0}, 3: {0: 3.0}})
+        assert dict(f.leaves()) == {(0, 1): 1.0, (3, 0): 3.0}
+
+    def test_prune_empty_removes_zeros(self):
+        f = Fiber.from_dict({0: {1: 0.0, 2: 2.0}, 3: {0: 0.0}})
+        pruned = f.prune_empty()
+        assert dict(pruned.leaves()) == {(0, 2): 2.0}
+
+    def test_copy_is_deep(self):
+        f = Fiber.from_dict({0: {1: 1.0}})
+        c = f.copy()
+        c.get_payload(0).set_payload(1, 9.0)
+        assert f.get_payload(0).get_payload(1) == 1.0
+
+    def test_depth(self):
+        assert make_fiber().depth() == 1
+        assert Fiber.from_dict({0: {1: {2: 1.0}}}).depth() == 3
+
+    def test_equality(self):
+        assert make_fiber() == make_fiber()
+        assert make_fiber() != Fiber([0], [1.0])

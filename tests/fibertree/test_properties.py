@@ -1,0 +1,134 @@
+"""Property-based tests: content-preserving transformation invariants.
+
+The paper's key claim about data-orchestration idioms (section 3.2) is that
+partitioning, flattening and swizzling never change the *content* of a tensor
+(the multiset of leaf values), only the coordinate system.  These tests check
+that invariant on randomized fibertrees.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.fibertree import Fiber, Tensor
+
+
+@st.composite
+def coo_matrices(draw, max_dim=12):
+    rows = draw(st.integers(min_value=1, max_value=max_dim))
+    cols = draw(st.integers(min_value=1, max_value=max_dim))
+    points = draw(
+        st.dictionaries(
+            st.tuples(
+                st.integers(min_value=0, max_value=rows - 1),
+                st.integers(min_value=0, max_value=cols - 1),
+            ),
+            st.integers(min_value=1, max_value=100),
+            max_size=30,
+        )
+    )
+    return Tensor.from_coo(
+        "A", ["M", "K"], list(points.items()), shape=[rows, cols]
+    )
+
+
+@st.composite
+def sparse_fibers(draw, max_coord=30):
+    mapping = draw(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=max_coord),
+            st.integers(min_value=1, max_value=100),
+            max_size=20,
+        )
+    )
+    return Fiber(sorted(mapping), [mapping[c] for c in sorted(mapping)])
+
+
+class TestFiberInvariants:
+    @given(sparse_fibers(), st.integers(min_value=1, max_value=8))
+    def test_split_uniform_shape_preserves_elements(self, fiber, step):
+        upper = fiber.split_uniform_shape(step)
+        rebuilt = [(c, p) for _, chunk in upper for c, p in chunk]
+        assert rebuilt == list(fiber)
+
+    @given(sparse_fibers(), st.integers(min_value=1, max_value=8))
+    def test_split_uniform_shape_respects_boundaries(self, fiber, step):
+        upper = fiber.split_uniform_shape(step)
+        for base, chunk in upper:
+            assert base % step == 0
+            assert all(base <= c < base + step for c in chunk.coords)
+
+    @given(sparse_fibers(), st.integers(min_value=1, max_value=8))
+    def test_split_equal_preserves_elements(self, fiber, size):
+        upper = fiber.split_equal(size)
+        rebuilt = [(c, p) for _, chunk in upper for c, p in chunk]
+        assert rebuilt == list(fiber)
+
+    @given(sparse_fibers(), st.integers(min_value=1, max_value=8))
+    def test_split_equal_is_balanced(self, fiber, size):
+        """All chunks have exactly `size` elements except possibly the last."""
+        upper = fiber.split_equal(size)
+        lengths = [len(chunk) for _, chunk in upper]
+        assert all(n == size for n in lengths[:-1])
+        if lengths:
+            assert 1 <= lengths[-1] <= size
+
+    @given(sparse_fibers(), sparse_fibers())
+    def test_intersection_subset_of_union(self, a, b):
+        inter = {c for c, _, _ in a.intersect(b)}
+        union = {c for c, _, _ in a.union(b)}
+        assert inter <= union
+        assert union == set(a.coords) | set(b.coords)
+        assert inter == set(a.coords) & set(b.coords)
+
+    @given(sparse_fibers(), sparse_fibers())
+    def test_intersection_commutes_on_coords(self, a, b):
+        ab = [c for c, _, _ in a.intersect(b)]
+        ba = [c for c, _, _ in b.intersect(a)]
+        assert ab == ba
+
+    @given(sparse_fibers(), st.integers(min_value=-10, max_value=10))
+    def test_project_round_trip(self, fiber, offset):
+        assert fiber.project(offset).project(-offset) == Fiber(
+            fiber.coords, fiber.payloads
+        )
+
+
+class TestTensorInvariants:
+    @given(coo_matrices())
+    def test_swizzle_preserves_value_multiset(self, t):
+        s = t.swizzle(["K", "M"])
+        assert sorted(v for _, v in s.leaves()) == sorted(v for _, v in t.leaves())
+
+    @given(coo_matrices())
+    def test_swizzle_involution(self, t):
+        assert t.swizzle(["K", "M"]).swizzle(["M", "K"]) == t
+
+    @given(coo_matrices(), st.integers(min_value=1, max_value=6))
+    def test_shape_partition_preserves_points(self, t, step):
+        p = t.partition_uniform_shape("K", [step])
+        flat = {(m, k): v for (m, _, k), v in p.leaves()}
+        assert flat == dict(t.leaves())
+
+    @given(coo_matrices(), st.integers(min_value=1, max_value=6))
+    def test_occupancy_partition_preserves_points(self, t, size):
+        p = t.partition_uniform_occupancy("K", [size])
+        flat = {(m, k): v for (m, _, k), v in p.leaves()}
+        assert flat == dict(t.leaves())
+
+    @given(coo_matrices())
+    def test_flatten_preserves_points(self, t):
+        f = t.flatten_ranks(["M", "K"])
+        assert {p[0]: v for p, v in f.leaves()} == dict(t.leaves())
+
+    @given(coo_matrices(), st.integers(min_value=1, max_value=6))
+    def test_partition_round_trip(self, t, step):
+        p = t.partition_uniform_shape("K", [step])
+        assert dict(p.unpartition("K1", "K0", "K").leaves()) == dict(t.leaves())
+
+    @settings(max_examples=30)
+    @given(coo_matrices(), st.integers(min_value=1, max_value=5))
+    def test_flatten_then_occupancy_globally_balanced(self, t, size):
+        """Figure 2: flatten-then-split equalizes occupancy globally."""
+        f = t.flatten_ranks(["M", "K"]).partition_uniform_occupancy("MK", [size])
+        lengths = [len(chunk) for _, chunk in f.root]
+        assert all(n == size for n in lengths[:-1])

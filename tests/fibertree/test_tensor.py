@@ -1,0 +1,208 @@
+"""Unit tests for Tensor: named fibertrees and their transformations."""
+
+import numpy as np
+import pytest
+
+from repro.fibertree import Fiber, Tensor, tensor_from_dense, tensor_to_dense
+
+
+def matrix_a():
+    """The matrix A of paper Figure 1 (ranks M, K)."""
+    dense = np.zeros((3, 3))
+    dense[0, 2] = 3.0
+    dense[2, 0] = 9.0
+    dense[2, 1] = 4.0
+    dense[2, 2] = 6.0
+    return tensor_from_dense("A", ["M", "K"], dense)
+
+
+class TestConstruction:
+    def test_from_coo(self):
+        t = Tensor.from_coo("A", ["M", "K"], [((0, 1), 2.0), ((1, 0), 3.0)])
+        assert t.nnz == 2
+        assert t.get((0, 1)) == 2.0
+
+    def test_from_coo_drops_zeros(self):
+        t = Tensor.from_coo("A", ["M"], [((0,), 0.0), ((1,), 2.0)])
+        assert t.nnz == 1
+
+    def test_from_coo_duplicate_overwrites(self):
+        t = Tensor.from_coo("A", ["M"], [((0,), 1.0), ((0,), 5.0)])
+        assert t.get((0,)) == 5.0
+
+    def test_from_coo_bad_point_raises(self):
+        with pytest.raises(ValueError):
+            Tensor.from_coo("A", ["M", "K"], [((0,), 1.0)])
+
+    def test_duplicate_rank_ids_raise(self):
+        with pytest.raises(ValueError):
+            Tensor("A", ["M", "M"])
+
+    def test_empty(self):
+        t = Tensor.empty("Z", ["M", "N"], shape=[4, 5])
+        assert t.nnz == 0
+        assert t.shape == [4, 5]
+
+    def test_get_absent_returns_default(self):
+        assert matrix_a().get((1, 1)) == 0
+
+    def test_shape_of(self):
+        assert matrix_a().shape_of("K") == 3
+        with pytest.raises(KeyError):
+            matrix_a().shape_of("Q")
+
+
+class TestDenseRoundTrip:
+    def test_round_trip(self):
+        dense = np.arange(12.0).reshape(3, 4)
+        t = tensor_from_dense("X", ["I", "J"], dense)
+        np.testing.assert_array_equal(tensor_to_dense(t), dense)
+
+    def test_zeros_not_stored(self):
+        dense = np.zeros((2, 2))
+        dense[1, 1] = 5.0
+        t = tensor_from_dense("X", ["I", "J"], dense)
+        assert t.nnz == 1
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            tensor_from_dense("X", ["I"], np.zeros((2, 2)))
+
+
+class TestSwizzle:
+    def test_swizzle_preserves_content(self):
+        a = matrix_a()
+        at = a.swizzle(["K", "M"])
+        assert at.rank_ids == ["K", "M"]
+        # Same multiset of values, transposed points.
+        assert {(k, m): v for (m, k), v in a.leaves()} == dict(at.leaves())
+
+    def test_swizzle_figure4_example(self):
+        # Figure 4: A swizzled to [K, M] has K-fibers {0: {2:9}, 1: {2:4}, ...}
+        at = matrix_a().swizzle(["K", "M"])
+        assert at.root.get_payload(0).coords == [2]
+        assert at.root.get_payload(2).coords == [0, 2]
+
+    def test_swizzle_identity(self):
+        a = matrix_a()
+        assert a.swizzle(["M", "K"]) == a
+
+    def test_swizzle_not_permutation_raises(self):
+        with pytest.raises(ValueError):
+            matrix_a().swizzle(["M", "N"])
+
+    def test_swizzle_three_ranks(self):
+        t = Tensor.from_coo(
+            "T", ["K", "M", "N"], [((0, 1, 2), 1.0), ((2, 1, 0), 2.0)]
+        )
+        s = t.swizzle(["M", "N", "K"])
+        assert s.get((1, 2, 0)) == 1.0
+        assert s.get((1, 0, 2)) == 2.0
+
+    def test_swizzle_shape_permuted(self):
+        t = Tensor.empty("T", ["A", "B"], shape=[2, 7])
+        assert t.swizzle(["B", "A"]).shape == [7, 2]
+
+
+class TestShapePartitioning:
+    def test_single_split(self):
+        t = Tensor.from_coo("A", ["K"], [((0,), 1.0), ((5,), 2.0), ((7,), 3.0)],
+                            shape=[8])
+        p = t.partition_uniform_shape("K", [4])
+        assert p.rank_ids == ["K1", "K0"]
+        assert p.root.coords == [0, 4]
+        assert p.root.get_payload(4).coords == [5, 7]
+
+    def test_double_split_names(self):
+        t = Tensor.from_coo("A", ["K"], [((i,), 1.0) for i in range(16)], shape=[16])
+        p = t.partition_uniform_shape("K", [8, 2])
+        assert p.rank_ids == ["K2", "K1", "K0"]
+
+    def test_split_preserves_leaves(self):
+        t = matrix_a()
+        p = t.partition_uniform_shape("K", [2])
+        flat = {(m, k): v for (m, k1, k), v in p.leaves()}
+        assert flat == dict(t.leaves())
+
+    def test_split_inner_rank(self):
+        t = matrix_a()  # ranks M, K
+        p = t.partition_uniform_shape("K", [2])
+        assert p.rank_ids == ["M", "K1", "K0"]
+
+
+class TestOccupancyPartitioning:
+    def test_top_rank(self):
+        t = Tensor.from_coo("A", ["K"], [((c,), 1.0) for c in [1, 4, 6, 9]])
+        p = t.partition_uniform_occupancy("K", [2])
+        assert p.rank_ids == ["K1", "K0"]
+        assert p.root.coords == [1, 6]
+
+    def test_each_fiber_split_independently(self):
+        t = Tensor.from_coo(
+            "A", ["M", "K"],
+            [((0, k), 1.0) for k in range(4)] + [((1, k), 1.0) for k in range(2)],
+        )
+        p = t.partition_uniform_occupancy("K", [2])
+        m0 = p.root.get_payload(0)
+        m1 = p.root.get_payload(1)
+        assert len(m0) == 2  # two chunks of 2
+        assert len(m1) == 1  # one chunk of 2
+
+    def test_follower_by_boundaries(self):
+        leader = Tensor.from_coo("A", ["K"], [((c,), 1.0) for c in [1, 4, 6, 9]])
+        lp = leader.partition_uniform_occupancy("K", [2])
+        follower = Tensor.from_coo("B", ["K", "N"], [((5, 0), 1.0), ((8, 1), 2.0)])
+        fp = follower.partition_by_boundaries("K", ["K1", "K0"], lp.root.boundaries())
+        assert fp.rank_ids == ["K1", "K0", "N"]
+        assert fp.root.coords == [1, 6]
+        assert fp.root.get_payload(1).coords == [5]
+
+
+class TestFlattenRanks:
+    def test_flatten_adjacent(self):
+        t = matrix_a()
+        f = t.flatten_ranks(["M", "K"])
+        assert f.rank_ids == ["MK"]
+        assert f.root.coords == [(0, 2), (2, 0), (2, 1), (2, 2)]
+
+    def test_flatten_preserves_values(self):
+        t = matrix_a()
+        f = t.flatten_ranks(["M", "K"])
+        assert {p[0]: v for p, v in f.leaves()} == {
+            point: v for point, v in t.leaves()
+        }
+
+    def test_flatten_non_adjacent_raises(self):
+        t = Tensor.from_coo("T", ["A", "B", "C"], [((0, 0, 0), 1.0)])
+        with pytest.raises(ValueError):
+            t.flatten_ranks(["A", "C"])
+
+    def test_figure2_pipeline(self):
+        # Flatten [M, K] then occupancy-split into chunks of 2 (Figure 2).
+        t = matrix_a()
+        f = t.flatten_ranks(["M", "K"]).partition_uniform_occupancy("MK", [2])
+        assert f.rank_ids == ["MK1", "MK0"]
+        chunks = [len(c) for _, c in f.root]
+        assert chunks == [2, 2]
+        assert f.root.coords == [(0, 2), (2, 1)]
+
+
+class TestUnpartition:
+    def test_round_trip(self):
+        t = matrix_a()
+        p = t.partition_uniform_shape("K", [2])
+        u = p.unpartition("K1", "K0", "K")
+        assert u.rank_ids == ["M", "K"]
+        assert dict(u.leaves()) == dict(t.leaves())
+
+
+class TestFibersAtRank:
+    def test_counts(self):
+        a = matrix_a()
+        assert len(list(a.fibers_at_rank("M"))) == 1
+        assert len(list(a.fibers_at_rank("K"))) == 2
+
+    def test_prune_empty(self):
+        t = Tensor.from_coo("A", ["M", "K"], [((0, 0), 1.0)])
+        t.root.get_payload(0).set_payload(1, 0.0)
+        assert t.prune_empty().nnz == 1

@@ -1,0 +1,61 @@
+"""Connected components via label propagation (algorithm extension)."""
+
+import networkx as nx
+import pytest
+
+from repro.graph import DESIGNS, PROPOSAL, run_vertex_centric
+from repro.workloads import adjacency_from_networkx
+
+
+def two_component_graph():
+    g = nx.Graph()
+    g.add_edges_from([(0, 1), (1, 2), (2, 3)])  # component {0,1,2,3}
+    g.add_edges_from([(4, 5), (5, 6)])  # component {4,5,6}
+    return g
+
+
+def reference_components(g):
+    labels = {}
+    for comp in nx.connected_components(g):
+        root = min(comp)
+        for v in comp:
+            labels[v] = float(root)
+    return labels
+
+
+class TestConnectedComponents:
+    def test_two_components(self):
+        g = two_component_graph()
+        adj = adjacency_from_networkx(g, weighted=False)
+        res = run_vertex_centric(PROPOSAL, adj, source=0, algorithm="cc")
+        assert res.properties == reference_components(g)
+
+    def test_random_undirected_graph(self):
+        g = nx.random_geometric_graph(40, 0.2, seed=4)
+        adj = adjacency_from_networkx(g, weighted=False)
+        res = run_vertex_centric(PROPOSAL, adj, source=0, algorithm="cc")
+        assert res.properties == reference_components(g)
+
+    @pytest.mark.parametrize("design", list(DESIGNS.values()),
+                             ids=lambda d: d.name)
+    def test_all_designs_agree(self, design):
+        g = two_component_graph()
+        adj = adjacency_from_networkx(g, weighted=False)
+        res = run_vertex_centric(design, adj, source=0, algorithm="cc")
+        assert res.properties == reference_components(g)
+
+    def test_isolated_vertices_keep_own_label(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_node(5)
+        adj = adjacency_from_networkx(g, weighted=False)
+        res = run_vertex_centric(PROPOSAL, adj, source=0, algorithm="cc")
+        # Node 5 (relabeled to index 2) forms its own component.
+        labels = res.properties
+        assert labels[2] == 2.0
+
+    def test_all_vertices_start_active(self):
+        g = two_component_graph()
+        adj = adjacency_from_networkx(g, weighted=False)
+        res = run_vertex_centric(PROPOSAL, adj, source=0, algorithm="cc")
+        assert res.iterations[0].active == g.number_of_nodes()

@@ -1,0 +1,140 @@
+"""Tests for the vertex-centric graph accelerator study (section 8)."""
+
+import pytest
+
+from repro.graph import (
+    DESIGNS,
+    GRAPHDYNS,
+    GRAPHICIONADO,
+    PROPOSAL,
+    Design,
+    GraphicionadoConfig,
+    graphdyns_cascade,
+    graphicionado_cascade,
+    opset_for,
+    reference_bfs,
+    reference_sssp,
+    run_vertex_centric,
+)
+from repro.workloads import adjacency_from_dataset, random_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph(n=120, avg_degree=6, seed=9)
+
+
+class TestCascades:
+    def test_graphicionado_cascade_structure(self):
+        spec = graphicionado_cascade()
+        assert spec.einsum.cascade.produced == ["SO", "R", "P1", "M", "A1"]
+        assert spec.einsum.cascade.inputs == ["G", "A0", "P0"]
+
+    def test_graphdyns_cascade_structure(self):
+        spec = graphdyns_cascade()
+        assert spec.einsum.cascade.produced == [
+            "SO", "R", "MP", "NP", "M", "PU", "A1",
+        ]
+
+    def test_opsets(self):
+        assert opset_for("bfs").name == "bfs-hops"
+        assert opset_for("sssp").name == "min-plus"
+        with pytest.raises(KeyError):
+            opset_for("pagerank")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("design", list(DESIGNS.values()),
+                             ids=lambda d: d.name)
+    def test_bfs_matches_reference(self, graph, design):
+        ref = reference_bfs(graph, 0)
+        res = run_vertex_centric(design, graph, 0, "bfs")
+        assert res.properties == ref
+
+    @pytest.mark.parametrize("design", list(DESIGNS.values()),
+                             ids=lambda d: d.name)
+    def test_sssp_matches_reference(self, graph, design):
+        ref = reference_sssp(graph, 0)
+        res = run_vertex_centric(design, graph, 0, "sssp")
+        assert res.properties == ref
+
+    def test_different_source(self, graph):
+        ref = reference_bfs(graph, 7)
+        res = run_vertex_centric(PROPOSAL, graph, 7, "bfs")
+        assert res.properties == ref
+
+    def test_terminates_on_empty_frontier(self, graph):
+        res = run_vertex_centric(PROPOSAL, graph, 0, "bfs",
+                                 max_iterations=1000)
+        assert res.num_iterations < 50
+
+
+class TestDesignDifferences:
+    def test_edge_bytes_format_effect(self):
+        cfg = GraphicionadoConfig()
+        # Edge list always reads (src, dst, weight).
+        assert GRAPHICIONADO.edge_bytes(False, cfg) == 12
+        # CSR drops the src id; BFS also drops the weight.
+        assert GRAPHDYNS.edge_bytes(False, cfg) == 4
+        assert GRAPHDYNS.edge_bytes(True, cfg) == 8
+
+    def test_apply_ops_granularities(self):
+        modified = [0, 1, 2, 300, 301]
+        n = 1024
+        assert GRAPHICIONADO.apply_ops(n, modified) == n
+        partition = GRAPHDYNS.apply_ops(n, modified)
+        exact = PROPOSAL.apply_ops(n, modified)
+        assert exact == 5
+        assert exact < partition < n
+
+    def test_partition_count_matches_paper(self):
+        assert GRAPHDYNS.bitmap_partitions == 256
+
+    def test_apply_ops_ordering_on_real_run(self, graph):
+        runs = {
+            key: run_vertex_centric(d, graph, 0, "bfs")
+            for key, d in DESIGNS.items()
+        }
+        assert (
+            runs["proposal"].total_apply_ops
+            <= runs["graphdyns"].total_apply_ops
+            <= runs["graphicionado"].total_apply_ops
+        )
+
+    def test_proposal_fastest_on_bfs(self, graph):
+        runs = {
+            key: run_vertex_centric(d, graph, 0, "bfs")
+            for key, d in DESIGNS.items()
+        }
+        assert runs["proposal"].total_seconds <= runs["graphdyns"].total_seconds
+        assert (
+            runs["proposal"].total_seconds
+            < runs["graphicionado"].total_seconds
+        )
+
+    def test_iteration_stats_recorded(self, graph):
+        res = run_vertex_centric(PROPOSAL, graph, 0, "bfs")
+        assert all(it.edges_processed >= 0 for it in res.iterations)
+        assert res.total_traffic_bytes > 0
+        assert res.iterations[0].active == 1  # just the source
+
+
+class TestOnStandins:
+    def test_bfs_on_flickr_standin(self):
+        g = adjacency_from_dataset("fl", weighted=False)
+        ref = reference_bfs(g, _source_of(g))
+        res = run_vertex_centric(PROPOSAL, g, _source_of(g), "bfs")
+        assert res.properties == ref
+
+    def test_speedup_over_graphicionado_exceeds_one(self):
+        g = adjacency_from_dataset("fl", weighted=False)
+        src = _source_of(g)
+        base = run_vertex_centric(GRAPHICIONADO, g, src, "bfs")
+        ours = run_vertex_centric(PROPOSAL, g, src, "bfs")
+        assert base.total_seconds / ours.total_seconds > 1.0
+
+
+def _source_of(g):
+    from repro.workloads import reachable_source
+
+    return reachable_source(g, seed=0)

@@ -1,0 +1,90 @@
+"""End-to-end smoke tests mirroring the README and docs examples.
+
+Anything the documentation claims a user can do must actually work; these
+tests execute the documented flows directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accelerators import FACTORIES, accelerator
+from repro.fibertree import tensor_to_dense
+from repro.ir import build_cascade_ir
+from repro.ir.pretty import format_cascade
+from repro.model import evaluate, execute_cascade
+from repro.spec import load_spec
+from repro.workloads import spmspm_pair, uniform_random
+
+
+class TestReadmeFlow:
+    def test_readme_snippet(self):
+        a, b = spmspm_pair("wi")
+        result = evaluate(accelerator("gamma"), {"A": a, "B": b})
+        assert result.env["Z"].nnz > 0
+        assert result.normalized_traffic() > 0
+        assert result.exec_seconds > 0
+        assert result.energy_mj > 0
+        assert result.blocks == [["T", "Z"]]
+
+    def test_minimal_spec_needs_only_einsum(self):
+        spec = load_spec("""
+einsum:
+  declaration: {A: [K, M], B: [K, N], Z: [M, N]}
+  expressions: ["Z[m, n] = A[k, m] * B[k, n]"]
+""")
+        a = uniform_random("A", ["K", "M"], (20, 20), 0.2, seed=1)
+        b = uniform_random("B", ["K", "N"], (20, 20), 0.2, seed=2)
+        env = execute_cascade(spec, {"A": a, "B": b})
+        assert env["Z"].nnz > 0
+
+    def test_pretty_printer_runs_on_every_registered_accelerator(self):
+        for name in FACTORIES:
+            spec = accelerator(name)
+            text = format_cascade(build_cascade_ir(spec))
+            assert "# Einsum:" in text, name
+
+
+class TestRegistry:
+    def test_nine_accelerators_registered(self):
+        assert set(FACTORIES) == {
+            "extensor", "eyeriss", "flexagon", "gamma", "matraptor",
+            "outerspace", "sigma", "sparch", "tensaurus",
+        }
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            accelerator("tpu-v5")
+
+    @pytest.mark.parametrize("name", sorted(FACTORIES))
+    def test_every_spec_validates_and_lowers(self, name):
+        spec = accelerator(name)
+        irs = build_cascade_ir(spec)
+        assert len(irs) == len(spec.einsum.cascade)
+
+
+class TestSpmSpmCrossValidation:
+    """All five SpMSpM accelerators agree on the same workload."""
+
+    def test_five_way_agreement(self):
+        a = uniform_random("A", ["K", "M"], (36, 30), 0.15, seed=60)
+        b = uniform_random("B", ["K", "N"], (36, 32), 0.15, seed=61)
+        expected = (
+            tensor_to_dense(a, shape=[36, 30]).T
+            @ tensor_to_dense(b, shape=[36, 32])
+        )
+        params = {
+            "extensor": dict(k1=16, k0=8, m1=16, m0=8, n1=16, n0=8),
+            "gamma": dict(pe_rows=8, merge_way=8),
+            "outerspace": dict(mult_outer=16, mult_inner=4,
+                               merge_outer=8, merge_inner=2),
+            "sigma": dict(k_tile=16, pe_array=128),
+            "matraptor": dict(pe_rows=8),
+        }
+        for name, kw in params.items():
+            env = execute_cascade(accelerator(name, **kw),
+                                  {"A": a.copy(), "B": b.copy()})
+            np.testing.assert_allclose(
+                tensor_to_dense(env["Z"], shape=expected.shape),
+                expected,
+                err_msg=name,
+            )

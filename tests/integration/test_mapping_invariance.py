@@ -1,0 +1,179 @@
+"""Property tests: mappings never change functional results.
+
+TeAAL's central separation of concerns — the Einsum defines *what* is
+computed, the mapping only *how* — implies any legal mapping of matrix
+multiply must produce the same product.  These tests generate random loop
+orders, partitionings, and rank orders and check the executor against
+numpy every time.
+"""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.fibertree import tensor_from_dense, tensor_to_dense
+from repro.model import execute_cascade
+from repro.spec import load_spec
+
+
+def random_inputs(seed, k=18, m=14, n=12, density=0.35):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(1, 5, size=(k, m)) * (rng.random((k, m)) < density)
+    b = rng.integers(1, 5, size=(k, n)) * (rng.random((k, n)) < density)
+    return a.astype(float), b.astype(float)
+
+
+def run_with_mapping(mapping_yaml: str, seed: int):
+    a, b = random_inputs(seed)
+    spec = load_spec(
+        """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    Z: [M, N]
+  expressions:
+    - Z[m, n] = A[k, m] * B[k, n]
+"""
+        + mapping_yaml
+    )
+    tensors = {
+        "A": tensor_from_dense("A", ["K", "M"], a),
+        "B": tensor_from_dense("B", ["K", "N"], b),
+    }
+    env = execute_cascade(spec, tensors)
+    return tensor_to_dense(env["Z"], shape=(a.shape[1], b.shape[1])), a.T @ b
+
+
+@st.composite
+def loop_orders(draw):
+    ranks = ["M", "N", "K"]
+    return draw(st.permutations(ranks))
+
+
+class TestLoopOrderInvariance:
+    @settings(max_examples=12, deadline=None)
+    @given(loop_orders(), st.integers(min_value=0, max_value=10))
+    def test_any_loop_order_is_correct(self, order, seed):
+        mapping = (
+            "mapping:\n  loop-order:\n    Z: [%s]\n" % ", ".join(order)
+        )
+        ours, expected = run_with_mapping(mapping, seed)
+        np.testing.assert_allclose(ours, expected)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.permutations(["K", "M"]),
+        st.permutations(["K", "N"]),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_any_rank_order_is_correct(self, a_order, b_order, seed):
+        mapping = (
+            "mapping:\n  rank-order:\n    A: [%s]\n    B: [%s]\n"
+            % (", ".join(a_order), ", ".join(b_order))
+        )
+        ours, expected = run_with_mapping(mapping, seed)
+        np.testing.assert_allclose(ours, expected)
+
+
+class TestPartitioningInvariance:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.sampled_from(["K", "M", "N"]),
+        st.integers(min_value=1, max_value=9),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_any_shape_split_is_correct(self, rank, step, seed):
+        others = [r for r in ["M", "N", "K"] if r != rank]
+        loop = [f"{rank}1", f"{rank}0"] + others
+        mapping = (
+            "mapping:\n"
+            "  partitioning:\n"
+            f"    Z:\n      {rank}: [uniform_shape({step})]\n"
+            "  loop-order:\n"
+            f"    Z: [{', '.join(loop)}]\n"
+        )
+        ours, expected = run_with_mapping(mapping, seed)
+        np.testing.assert_allclose(ours, expected)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.sampled_from([("K", "A"), ("M", "A"), ("N", "B")]),
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_any_occupancy_split_is_correct(self, rank_leader, size, seed):
+        rank, leader = rank_leader
+        others = [r for r in ["M", "N", "K"] if r != rank]
+        loop = [f"{rank}1", f"{rank}0"] + others
+        mapping = (
+            "mapping:\n"
+            "  partitioning:\n"
+            f"    Z:\n      {rank}: [uniform_occupancy({leader}.{size})]\n"
+            "  loop-order:\n"
+            f"    Z: [{', '.join(loop)}]\n"
+        )
+        ours, expected = run_with_mapping(mapping, seed)
+        np.testing.assert_allclose(ours, expected)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=6),
+    )
+    def test_double_split_is_correct(self, s1, s0, seed):
+        mapping = (
+            "mapping:\n"
+            "  partitioning:\n"
+            "    Z:\n"
+            f"      K: [uniform_shape({max(s1, s0)}), "
+            f"uniform_shape({min(s1, s0)})]\n"
+            "  loop-order:\n"
+            "    Z: [K2, K1, M, N, K0]\n"
+        )
+        ours, expected = run_with_mapping(mapping, seed)
+        np.testing.assert_allclose(ours, expected)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=6),
+    )
+    def test_flatten_then_split_is_correct(self, size, seed):
+        mapping = (
+            "mapping:\n"
+            "  partitioning:\n"
+            "    Z:\n"
+            "      (K, M): [flatten()]\n"
+            f"      KM: [uniform_occupancy(A.{size})]\n"
+            "  loop-order:\n"
+            "    Z: [KM1, KM0, N]\n"
+        )
+        ours, expected = run_with_mapping(mapping, seed)
+        np.testing.assert_allclose(ours, expected)
+
+
+class TestSpacetimeInvariance:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.sampled_from([
+            (["M"], ["N", "K"]),
+            (["N"], ["M", "K"]),
+            (["M", "N"], ["K"]),
+            ([], ["M", "N", "K"]),
+        ]),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_spacetime_does_not_change_values(self, split, seed):
+        space, time = split
+        mapping = (
+            "mapping:\n"
+            "  loop-order:\n    Z: [M, N, K]\n"
+            "  spacetime:\n"
+            "    Z:\n"
+            f"      space: [{', '.join(space)}]\n"
+            f"      time: [{', '.join(time)}]\n"
+        )
+        ours, expected = run_with_mapping(mapping, seed)
+        np.testing.assert_allclose(ours, expected)

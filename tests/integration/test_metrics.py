@@ -1,0 +1,98 @@
+"""Tests for the validation-metric helpers."""
+
+import math
+
+import pytest
+
+from repro.metrics import (
+    geometric_mean,
+    mean_relative_error,
+    ordering_agreement,
+    relative_error,
+    summarize,
+    win_agreement,
+)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(10, 11) == pytest.approx(0.1)
+        assert relative_error(10, 9) == pytest.approx(0.1)
+
+    def test_zero_reported_raises(self):
+        with pytest.raises(ValueError):
+            relative_error(0, 1)
+
+    def test_mean(self):
+        rep = {"a": 10.0, "b": 20.0}
+        meas = {"a": 11.0, "b": 18.0}
+        assert mean_relative_error(rep, meas) == pytest.approx(0.1)
+
+    def test_mean_skips_nan(self):
+        rep = {"a": 10.0, "b": float("nan")}
+        meas = {"a": 12.0, "b": 5.0}
+        assert mean_relative_error(rep, meas) == pytest.approx(0.2)
+
+    def test_mean_no_keys_raises(self):
+        with pytest.raises(ValueError):
+            mean_relative_error({"a": 1.0}, {"b": 1.0})
+
+
+class TestOrdering:
+    def test_perfect_agreement(self):
+        rep = {"a": 1.0, "b": 2.0, "c": 3.0}
+        meas = {"a": 10.0, "b": 30.0, "c": 40.0}
+        assert ordering_agreement(rep, meas) == 1.0
+
+    def test_full_reversal(self):
+        rep = {"a": 1.0, "b": 2.0}
+        meas = {"a": 2.0, "b": 1.0}
+        assert ordering_agreement(rep, meas) == 0.0
+
+    def test_partial(self):
+        rep = {"a": 1.0, "b": 2.0, "c": 3.0}
+        meas = {"a": 1.0, "b": 3.0, "c": 2.0}
+        assert ordering_agreement(rep, meas) == pytest.approx(2 / 3)
+
+    def test_single_key_raises(self):
+        with pytest.raises(ValueError):
+            ordering_agreement({"a": 1.0}, {"a": 2.0})
+
+
+class TestWinAgreement:
+    def test_all_win_both_sides(self):
+        rep = {"a": 3.0, "b": 0.5}
+        meas = {"a": 2.0, "b": 0.7}
+        assert win_agreement(rep, meas) == 1.0
+
+    def test_disagreement(self):
+        rep = {"a": 3.0}
+        meas = {"a": 0.5}
+        assert win_agreement(rep, meas) == 0.0
+
+
+class TestSummary:
+    def test_geomean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_summarize_keys(self):
+        rep = {"a": 2.0, "b": 4.0}
+        meas = {"a": 2.2, "b": 3.6}
+        s = summarize(rep, meas)
+        assert set(s) == {
+            "mean_relative_error", "ordering_agreement", "win_agreement",
+            "reported_geomean", "measured_geomean",
+        }
+        assert s["ordering_agreement"] == 1.0
+
+    def test_on_published_gamma_traffic(self):
+        """Our measured Figure 9b series agrees with the reported one far
+        better than chance: low error, high ordering agreement."""
+        from repro.published import FIG9B_GAMMA_TRAFFIC
+
+        measured = {"wi": 1.073, "p2": 1.027, "ca": 1.037, "po": 1.056,
+                    "em": 1.025}
+        s = summarize(FIG9B_GAMMA_TRAFFIC, measured)
+        assert s["mean_relative_error"] < 0.20
+        assert s["win_agreement"] == 1.0

@@ -1,0 +1,198 @@
+"""Tests for loop-nest IR construction, including inferred swizzles."""
+
+import pytest
+
+from repro.ir import FLAT, PLAIN, UPPER, VIRTUAL, build_cascade_ir, build_ir
+from repro.spec import load_spec
+
+OUTERSPACE_YAML = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    T: [K, M, N]
+    Z: [M, N]
+  expressions:
+    - T[k, m, n] = A[k, m] * B[k, n]
+    - Z[m, n] = T[k, m, n]
+mapping:
+  rank-order:
+    A: [K, M]
+    B: [K, N]
+    T: [M, K, N]
+    Z: [M, N]
+  partitioning:
+    T:
+      (K, M): [flatten()]
+      KM: [uniform_occupancy(A.256), uniform_occupancy(A.16)]
+    Z:
+      M: [uniform_occupancy(T.128), uniform_occupancy(T.8)]
+  loop-order:
+    T: [KM2, KM1, KM0, N]
+    Z: [M2, M1, M0, N, K]
+  spacetime:
+    T:
+      space: [KM1, KM0]
+      time: [KM2, N]
+    Z:
+      space: [M1, M0]
+      time: [M2, N, K]
+"""
+
+GAMMA_YAML = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    T: [K, M, N]
+    Z: [M, N]
+  expressions:
+    - T[k, m, n] = take(A[k, m], B[k, n], 1)
+    - Z[m, n] = T[k, m, n] * A[k, m]
+mapping:
+  rank-order:
+    A: [M, K]
+    B: [K, N]
+    T: [M, K, N]
+    Z: [M, N]
+  partitioning:
+    T:
+      M: [uniform_occupancy(A.32)]
+      K: [uniform_occupancy(A.64)]
+    Z:
+      M: [uniform_occupancy(A.32)]
+      K: [uniform_occupancy(A.64)]
+  loop-order:
+    T: [M1, M0, K1, K0, N]
+    Z: [M1, M0, K1, N, K0]
+  spacetime:
+    T:
+      space: [M0, K1]
+      time: [M1, K0, N]
+    Z:
+      space: [M0, K1]
+      time: [M1, N, K0]
+"""
+
+
+class TestOuterspaceIR:
+    def test_multiply_phase_loop_ranks(self):
+        spec = load_spec(OUTERSPACE_YAML)
+        ir = build_ir(spec, "T")
+        assert ir.loop_ranks == ["KM2", "KM1", "KM0", "N"]
+
+    def test_binds_flattened_rank(self):
+        ir = build_ir(load_spec(OUTERSPACE_YAML), "T")
+        assert ir.binds["KM0"] == ("k", "m")
+        assert ir.binds["KM2"] == ()
+        assert ir.binds["N"] == ("n",)
+
+    def test_a_plan_flatten_then_split(self):
+        ir = build_ir(load_spec(OUTERSPACE_YAML), "T")
+        a = ir.plan_for("A")
+        kinds = [(l.rank, l.kind) for l in a.levels]
+        assert kinds == [
+            ("KM2", "flat_upper"),
+            ("KM1", "flat_upper"),
+            ("KM0", FLAT),
+        ]
+        steps = [s.kind for s in a.prep]
+        assert steps == ["flatten", "partition_occupancy"]
+
+    def test_b_is_lookup_only(self):
+        ir = build_ir(load_spec(OUTERSPACE_YAML), "T")
+        b = ir.plan_for("B")
+        assert [l.rank for l in b.levels] == ["KM0", "N"]
+        assert b.prep == []
+
+    def test_producer_swizzle_inferred_for_t(self):
+        # T is built in (k, m, n) order but stored [M, K, N].
+        ir = build_ir(load_spec(OUTERSPACE_YAML), "T")
+        assert ir.output.needs_producer_swizzle
+        assert ir.output.storage_ranks == ["M", "K", "N"]
+
+    def test_merge_phase_consumer_swizzle(self):
+        # The merge phase wants T as [M, N, K]: partition + swizzle prep.
+        ir = build_ir(load_spec(OUTERSPACE_YAML), "Z")
+        t = ir.plan_for("T")
+        kinds = [s.kind for s in t.prep]
+        assert kinds == ["partition_occupancy", "swizzle"]
+        assert t.prep[-1].ranks == ("M2", "M1", "M0", "N", "K")
+        assert t.is_intermediate
+
+    def test_spacetime(self):
+        ir = build_ir(load_spec(OUTERSPACE_YAML), "T")
+        assert ir.space_ranks == ["KM1", "KM0"]
+        assert ir.time_ranks == ["KM2", "N"]
+
+    def test_modes(self):
+        spec = load_spec(OUTERSPACE_YAML)
+        t = build_ir(spec, "T")
+        assert t.modes["KM0"] == "intersect"  # A * B share k
+        z = build_ir(spec, "Z")
+        assert z.modes["K"] == "single"
+
+
+class TestGammaIR:
+    def test_followers_get_virtual_levels(self):
+        spec = load_spec(GAMMA_YAML)
+        ir = build_ir(spec, "T")
+        b = ir.plan_for("B")
+        kinds = [(l.rank, l.kind) for l in b.levels]
+        assert kinds == [("K1", VIRTUAL), ("K0", PLAIN), ("N", PLAIN)]
+
+    def test_leader_split_eagerly(self):
+        ir = build_ir(load_spec(GAMMA_YAML), "T")
+        a = ir.plan_for("A")
+        assert [(l.rank, l.kind) for l in a.levels] == [
+            ("M1", UPPER),
+            ("M0", PLAIN),
+            ("K1", UPPER),
+            ("K0", PLAIN),
+        ]
+
+    def test_consumer_t_swizzled_for_concordance(self):
+        # Paper: "TeAAL inserts a rank swizzle on T, making its rank order
+        # [M, N, K] in the context of the second Einsum."
+        ir = build_ir(load_spec(GAMMA_YAML), "Z")
+        t = ir.plan_for("T")
+        swizzles = [s for s in t.prep if s.kind == "swizzle"]
+        assert len(swizzles) == 1
+        assert swizzles[0].ranks == ("M", "N", "K")
+
+    def test_t_virtual_followers_in_consumer(self):
+        ir = build_ir(load_spec(GAMMA_YAML), "Z")
+        t = ir.plan_for("T")
+        assert [(l.rank, l.kind) for l in t.levels] == [
+            ("M1", VIRTUAL),
+            ("M0", PLAIN),
+            ("K1", VIRTUAL),
+            ("N", PLAIN),
+            ("K0", PLAIN),
+        ]
+
+    def test_take_mode_is_intersect(self):
+        ir = build_ir(load_spec(GAMMA_YAML), "T")
+        assert ir.modes["K0"] == "intersect"
+
+
+class TestDefaults:
+    def test_unmapped_einsum_gets_default_order(self):
+        spec = load_spec(
+            """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    Z: [M, N]
+  expressions:
+    - Z[m, n] = A[k, m] * B[k, n]
+"""
+        )
+        ir = build_ir(spec, "Z")
+        assert ir.loop_ranks == ["M", "N", "K"]
+        assert ir.time_ranks == ["M", "N", "K"]  # all-serial by default
+
+    def test_cascade_ir_order(self):
+        irs = build_cascade_ir(load_spec(OUTERSPACE_YAML))
+        assert [ir.name for ir in irs] == ["T", "Z"]

@@ -1,0 +1,61 @@
+"""Tests for the IR pretty-printer (the generated-loop-nest artifact)."""
+
+from repro.ir import build_cascade_ir, build_ir
+from repro.ir.pretty import format_cascade, format_ir
+from repro.spec import load_spec
+
+SPEC = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    T: [K, M, N]
+    Z: [M, N]
+  expressions:
+    - T[k, m, n] = A[k, m] * B[k, n]
+    - Z[m, n] = T[k, m, n]
+mapping:
+  rank-order:
+    T: [M, K, N]
+  loop-order:
+    T: [K, M, N]
+    Z: [M, N, K]
+  spacetime:
+    T: {space: [M], time: [K, N]}
+    Z: {space: [M], time: [N, K]}
+"""
+
+
+class TestFormatIr:
+    def test_contains_loops_in_order(self):
+        ir = build_ir(load_spec(SPEC), "T")
+        text = format_ir(ir)
+        k = text.index("for K")
+        m = text.index("for M")
+        n = text.index("for N")
+        assert k < m < n
+
+    def test_shows_einsum_and_write(self):
+        ir = build_ir(load_spec(SPEC), "T")
+        text = format_ir(ir)
+        assert "T[k, m, n] = A[k, m] * B[k, n]" in text
+        assert "+=" in text
+
+    def test_space_time_annotations(self):
+        ir = build_ir(load_spec(SPEC), "T")
+        text = format_ir(ir)
+        assert "# space" in text
+        assert "# time" in text
+
+    def test_mentions_intersection(self):
+        ir = build_ir(load_spec(SPEC), "T")
+        assert "intersect" in format_ir(ir)
+
+    def test_producer_swizzle_note(self):
+        ir = build_ir(load_spec(SPEC), "T")
+        assert "swizzled" in format_ir(ir)
+
+    def test_cascade_has_block_per_einsum(self):
+        irs = build_cascade_ir(load_spec(SPEC))
+        text = format_cascade(irs)
+        assert text.count("# Einsum:") == 2

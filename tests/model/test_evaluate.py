@@ -1,0 +1,148 @@
+"""Tests for the evaluation layer: event routing, fusion, results."""
+
+import pytest
+
+from repro.accelerators import accelerator
+from repro.model import evaluate, fuse_blocks
+from repro.model.evaluate import ModelSink, _temporal_prefix
+from repro.spec import load_spec
+from repro.workloads import uniform_random
+
+
+def small_pair(seed=0, shape=(40, 40), density=0.12):
+    a = uniform_random("A", ["K", "M"], shape, density, seed=seed)
+    b = uniform_random("B", ["K", "N"], shape, density, seed=seed + 1)
+    return a, b
+
+
+class TestFusionRules:
+    def test_gamma_fuses(self):
+        a, b = small_pair()
+        res = evaluate(accelerator("gamma", pe_rows=8, merge_way=8),
+                       {"A": a, "B": b})
+        assert res.blocks == [["T", "Z"]]
+
+    def test_outerspace_does_not_fuse(self):
+        a, b = small_pair()
+        res = evaluate(
+            accelerator("outerspace", mult_outer=16, mult_inner=4,
+                        merge_outer=8, merge_inner=2),
+            {"A": a, "B": b},
+        )
+        assert res.blocks == [["T"], ["Z"]]
+
+    def test_temporal_prefix(self):
+        spec = accelerator("gamma")
+        assert _temporal_prefix(spec, "T") == ["M1"]
+        assert _temporal_prefix(spec, "Z") == ["M1"]
+
+    def test_mismatched_prefix_blocks_fusion(self):
+        spec = load_spec("""
+einsum:
+  declaration:
+    A: [K, M]
+    T: [K, M]
+    Z: [M]
+  expressions:
+    - T[k, m] = A[k, m]
+    - Z[m] = T[k, m]
+mapping:
+  loop-order:
+    T: [K, M]
+    Z: [M, K]
+  spacetime:
+    T: {space: [M], time: [K]}
+    Z: {space: [K], time: [M]}
+""")
+        a = uniform_random("A", ["K", "M"], (20, 20), 0.2, seed=3)
+        res = evaluate(spec, {"A": a})
+        assert res.blocks == [["T"], ["Z"]]
+
+    def test_no_bindings_fuse_when_prefixes_match(self):
+        spec = load_spec("""
+einsum:
+  declaration:
+    A: [K, M]
+    T: [K, M]
+    Z: [M]
+  expressions:
+    - T[k, m] = A[k, m]
+    - Z[m] = T[k, m]
+mapping:
+  loop-order:
+    T: [M, K]
+    Z: [M, K]
+""")
+        a = uniform_random("A", ["K", "M"], (20, 20), 0.2, seed=3)
+        res = evaluate(spec, {"A": a})
+        assert res.blocks == [["T", "Z"]]
+
+
+class TestResultApi:
+    @pytest.fixture(scope="class")
+    def result(self):
+        a, b = small_pair()
+        return evaluate(accelerator("extensor", k1=16, k0=8, m1=16, m0=8,
+                                    n1=16, n0=8), {"A": a, "B": b})
+
+    def test_traffic_by_tensor_sums_to_total(self, result):
+        per_tensor = sum(
+            result.traffic_bytes(t) for t in ("A", "B", "Z")
+        )
+        assert per_tensor == pytest.approx(result.traffic_bytes())
+
+    def test_exec_cycles_consistent_with_seconds(self, result):
+        assert result.exec_cycles == pytest.approx(
+            result.exec_seconds * 1e9
+        )
+
+    def test_energy_breakdown_sums(self, result):
+        assert sum(result.energy_breakdown_pj().values()) == pytest.approx(
+            result.energy_pj
+        )
+
+    def test_action_counts_nonnegative(self, result):
+        assert all(v >= 0 for v in result.action_counts().values())
+
+    def test_total_ops_matches_effectual_multiplies(self, result):
+        # One multiply per matched (k, m, n) triple.
+        assert result.total_ops() > 0
+
+    def test_utilization_in_unit_interval(self, result):
+        assert 0 <= result.utilization() <= 1.5
+
+    def test_normalized_traffic_at_least_compulsory(self, result):
+        # ExTensor re-streams tiles; must be above 1x minimum.
+        assert result.normalized_traffic() > 1.0
+
+
+class TestModelSinkRouting:
+    def test_unbound_tensor_goes_to_dram(self):
+        spec = load_spec("""
+einsum:
+  declaration: {A: [K], Z: [K]}
+  expressions: ["Z[k] = A[k]"]
+""")
+        a = uniform_random("A", ["K", "M"], (16, 1), 0.5, seed=1)
+        # Collapse to a vector.
+        from repro.fibertree import Tensor
+        vec = Tensor.from_coo("A", ["K"],
+                              [((k,), v) for (k, _), v in a.leaves()],
+                              shape=[16])
+        res = evaluate(spec, {"A": vec})
+        assert res.traffic_bytes("A") > 0
+
+    def test_spill_false_suppresses_dram(self):
+        a, b = small_pair()
+        res = evaluate(accelerator("gamma", pe_rows=8, merge_way=8),
+                       {"A": a, "B": b})
+        assert res.traffic_bytes("T") == 0
+
+    def test_stored_swizzles_to_rank_order(self):
+        spec = accelerator("gamma")
+        env = {}
+        sink = ModelSink(spec, env)
+        a, _ = small_pair()
+        env["A"] = a  # declared [K, M]; Gamma stores A as [M, K]
+        stored = sink.stored("A")
+        assert stored.rank_ids == ["M", "K"]

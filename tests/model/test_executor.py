@@ -1,0 +1,387 @@
+"""Executor correctness: every cascade computes the same values as a dense
+numpy reference, across mappings, partitionings, and operator sets."""
+
+import numpy as np
+import pytest
+
+from repro.fibertree import tensor_from_dense, tensor_to_dense
+from repro.model import CountingSink, execute_cascade
+from repro.spec import load_spec
+
+
+def random_sparse(shape, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.integers(1, 10, size=shape).astype(float)
+    mask = rng.random(shape) < density
+    return dense * mask
+
+
+MATMUL_PLAIN = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    Z: [M, N]
+  expressions:
+    - Z[m, n] = A[k, m] * B[k, n]
+"""
+
+
+def run_matmul(yaml_text, m=13, k=17, n=11, da=0.4, db=0.35, seed=0,
+               sink=None):
+    a = random_sparse((k, m), da, seed)
+    b = random_sparse((k, n), db, seed + 1)
+    tensors = {
+        "A": tensor_from_dense("A", ["K", "M"], a),
+        "B": tensor_from_dense("B", ["K", "N"], b),
+    }
+    env = execute_cascade(load_spec(yaml_text), tensors, sink=sink)
+    expected = a.T @ b
+    return env, expected
+
+
+class TestPlainMatmul:
+    def test_values_match_numpy(self):
+        env, expected = run_matmul(MATMUL_PLAIN)
+        np.testing.assert_allclose(
+            tensor_to_dense(env["Z"], shape=expected.shape), expected
+        )
+
+    def test_empty_inputs_give_empty_output(self):
+        env, expected = run_matmul(MATMUL_PLAIN, da=0.0)
+        assert env["Z"].nnz == 0
+
+    def test_dense_inputs(self):
+        env, expected = run_matmul(MATMUL_PLAIN, da=1.0, db=1.0)
+        np.testing.assert_allclose(
+            tensor_to_dense(env["Z"], shape=expected.shape), expected
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_seeds(self, seed):
+        env, expected = run_matmul(MATMUL_PLAIN, seed=seed)
+        np.testing.assert_allclose(
+            tensor_to_dense(env["Z"], shape=expected.shape), expected
+        )
+
+
+OUTERSPACE_YAML = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    T: [K, M, N]
+    Z: [M, N]
+  expressions:
+    - T[k, m, n] = A[k, m] * B[k, n]
+    - Z[m, n] = T[k, m, n]
+mapping:
+  rank-order:
+    A: [K, M]
+    B: [K, N]
+    T: [M, K, N]
+    Z: [M, N]
+  partitioning:
+    T:
+      (K, M): [flatten()]
+      KM: [uniform_occupancy(A.8), uniform_occupancy(A.4)]
+    Z:
+      M: [uniform_occupancy(T.8), uniform_occupancy(T.4)]
+  loop-order:
+    T: [KM2, KM1, KM0, N]
+    Z: [M2, M1, M0, N, K]
+  spacetime:
+    T:
+      space: [KM1, KM0]
+      time: [KM2, N]
+    Z:
+      space: [M1, M0]
+      time: [M2, N, K]
+"""
+
+
+class TestOuterspaceCascade:
+    def test_multiply_merge_matches_numpy(self):
+        env, expected = run_matmul(OUTERSPACE_YAML)
+        np.testing.assert_allclose(
+            tensor_to_dense(env["Z"], shape=expected.shape), expected
+        )
+
+    def test_intermediate_t_is_outer_products(self):
+        env, _ = run_matmul(OUTERSPACE_YAML, m=6, k=5, n=4)
+        # T[k, m, n] = A[k, m] * B[k, n]: check one point.
+        t = env["T"]
+        a, b = env["A"], env["B"]
+        for (m, k, n), v in t.leaves():  # stored [M, K, N]
+            assert v == a.get((k, m)) * b.get((k, n))
+
+    def test_swizzle_events_recorded(self):
+        sink = CountingSink()
+        env, _ = run_matmul(OUTERSPACE_YAML, sink=sink)
+        # Producer side: T built [K,M,N]-order, stored [M,K,N].
+        assert sink.swizzles[("T", "T", "producer")] == env["T"].nnz
+        # Consumer side: merge phase swizzles T to [M,N,K].
+        assert sink.swizzles[("Z", "T", "consumer")] == env["T"].nnz
+
+    def test_parallel_lanes_bounded_by_partitioning(self):
+        sink = CountingSink()
+        run_matmul(OUTERSPACE_YAML, sink=sink)
+        # Space ranks KM1 x KM0 with occupancy 8 -> 2 chunks of 4: <= 2*4.
+        assert 1 <= sink.parallel_lanes("T") <= 8
+
+
+GAMMA_YAML = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    T: [K, M, N]
+    Z: [M, N]
+  expressions:
+    - T[k, m, n] = take(A[k, m], B[k, n], 1)
+    - Z[m, n] = T[k, m, n] * A[k, m]
+mapping:
+  rank-order:
+    A: [M, K]
+    B: [K, N]
+    T: [M, K, N]
+    Z: [M, N]
+  partitioning:
+    T:
+      M: [uniform_occupancy(A.4)]
+      K: [uniform_occupancy(A.4)]
+    Z:
+      M: [uniform_occupancy(A.4)]
+      K: [uniform_occupancy(A.4)]
+  loop-order:
+    T: [M1, M0, K1, K0, N]
+    Z: [M1, M0, K1, N, K0]
+  spacetime:
+    T:
+      space: [M0, K1]
+      time: [M1, K0, N]
+    Z:
+      space: [M0, K1]
+      time: [M1, N, K0]
+"""
+
+
+class TestGammaCascade:
+    def test_row_wise_product_matches_numpy(self):
+        env, expected = run_matmul(GAMMA_YAML)
+        np.testing.assert_allclose(
+            tensor_to_dense(env["Z"], shape=expected.shape), expected
+        )
+
+    def test_take_copies_b(self):
+        env, _ = run_matmul(GAMMA_YAML, m=6, k=5, n=4, da=0.6, db=0.6)
+        b = env["B"]
+        for (m, k, n), v in env["T"].leaves():
+            assert v == b.get((k, n))
+
+    def test_t_only_has_rows_selected_by_a(self):
+        env, _ = run_matmul(GAMMA_YAML)
+        a_points = {(k, m) for (k, m), _ in env["A"].leaves()}
+        for (m, k, n), _ in env["T"].leaves():
+            assert (k, m) in a_points
+
+
+SIGMA_YAML = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    S: [K, M]
+    T: [K, M]
+    Z: [M, N]
+  expressions:
+    - S[k, m] = take(A[k, m], B[k, n], 0)
+    - T[k, m] = take(A[k, m], S[k, m], 0)
+    - Z[m, n] = T[k, m] * B[k, n]
+mapping:
+  rank-order:
+    A: [K, M]
+    B: [K, N]
+    S: [K, M]
+    T: [K, M]
+    Z: [M, N]
+  partitioning:
+    Z:
+      K: [uniform_shape(8)]
+      (M, K0): [flatten()]
+      MK0: [uniform_occupancy(T.16)]
+  loop-order:
+    S: [K, M, N]
+    T: [K, M]
+    Z: [K1, MK01, MK00, N]
+  spacetime:
+    S:
+      space: []
+      time: [K, M, N]
+    T:
+      space: []
+      time: [K, M]
+    Z:
+      space: [MK00]
+      time: [K1, MK01, N.coord]
+"""
+
+
+class TestSigmaCascade:
+    def test_prefilter_then_multiply_matches_numpy(self):
+        env, expected = run_matmul(SIGMA_YAML)
+        np.testing.assert_allclose(
+            tensor_to_dense(env["Z"], shape=expected.shape), expected
+        )
+
+    def test_s_filters_empty_b_rows(self):
+        env, _ = run_matmul(SIGMA_YAML, db=0.2)
+        b_rows = {k for (k, n), _ in env["B"].leaves()}
+        for (k, m), _ in env["S"].leaves():
+            assert k in b_rows
+
+    def test_existential_rank_early_exit(self):
+        # The N loop of the S Einsum needs only the first matching n.
+        sink = CountingSink()
+        env, _ = run_matmul(SIGMA_YAML, sink=sink)
+        s_nnz = env["S"].nnz
+        copies = sink.computes[("S", "copy")]
+        assert copies == s_nnz  # one effectual take per output point
+
+
+EXTENSOR_YAML = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    Z: [M, N]
+  expressions:
+    - Z[m, n] = A[k, m] * B[k, n]
+mapping:
+  rank-order:
+    A: [K, M]
+    B: [K, N]
+    Z: [M, N]
+  partitioning:
+    Z:
+      K:
+        - uniform_shape(K1)
+        - uniform_shape(K0)
+      M:
+        - uniform_shape(M1)
+        - uniform_shape(M0)
+      N:
+        - uniform_shape(N1)
+        - uniform_shape(N0)
+  loop-order:
+    Z: [N2, K2, M2, M1, N1, K1, M0, N0, K0]
+  spacetime:
+    Z:
+      space: [K1]
+      time: [N2, K2, M2, M1, N1, M0, N0, K0]
+params:
+  K1: 8
+  K0: 4
+  M1: 8
+  M0: 4
+  N1: 8
+  N0: 4
+"""
+
+
+class TestExtensorMapping:
+    def test_tiled_inner_product_matches_numpy(self):
+        env, expected = run_matmul(EXTENSOR_YAML, m=17, k=19, n=13)
+        np.testing.assert_allclose(
+            tensor_to_dense(env["Z"], shape=expected.shape), expected
+        )
+
+    def test_symbolic_params_resolved(self):
+        env, expected = run_matmul(EXTENSOR_YAML)
+        np.testing.assert_allclose(
+            tensor_to_dense(env["Z"], shape=expected.shape), expected
+        )
+
+
+class TestConvolution:
+    CONV = """
+einsum:
+  declaration:
+    I: [W]
+    F: [S]
+    O: [Q]
+  expressions:
+    - O[q] = I[q + s] * F[s]
+  shapes:
+    Q: 6
+"""
+
+    def test_direct_conv_matches_numpy(self):
+        i = np.array([1.0, 2.0, 0.0, 3.0, 1.0, 0.0, 2.0, 1.0])
+        f = np.array([2.0, 0.0, 1.0])
+        tensors = {
+            "I": tensor_from_dense("I", ["W"], i),
+            "F": tensor_from_dense("F", ["S"], f),
+        }
+        env = execute_cascade(load_spec(self.CONV), tensors)
+        expected = np.correlate(i, f, mode="valid")
+        np.testing.assert_allclose(tensor_to_dense(env["O"], shape=[6]),
+                                   expected)
+
+    TOEPLITZ = """
+einsum:
+  declaration:
+    I: [W]
+    F: [S]
+    T: [Q, S]
+    O: [Q]
+  expressions:
+    - T[q, s] = I[q + s]
+    - O[q] = T[q, s] * F[s]
+  shapes:
+    Q: 6
+    S: 3
+"""
+
+    def test_toeplitz_cascade_matches_direct(self):
+        i = np.array([1.0, 2.0, 0.0, 3.0, 1.0, 0.0, 2.0, 1.0])
+        f = np.array([2.0, 0.0, 1.0])
+        tensors = {
+            "I": tensor_from_dense("I", ["W"], i),
+            "F": tensor_from_dense("F", ["S"], f),
+        }
+        env = execute_cascade(load_spec(self.TOEPLITZ), tensors)
+        expected = np.correlate(i, f, mode="valid")
+        np.testing.assert_allclose(tensor_to_dense(env["O"], shape=[6]),
+                                   expected)
+        # T is the im2col expansion of I.
+        assert env["T"].get((0, 1)) == i[1]
+
+
+class TestMTTKRP:
+    MTTKRP = """
+einsum:
+  declaration:
+    T: [I, J, K]
+    A: [K, R]
+    B: [J, R]
+    C: [I, R]
+  expressions:
+    - C[i, r] = T[i, j, k] * B[j, r] * A[k, r]
+"""
+
+    def test_three_factor_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        t = random_sparse((5, 6, 7), 0.3, 1)
+        a = random_sparse((7, 4), 0.7, 2)
+        b = random_sparse((6, 4), 0.7, 3)
+        tensors = {
+            "T": tensor_from_dense("T", ["I", "J", "K"], t),
+            "A": tensor_from_dense("A", ["K", "R"], a),
+            "B": tensor_from_dense("B", ["J", "R"], b),
+        }
+        env = execute_cascade(load_spec(self.MTTKRP), tensors)
+        expected = np.einsum("ijk,jr,kr->ir", t, b, a)
+        np.testing.assert_allclose(
+            tensor_to_dense(env["C"], shape=expected.shape), expected
+        )

@@ -1,0 +1,204 @@
+"""Executor edge cases: windows, upper-level lookups, dense iteration,
+whole-tensor copies, and error paths."""
+
+import numpy as np
+import pytest
+
+from repro.fibertree import Tensor, tensor_from_dense, tensor_to_dense
+from repro.model import ExecutionError, execute_cascade, execute_einsum
+from repro.model.executor import prepare_tensor
+from repro.ir import build_ir
+from repro.spec import load_spec
+
+
+class TestWholeTensorCopy:
+    def test_bare_alias(self):
+        spec = load_spec("""
+einsum:
+  declaration: {P0: [V], P1: [V]}
+  expressions: ["P1 = P0"]
+""")
+        p0 = Tensor.from_coo("P0", ["V"], [((2,), 5.0), ((7,), 1.0)],
+                             shape=[10])
+        env = execute_cascade(spec, {"P0": p0})
+        assert env["P1"].points() == p0.points()
+
+
+class TestUpperLevelLookup:
+    def test_lookup_into_partitioned_tensor(self):
+        # B is shape-partitioned on K; its chunks are found by binary
+        # search when k binds from A's side.
+        spec = load_spec("""
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K]
+    Z: [M]
+  expressions:
+    - Z[m] = A[k, m] * B[k]
+mapping:
+  partitioning:
+    Z:
+      K: [uniform_shape(4)]
+  loop-order:
+    Z: [M, K1, K0]
+""")
+        rng = np.random.default_rng(0)
+        a = (rng.random((12, 6)) < 0.4) * 2.0
+        b = (rng.random(12) < 0.6) * 3.0
+        env = execute_cascade(spec, {
+            "A": tensor_from_dense("A", ["K", "M"], a),
+            "B": tensor_from_dense("B", ["K"], b),
+        })
+        np.testing.assert_allclose(
+            tensor_to_dense(env["Z"], shape=[6]), a.T @ b
+        )
+
+
+class TestDenseIteration:
+    def test_output_only_rank_needs_shape(self):
+        # A convolution without a declared Q shape cannot iterate densely.
+        spec = load_spec("""
+einsum:
+  declaration: {I: [W], F: [S], O: [Q]}
+  expressions: ["O[q] = I[q + s] * F[s]"]
+""")
+        i = tensor_from_dense("I", ["W"], np.ones(8))
+        f = tensor_from_dense("F", ["S"], np.ones(3))
+        with pytest.raises(ExecutionError, match="shape"):
+            execute_cascade(spec, {"I": i, "F": f})
+
+    def test_repeated_variable_rejected(self):
+        from repro.ir import BuildError
+
+        spec = load_spec("""
+einsum:
+  declaration: {I: [W], O: [Q]}
+  expressions: ["O[q] = I[q + q]"]
+  shapes: {Q: 4}
+""")
+        i = tensor_from_dense("I", ["W"], np.arange(1.0, 9.0))
+        with pytest.raises(BuildError, match="repeats a variable"):
+            execute_cascade(spec, {"I": i})
+
+
+class TestTakeSemantics:
+    def test_take_overwrites_not_accumulates(self):
+        spec = load_spec("""
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    S: [K, M]
+  expressions:
+    - S[k, m] = take(A[k, m], B[k, n], 0)
+""")
+        a = Tensor.from_coo("A", ["K", "M"], [((0, 0), 7.0)], shape=[2, 2])
+        b = Tensor.from_coo("B", ["K", "N"],
+                            [((0, 0), 1.0), ((0, 1), 1.0), ((0, 2), 1.0)],
+                            shape=[2, 3])
+        env = execute_cascade(spec, {"A": a, "B": b})
+        # Even with three matching n's, take copies A's value exactly once.
+        assert env["S"].get((0, 0)) == 7.0
+
+    def test_take_zero_when_empty(self):
+        spec = load_spec("""
+einsum:
+  declaration:
+    A: [K]
+    B: [K]
+    S: [K]
+  expressions:
+    - S[k] = take(A[k], B[k], 0)
+""")
+        a = Tensor.from_coo("A", ["K"], [((0,), 3.0), ((1,), 4.0)])
+        b = Tensor.from_coo("B", ["K"], [((1,), 9.0)])
+        env = execute_cascade(spec, {"A": a, "B": b})
+        assert env["S"].points() == {(1,): 4.0}
+
+
+class TestErrors:
+    def test_missing_input_raises(self):
+        spec = load_spec("""
+einsum:
+  declaration: {A: [K], Z: [K]}
+  expressions: ["Z[k] = A[k]"]
+""")
+        ir = build_ir(spec, "Z")
+        with pytest.raises(ExecutionError, match="missing input"):
+            execute_einsum(ir, {}, {"A": ["K"], "Z": ["K"]})
+
+    def test_unknown_prep_step(self):
+        from repro.ir.nodes import PrepStep
+
+        t = Tensor.from_coo("A", ["K"], [((0,), 1.0)])
+        with pytest.raises(ExecutionError, match="unknown prep step"):
+            prepare_tensor(t, ["K"], [PrepStep("teleport")])
+
+
+class TestReductionOrders:
+    @pytest.mark.parametrize("loop", [
+        "[M, N, K]", "[K, M, N]", "[M, K, N]",
+    ])
+    def test_reduction_rank_position_invariant(self, loop):
+        spec = load_spec(f"""
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    Z: [M, N]
+  expressions:
+    - Z[m, n] = A[k, m] * B[k, n]
+mapping:
+  loop-order:
+    Z: {loop}
+""")
+        rng = np.random.default_rng(1)
+        a = (rng.random((8, 6)) < 0.5) * rng.integers(1, 4, (8, 6))
+        b = (rng.random((8, 5)) < 0.5) * rng.integers(1, 4, (8, 5))
+        env = execute_cascade(spec, {
+            "A": tensor_from_dense("A", ["K", "M"], a.astype(float)),
+            "B": tensor_from_dense("B", ["K", "N"], b.astype(float)),
+        })
+        np.testing.assert_allclose(
+            tensor_to_dense(env["Z"], shape=[6, 5]),
+            a.astype(float).T @ b.astype(float),
+        )
+
+
+class TestMultiOutputCascade:
+    def test_fft_butterfly_values(self):
+        # A 2-point DFT butterfly through the Table 2 FFT-step cascade.
+        spec = load_spec("""
+einsum:
+  declaration:
+    P: [Z, K0, N1, W]
+    X: [N1, H]
+    E: [Z, K0]
+    O: [Z, K0]
+    T: [K0]
+    Y0: [K0]
+    Y1: [K0]
+  expressions:
+    - E[0, k0] = P[0, k0, n1, 0] * X[n1, 0]
+    - O[0, k0] = P[0, k0, n1, 0] * X[n1, 1]
+    - T[k0] = P[0, k0, 0, 1] * O[0, k0]
+    - Y0[k0] = E[0, k0] + T[k0]
+    - Y1[k0] = E[0, k0] - T[k0]
+""")
+        # One k0 point; twiddle stored at P[0, k0, 0, 1].
+        p = Tensor.from_coo(
+            "P", ["Z", "K0", "N1", "W"],
+            [((0, 0, 0, 0), 1.0), ((0, 0, 1, 0), 1.0), ((0, 0, 0, 1), 1.0)],
+        )
+        x = Tensor.from_coo("X", ["N1", "H"],
+                            [((0, 0), 3.0), ((0, 1), 3.0),
+                             ((1, 0), 0.0), ((1, 1), 5.0)])
+        env = execute_cascade(spec, {"P": p, "X": x})
+        # E = even part = 3, O = odd part = 3*1? X[n1,1]: n1=0 ->3, n1=1 ->5
+        # E = sum_n1 P[0,0,n1,0] * X[n1,0] = 1*3 + 1*0 = 3
+        assert env["E"].get((0, 0)) == 3.0
+        # O = 1*3 + 1*5 = 8; T = P[0,0,0,1] * O = 8
+        assert env["T"].get((0,)) == 8.0
+        assert env["Y0"].get((0,)) == 11.0
+        assert env["Y1"].get((0,)) == -5.0

@@ -1,0 +1,98 @@
+"""Tests for format-aware footprint accounting."""
+
+import numpy as np
+import pytest
+
+from repro.fibertree import Tensor, tensor_from_dense
+from repro.model import FootprintOracle, algorithmic_minimum_bits, \
+    tensor_rank_stats
+from repro.spec import FormatSpec
+
+CSR = FormatSpec.from_dict(
+    {
+        "A": {
+            "CSR": {
+                "M": {"format": "U", "pbits": 32},
+                "K": {"format": "C", "cbits": 32, "pbits": 64},
+            }
+        }
+    }
+)
+
+
+def matrix():
+    dense = np.zeros((4, 8))
+    dense[0, 2] = 1.0
+    dense[0, 5] = 2.0
+    dense[3, 1] = 3.0
+    return tensor_from_dense("A", ["M", "K"], dense)
+
+
+class TestRankStats:
+    def test_counts(self):
+        stats = tensor_rank_stats(matrix())
+        assert stats["M"].fibers == 1
+        assert stats["M"].elements == 2  # rows 0 and 3 present
+        assert stats["K"].fibers == 2
+        assert stats["K"].elements == 3
+
+    def test_shape_slots(self):
+        stats = tensor_rank_stats(matrix())
+        assert stats["M"].shape_slots == 4
+        assert stats["K"].shape_slots == 16  # 2 fibers x shape 8
+
+
+class TestFootprintOracle:
+    def test_access_bits(self):
+        oracle = FootprintOracle(CSR)
+        assert oracle.access_bits("A", "K", "coord") == 32
+        assert oracle.access_bits("A", "K", "payload") == 64
+        assert oracle.access_bits("A", "K", "elem") == 96
+        assert oracle.access_bits("A", "M", "payload") == 32
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            FootprintOracle(CSR).access_bits("A", "K", "weird")
+
+    def test_rank_bits_compressed(self):
+        oracle = FootprintOracle(CSR)
+        # K rank: 3 elements x (32 + 64) bits.
+        assert oracle.rank_bits(matrix(), "K") == 3 * 96
+
+    def test_rank_bits_uncompressed(self):
+        oracle = FootprintOracle(CSR)
+        # M rank is U: pointer per row slot (shape 4), no coords.
+        assert oracle.rank_bits(matrix(), "M") == 4 * 32
+
+    def test_tensor_bits(self):
+        oracle = FootprintOracle(CSR)
+        assert oracle.tensor_bits(matrix()) == 4 * 32 + 3 * 96
+
+    def test_subtree_bits_per_element(self):
+        oracle = FootprintOracle(CSR)
+        t = matrix()
+        # Below one M element: K bits per row on average + own element bits.
+        per = oracle.subtree_bits_per_element(t, "M")
+        assert per == pytest.approx(32 + 3 * 96 / 2)
+
+    def test_default_format(self):
+        oracle = FootprintOracle(FormatSpec.from_dict({}))
+        assert oracle.access_bits("X", "K", "elem") == 96  # C 32+64 default
+
+    def test_bitmap_format(self):
+        spec = FormatSpec.from_dict(
+            {"A": {"Bitmap": {"K": {"format": "B", "cbits": 1, "pbits": 64}}}}
+        )
+        oracle = FootprintOracle(spec)
+        t = Tensor.from_coo("A", ["K"], [((2,), 1.0), ((5,), 2.0)], shape=[8])
+        # 8 bitmap bits + 2 payloads x 64.
+        assert oracle.rank_bits(t, "K") == 8 + 128
+
+
+class TestAlgorithmicMinimum:
+    def test_sums_inputs_and_outputs(self):
+        oracle = FootprintOracle(CSR)
+        a = matrix()
+        z = Tensor.from_coo("Z", ["M"], [((0,), 1.0)], shape=[4])
+        total = algorithmic_minimum_bits(oracle, {"A": a}, {"Z": z})
+        assert total == oracle.tensor_bits(a) + oracle.tensor_bits(z)

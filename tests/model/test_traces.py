@@ -1,0 +1,91 @@
+"""Tests for trace sinks: counting, spacetime stamps, swizzle events."""
+
+from repro.fibertree import tensor_from_dense
+from repro.model import CountingSink, execute_cascade
+from repro.spec import load_spec
+
+import numpy as np
+
+SPEC = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    Z: [M, N]
+  expressions:
+    - Z[m, n] = A[k, m] * B[k, n]
+mapping:
+  loop-order:
+    Z: [K, M, N]
+  spacetime:
+    Z:
+      space: [M]
+      time: [K, N]
+"""
+
+
+def run(sink=None, k=6, m=5, n=4, density=0.6, seed=0):
+    rng = np.random.default_rng(seed)
+    a = (rng.random((k, m)) < density) * 1.0
+    b = (rng.random((k, n)) < density) * 1.0
+    tensors = {
+        "A": tensor_from_dense("A", ["K", "M"], a),
+        "B": tensor_from_dense("B", ["K", "N"], b),
+    }
+    env = execute_cascade(load_spec(SPEC), tensors, sink=sink)
+    return env, a, b
+
+
+class TestCountingSink:
+    def test_compute_count_matches_effectual_work(self):
+        sink = CountingSink()
+        env, a, b = run(sink)
+        expected_muls = sum(
+            int(a[k].sum() * b[k].sum()) for k in range(a.shape[0])
+        )
+        assert sink.total_computes("mul") == expected_muls
+
+    def test_output_writes_counted(self):
+        sink = CountingSink()
+        env, _, _ = run(sink)
+        assert sink.total_writes("Z") >= env["Z"].nnz
+
+    def test_reads_positive_for_both_inputs(self):
+        sink = CountingSink()
+        run(sink)
+        assert sink.total_reads("A") > 0
+        assert sink.total_reads("B") > 0
+
+    def test_isect_matches_bounded_by_visits(self):
+        sink = CountingSink()
+        run(sink)
+        for key in sink.isect_matched:
+            assert sink.isect_matched[key] * 2 <= sink.isect_visited[key] + \
+                sink.isect_matched[key] * 2
+
+    def test_serial_steps_and_lanes(self):
+        sink = CountingSink()
+        env, a, b = run(sink)
+        # Space rank M: at most m lanes; time (K, N) stamps bound steps.
+        assert 1 <= sink.parallel_lanes("Z") <= a.shape[1]
+        assert sink.serial_steps("Z") >= 1
+
+    def test_spatial_mapping_reduces_steps(self):
+        serial_spec = SPEC.replace("space: [M]", "space: []").replace(
+            "time: [K, N]", "time: [K, M, N]"
+        )
+        sink_par = CountingSink()
+        run(sink_par)
+        sink_ser = CountingSink()
+        rng = np.random.default_rng(0)
+        a = (rng.random((6, 5)) < 0.6) * 1.0
+        b = (rng.random((6, 4)) < 0.6) * 1.0
+        execute_cascade(
+            load_spec(serial_spec),
+            {
+                "A": tensor_from_dense("A", ["K", "M"], a),
+                "B": tensor_from_dense("B", ["K", "N"], b),
+            },
+            sink=sink_ser,
+        )
+        assert sink_par.serial_steps("Z") <= sink_ser.serial_steps("Z")

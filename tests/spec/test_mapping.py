@@ -1,0 +1,148 @@
+"""Tests for the mapping specification parsing and rank derivation."""
+
+import pytest
+
+from repro.spec import MappingSpec, PartitionDirective, SpacetimeRank, SpecError
+
+
+class TestPartitionDirective:
+    def test_uniform_shape_numeric(self):
+        d = PartitionDirective.parse("uniform_shape(128)")
+        assert d.kind == "uniform_shape"
+        assert d.size == 128
+
+    def test_uniform_shape_symbolic(self):
+        d = PartitionDirective.parse("uniform_shape(K1)")
+        assert d.size == "K1"
+        assert d.resolve_size({"K1": 64}) == 64
+
+    def test_symbolic_unresolved_raises(self):
+        d = PartitionDirective.parse("uniform_shape(K1)")
+        with pytest.raises(SpecError):
+            d.resolve_size({})
+
+    def test_uniform_occupancy(self):
+        d = PartitionDirective.parse("uniform_occupancy(A.256)")
+        assert d.kind == "uniform_occupancy"
+        assert d.leader == "A"
+        assert d.size == 256
+
+    def test_flatten(self):
+        assert PartitionDirective.parse("flatten()").kind == "flatten"
+
+    def test_flatten_with_args_raises(self):
+        with pytest.raises(SpecError):
+            PartitionDirective.parse("flatten(K)")
+
+    def test_bad_directive_raises(self):
+        with pytest.raises(SpecError):
+            PartitionDirective.parse("split(4)")
+
+    def test_occupancy_without_leader_raises(self):
+        with pytest.raises(SpecError):
+            PartitionDirective.parse("uniform_occupancy(256)")
+
+    def test_str_round_trip(self):
+        for text in (
+            "uniform_shape(128)",
+            "uniform_occupancy(A.256)",
+            "flatten()",
+        ):
+            assert str(PartitionDirective.parse(text)) == text
+
+
+class TestSpacetimeRank:
+    def test_plain(self):
+        s = SpacetimeRank.parse("KM1")
+        assert s.rank == "KM1" and s.style == "pos"
+
+    def test_coord_style(self):
+        s = SpacetimeRank.parse("N.coord")
+        assert s.rank == "N" and s.style == "coord"
+
+    def test_bad_style(self):
+        with pytest.raises(SpecError):
+            SpacetimeRank.parse("N.weird")
+
+
+OUTERSPACE_MAPPING = {
+    "rank-order": {
+        "A": ["K", "M"],
+        "B": ["K", "N"],
+        "T": ["M", "K", "N"],
+        "Z": ["M", "N"],
+    },
+    "partitioning": {
+        "T": {
+            "(K, M)": ["flatten()"],
+            "KM": ["uniform_occupancy(A.256)", "uniform_occupancy(A.16)"],
+        },
+        "Z": {"M": ["uniform_occupancy(T.128)", "uniform_occupancy(T.8)"]},
+    },
+    "loop-order": {
+        "T": ["KM2", "KM1", "KM0", "N"],
+        "Z": ["M2", "M1", "M0", "N", "K"],
+    },
+    "spacetime": {
+        "T": {"space": ["KM1", "KM0"], "time": ["KM2", "N"]},
+        "Z": {"space": ["M1", "M0"], "time": ["M2", "N", "K"]},
+    },
+}
+
+
+class TestMappingSpec:
+    def test_outerspace_figure3(self):
+        m = MappingSpec.from_dict(OUTERSPACE_MAPPING)
+        t = m.for_einsum("T")
+        assert t.loop_order == ["KM2", "KM1", "KM0", "N"]
+        assert t.space_ranks == ["KM1", "KM0"]
+        key, directives = t.partitioning[0]
+        assert key == ("K", "M")
+        assert directives[0].kind == "flatten"
+
+    def test_partitioned_loop_ranks_outerspace_t(self):
+        m = MappingSpec.from_dict(OUTERSPACE_MAPPING)
+        ranks = m.for_einsum("T").partitioned_loop_ranks(["K", "M", "N"])
+        assert ranks == ["KM2", "KM1", "KM0", "N"]
+
+    def test_partitioned_loop_ranks_outerspace_z(self):
+        m = MappingSpec.from_dict(OUTERSPACE_MAPPING)
+        ranks = m.for_einsum("Z").partitioned_loop_ranks(["M", "N", "K"])
+        assert ranks == ["M2", "M1", "M0", "N", "K"]
+
+    def test_validate_against_catches_mismatch(self):
+        m = MappingSpec.from_dict(OUTERSPACE_MAPPING)
+        with pytest.raises(SpecError):
+            m.for_einsum("T").validate_against(["K", "M"])  # no N
+
+    def test_validate_against_ok(self):
+        m = MappingSpec.from_dict(OUTERSPACE_MAPPING)
+        m.for_einsum("T").validate_against(["K", "M", "N"])
+        m.for_einsum("Z").validate_against(["M", "N", "K"])
+
+    def test_sigma_flatten_after_split(self):
+        # SIGMA (Figure 8c): shape split K, then flatten (M, K0), then
+        # occupancy split MK0 -> MK01, MK00.
+        m = MappingSpec.from_dict(
+            {
+                "partitioning": {
+                    "Z": {
+                        "K": ["uniform_shape(128)"],
+                        "(M, K0)": ["flatten()"],
+                        "MK0": ["uniform_occupancy(T.16384)"],
+                    }
+                },
+                "loop-order": {"Z": ["K1", "MK01", "MK00", "N"]},
+            }
+        )
+        ranks = m.for_einsum("Z").partitioned_loop_ranks(["M", "N", "K"])
+        assert set(ranks) == {"K1", "MK01", "MK00", "N"}
+
+    def test_default_einsum_mapping_empty(self):
+        m = MappingSpec.from_dict({})
+        assert m.for_einsum("Q").loop_order == []
+
+    def test_rank_order_default_is_declared(self):
+        m = MappingSpec.from_dict({"rank-order": {"A": ["K", "M"]}})
+        assert m.rank_order_of("A", ["M", "K"]) == ["K", "M"]
+        assert m.rank_order_of("B", ["K", "N"]) == ["K", "N"]

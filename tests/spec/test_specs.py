@@ -1,0 +1,295 @@
+"""Tests for einsum/format/architecture/binding specs and the loader."""
+
+import pytest
+
+from repro.spec import (
+    AcceleratorSpec,
+    ArchitectureSpec,
+    BindingSpec,
+    EinsumSpec,
+    FormatSpec,
+    SpecError,
+    load_spec,
+)
+
+
+class TestEinsumSpec:
+    def test_basic(self):
+        spec = EinsumSpec.from_dict(
+            {
+                "declaration": {"A": ["K", "M"], "B": ["K", "N"], "Z": ["M", "N"]},
+                "expressions": ["Z[m, n] = A[k, m] * B[k, n]"],
+            }
+        )
+        assert spec.einsum_ranks("Z") == ["M", "N", "K"]
+        assert spec.ranks_of("A") == ["K", "M"]
+
+    def test_undeclared_tensor_raises(self):
+        with pytest.raises(SpecError):
+            EinsumSpec.from_dict(
+                {"declaration": {"Z": ["M"]}, "expressions": ["Z[m] = A[m]"]}
+            )
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(SpecError):
+            EinsumSpec.from_dict(
+                {
+                    "declaration": {"A": ["K", "M"], "Z": ["M"]},
+                    "expressions": ["Z[m] = A[m]"],
+                }
+            )
+
+    def test_missing_sections_raise(self):
+        with pytest.raises(SpecError):
+            EinsumSpec.from_dict({"expressions": []})
+        with pytest.raises(SpecError):
+            EinsumSpec.from_dict({"declaration": {}})
+
+
+class TestFormatSpec:
+    def test_outerspace_linked_lists(self):
+        spec = FormatSpec.from_dict(
+            {
+                "T": {
+                    "LinkedLists": {
+                        "M": {"format": "U", "pbits": 32},
+                        "K": {"format": "C"},
+                        "N": {
+                            "format": "C",
+                            "fhbits": 32,
+                            "layout": "interleaved",
+                            "cbits": 32,
+                            "pbits": 64,
+                        },
+                    }
+                }
+            }
+        )
+        n = spec.rank_format("T", "N", "LinkedLists")
+        assert n.layout == "interleaved"
+        assert n.element_footprint_bits() == 96
+        m = spec.rank_format("T", "M", "LinkedLists")
+        assert m.format == "U"
+        assert m.coord_footprint_bits() == 0
+
+    def test_default_format_when_unspecified(self):
+        spec = FormatSpec.from_dict({})
+        fmt = spec.rank_format("A", "K")
+        assert fmt.format == "C"
+
+    def test_unknown_config_raises(self):
+        spec = FormatSpec.from_dict({"A": {"CSR": {"K": {"format": "C"}}}})
+        with pytest.raises(SpecError):
+            spec.rank_format("A", "K", "COO")
+
+    def test_ambiguous_config_raises(self):
+        spec = FormatSpec.from_dict(
+            {"A": {"CSR": {"K": {}}, "COO": {"K": {}}}}
+        )
+        with pytest.raises(SpecError):
+            spec.rank_format("A", "K")
+
+    def test_bad_format_type_raises(self):
+        with pytest.raises(SpecError):
+            FormatSpec.from_dict({"A": {"X": {"K": {"format": "Q"}}}})
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(SpecError):
+            FormatSpec.from_dict({"A": {"X": {"K": {"bits": 3}}}})
+
+
+ARCH = {
+    "MergePhase": {
+        "clock": 1.5e9,
+        "subtree": [
+            {
+                "name": "System",
+                "local": [
+                    {
+                        "name": "HBM",
+                        "class": "DRAM",
+                        "attributes": {"bandwidth": 128},
+                    }
+                ],
+                "subtree": [
+                    {
+                        "name": "PT",
+                        "num": 16,
+                        "local": [
+                            {
+                                "name": "L0",
+                                "class": "Buffer",
+                                "attributes": {"type": "cache", "depth": 4096},
+                            }
+                        ],
+                        "subtree": [
+                            {
+                                "name": "PE",
+                                "num": 16,
+                                "local": [
+                                    {
+                                        "name": "ALU",
+                                        "class": "Compute",
+                                        "attributes": {"type": "mul"},
+                                    }
+                                ],
+                            }
+                        ],
+                    }
+                ],
+            }
+        ],
+    }
+}
+
+
+class TestArchitectureSpec:
+    def test_instance_counts_multiply(self):
+        arch = ArchitectureSpec.from_dict(ARCH)
+        topo = arch.topology("MergePhase")
+        assert topo.component("HBM").count == 1
+        assert topo.component("L0").count == 16
+        assert topo.component("ALU").count == 256
+
+    def test_clock(self):
+        assert ArchitectureSpec.from_dict(ARCH).topology().clock_hz == 1.5e9
+
+    def test_of_class(self):
+        topo = ArchitectureSpec.from_dict(ARCH).topology()
+        assert [c.name for c in topo.of_class("DRAM")] == ["HBM"]
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(SpecError):
+            ArchitectureSpec.from_dict(
+                {"X": {"subtree": [{"name": "a", "local": [
+                    {"name": "c", "class": "GPU"}]}]}}
+            )
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(SpecError):
+            ArchitectureSpec.from_dict(
+                {"X": {"subtree": [{"name": "a", "local": [
+                    {"name": "c", "class": "DRAM",
+                     "attributes": {"volume": 2}}]}]}}
+            )
+
+    def test_duplicate_name_raises(self):
+        with pytest.raises(SpecError):
+            ArchitectureSpec.from_dict(
+                {"X": {"subtree": [{"name": "a", "local": [
+                    {"name": "c", "class": "DRAM"},
+                    {"name": "c", "class": "DRAM"}]}]}}
+            )
+
+    def test_missing_component_raises(self):
+        topo = ArchitectureSpec.from_dict(ARCH).topology()
+        with pytest.raises(SpecError):
+            topo.component("nope")
+
+
+class TestBindingSpec:
+    def test_data_and_ops_split(self):
+        spec = BindingSpec.from_dict(
+            {
+                "Z": {
+                    "config": "MergePhase",
+                    "components": {
+                        "L0": [
+                            {
+                                "tensor": "T",
+                                "rank": "N",
+                                "type": "elem",
+                                "style": "lazy",
+                                "evict-on": "M",
+                                "config": "LinkedLists",
+                            }
+                        ],
+                        "ALU": [{"op": "add"}],
+                    },
+                }
+            }
+        )
+        b = spec.for_einsum("Z")
+        assert b.config == "MergePhase"
+        assert b.data["L0"][0].evict_on == "M"
+        assert b.ops["ALU"][0].op == "add"
+        assert b.component_of_op("add") == "ALU"
+        assert b.component_of_op("mul") is None
+
+    def test_bad_type_raises(self):
+        with pytest.raises(SpecError):
+            BindingSpec.from_dict(
+                {"Z": {"components": {"L0": [{"tensor": "T", "type": "half"}]}}}
+            )
+
+    def test_default_binding_empty(self):
+        b = BindingSpec.from_dict({}).for_einsum("Z")
+        assert b.data == {} and b.ops == {}
+
+
+FULL_YAML = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    T: [K, M, N]
+    Z: [M, N]
+  expressions:
+    - T[k, m, n] = A[k, m] * B[k, n]
+    - Z[m, n] = T[k, m, n]
+mapping:
+  rank-order:
+    A: [K, M]
+    B: [K, N]
+    T: [M, K, N]
+    Z: [M, N]
+  partitioning:
+    T:
+      (K, M): [flatten()]
+      KM: [uniform_occupancy(A.256), uniform_occupancy(A.16)]
+    Z:
+      M: [uniform_occupancy(T.128), uniform_occupancy(T.8)]
+  loop-order:
+    T: [KM2, KM1, KM0, N]
+    Z: [M2, M1, M0, N, K]
+  spacetime:
+    T:
+      space: [KM1, KM0]
+      time: [KM2, N]
+    Z:
+      space: [M1, M0]
+      time: [M2, N, K]
+"""
+
+
+class TestLoader:
+    def test_figure3_yaml_loads(self):
+        spec = load_spec(FULL_YAML, name="outerspace")
+        assert spec.name == "outerspace"
+        assert spec.einsum.cascade.produced == ["T", "Z"]
+        assert spec.mapping.for_einsum("T").loop_order[0] == "KM2"
+
+    def test_rank_order_not_permutation_raises(self):
+        bad = FULL_YAML.replace("T: [M, K, N]", "T: [M, K]")
+        with pytest.raises(SpecError):
+            load_spec(bad)
+
+    def test_mapping_for_unknown_einsum_raises(self):
+        bad = FULL_YAML.replace("loop-order:\n    T:", "loop-order:\n    Q:")
+        with pytest.raises(SpecError):
+            load_spec(bad)
+
+    def test_with_params(self):
+        spec = load_spec(FULL_YAML).with_params(K1=4)
+        assert spec.param("K1") == 4
+        with pytest.raises(SpecError):
+            spec.param("M9")
+        assert spec.param("M9", default=7) == 7
+
+    def test_load_spec_passthrough(self):
+        spec = load_spec(FULL_YAML)
+        assert load_spec(spec) is spec
+
+    def test_load_spec_bad_type(self):
+        with pytest.raises(TypeError):
+            load_spec(42)

@@ -1,0 +1,122 @@
+"""Tests for workload generators and Table 4 stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    GRAPH_SET,
+    TABLE4,
+    VALIDATION_SET,
+    adjacency_from_dataset,
+    load,
+    power_law,
+    random_graph,
+    reachable_source,
+    spmspm_pair,
+    uniform_random,
+)
+
+
+class TestUniformRandom:
+    def test_density_approximate(self):
+        t = uniform_random("A", ["M", "K"], (100, 100), 0.1, seed=0)
+        assert 800 <= t.nnz <= 1000
+
+    def test_deterministic(self):
+        t1 = uniform_random("A", ["M", "K"], (50, 50), 0.2, seed=7)
+        t2 = uniform_random("A", ["M", "K"], (50, 50), 0.2, seed=7)
+        assert t1 == t2
+
+    def test_different_seeds_differ(self):
+        t1 = uniform_random("A", ["M", "K"], (50, 50), 0.2, seed=1)
+        t2 = uniform_random("A", ["M", "K"], (50, 50), 0.2, seed=2)
+        assert t1 != t2
+
+    def test_zero_density(self):
+        assert uniform_random("A", ["M", "K"], (10, 10), 0.0).nnz == 0
+
+    def test_coords_in_shape(self):
+        t = uniform_random("A", ["M", "K"], (30, 20), 0.3, seed=3)
+        for (m, k), _ in t.leaves():
+            assert 0 <= m < 30 and 0 <= k < 20
+
+
+class TestPowerLaw:
+    def test_nnz_close_to_target(self):
+        t = power_law("A", ["M", "K"], (200, 200), 1500, seed=0)
+        assert 1200 <= t.nnz <= 1500
+
+    def test_skewed_row_occupancy(self):
+        t = power_law("A", ["M", "K"], (300, 300), 3000, seed=1)
+        occupancies = sorted((len(f) for _, f in t.root), reverse=True)
+        # Heavy tail: the top decile holds far more than an equal share.
+        top = sum(occupancies[: len(occupancies) // 10])
+        assert top > 0.3 * sum(occupancies)
+
+    def test_uniform_is_not_skewed(self):
+        t = uniform_random("A", ["M", "K"], (300, 300), 3000 / 90000, seed=1)
+        occupancies = sorted((len(f) for _, f in t.root), reverse=True)
+        top = sum(occupancies[: len(occupancies) // 10])
+        assert top < 0.3 * sum(occupancies)
+
+
+class TestTable4:
+    def test_eight_datasets(self):
+        assert len(TABLE4) == 8
+        assert set(VALIDATION_SET + GRAPH_SET) <= set(TABLE4)
+
+    @pytest.mark.parametrize("key", VALIDATION_SET)
+    def test_validation_standins_load(self, key):
+        t = load(key)
+        assert t.nnz >= 32
+        ds = TABLE4[key]
+        rows_ratio = ds.paper_shape[0] / ds.paper_shape[1]
+        ours_ratio = t.shape[0] / t.shape[1]
+        assert ours_ratio == pytest.approx(rows_ratio, rel=0.2)
+
+    def test_nnz_per_row_preserved(self):
+        ds = TABLE4["em"]
+        per_row_paper = ds.paper_nnz / ds.paper_shape[0]
+        per_row_ours = ds.nnz / ds.shape[0]
+        assert per_row_ours == pytest.approx(per_row_paper, rel=0.01)
+
+    def test_poisson_is_uniform_kind(self):
+        assert TABLE4["po"].kind == "uniform"
+
+    def test_spmspm_pair_orders(self):
+        a, b = spmspm_pair("wi")
+        assert a.rank_ids == ["K", "M"]
+        assert b.rank_ids == ["K", "N"]
+        assert a.nnz == b.nnz
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            load("zz")
+
+    def test_deterministic_by_key(self):
+        assert load("wi") == load("wi")
+        assert load("wi").points() != load("ca").points()
+
+
+class TestGraphs:
+    def test_adjacency_square(self):
+        g = adjacency_from_dataset("fl")
+        assert g.shape[0] == g.shape[1]
+        assert g.rank_ids == ["D", "S"]
+
+    def test_weights_positive(self):
+        g = adjacency_from_dataset("fl")
+        assert all(w > 0 for _, w in g.leaves())
+
+    def test_unweighted(self):
+        g = adjacency_from_dataset("fl", weighted=False)
+        assert all(w == 1.0 for _, w in g.leaves())
+
+    def test_random_graph(self):
+        g = random_graph(n=50, avg_degree=4, seed=0)
+        assert g.nnz > 50
+
+    def test_reachable_source_has_out_edges(self):
+        g = random_graph(n=50, avg_degree=4, seed=0)
+        s = reachable_source(g, seed=1)
+        assert any(src == s for (_, src), _ in g.leaves())
