@@ -1,0 +1,27 @@
+PYTHON ?= python
+export PYTHONPATH := src
+export HYPOTHESIS_PROFILE ?= repro
+
+.PHONY: test test-differential bench-backend benchmarks example
+
+# Tier-1: unit + integration + the codegen differential suite, with the
+# fixed hypothesis profile for reproducibility.
+test:
+	$(PYTHON) -m pytest tests -q
+
+# Just the backend-equivalence harness (fast inner loop while hacking on
+# the code generator).
+test-differential:
+	$(PYTHON) -m pytest tests/ir/test_codegen_differential.py \
+	    tests/integration/test_published_metrics.py -q
+
+# Compiled fast path vs. interpreter on a 24-workload sweep.
+bench-backend:
+	$(PYTHON) benchmarks/bench_backend.py
+
+# Full figure-reproduction benchmarks (slow).
+benchmarks:
+	$(PYTHON) -m pytest benchmarks -q
+
+example:
+	$(PYTHON) examples/generated_simulator.py

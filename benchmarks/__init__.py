@@ -1,0 +1,1 @@
+"""Figure-reproduction benchmarks (run with pytest or as scripts)."""

@@ -16,13 +16,13 @@ from repro.baselines import estimate_from_tensors, spgemm_seconds
 from repro.published import FIG10A_EXTENSOR_SPEEDUP
 from repro.workloads import VALIDATION_SET
 
-from ._common import cached_pair, cached_run, print_series
+from ._common import cached_pair, cached_sweep, print_series
 
 
 @pytest.mark.benchmark(group="fig10")
 def test_fig10a_extensor_speedup(benchmark):
     def run():
-        return {ds: cached_run("extensor", ds) for ds in VALIDATION_SET}
+        return cached_sweep("extensor", VALIDATION_SET)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
 

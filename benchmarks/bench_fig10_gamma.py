@@ -12,13 +12,13 @@ from repro.baselines import spgemm_seconds
 from repro.published import FIG10A_EXTENSOR_SPEEDUP, FIG10B_GAMMA_SPEEDUP
 from repro.workloads import VALIDATION_SET
 
-from ._common import cached_pair, cached_run, geomean, print_series
+from ._common import cached_pair, cached_run, cached_sweep, geomean, print_series
 
 
 @pytest.mark.benchmark(group="fig10")
 def test_fig10b_gamma_speedup(benchmark):
     def run():
-        return {ds: cached_run("gamma", ds) for ds in VALIDATION_SET}
+        return cached_sweep("gamma", VALIDATION_SET)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
 

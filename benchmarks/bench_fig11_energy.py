@@ -13,13 +13,13 @@ import pytest
 from repro.published import FIG11_EXTENSOR_ENERGY_MJ
 from repro.workloads import VALIDATION_SET
 
-from ._common import cached_run, print_series
+from ._common import cached_sweep, print_series
 
 
 @pytest.mark.benchmark(group="fig11")
 def test_fig11_extensor_energy(benchmark):
     def run():
-        return {ds: cached_run("extensor", ds) for ds in VALIDATION_SET}
+        return cached_sweep("extensor", VALIDATION_SET)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
 

@@ -12,13 +12,13 @@ import pytest
 from repro.published import FIG9A_EXTENSOR_TRAFFIC
 from repro.workloads import VALIDATION_SET
 
-from ._common import cached_run, print_series, traffic_breakdown
+from ._common import cached_sweep, print_series, traffic_breakdown
 
 
 @pytest.mark.benchmark(group="fig9")
 def test_fig9a_extensor_traffic(benchmark):
     def run():
-        return {ds: cached_run("extensor", ds) for ds in VALIDATION_SET}
+        return cached_sweep("extensor", VALIDATION_SET)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
 

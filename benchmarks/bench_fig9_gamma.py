@@ -11,13 +11,13 @@ import pytest
 from repro.published import FIG9B_GAMMA_TRAFFIC
 from repro.workloads import VALIDATION_SET
 
-from ._common import cached_run, print_series
+from ._common import cached_sweep, print_series
 
 
 @pytest.mark.benchmark(group="fig9")
 def test_fig9b_gamma_traffic(benchmark):
     def run():
-        return {ds: cached_run("gamma", ds) for ds in VALIDATION_SET}
+        return cached_sweep("gamma", VALIDATION_SET)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
 

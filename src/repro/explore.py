@@ -134,22 +134,31 @@ def explore(
     tile_sizes: Optional[Dict[str, Sequence[int]]] = None,
     max_loop_orders: Optional[int] = None,
     opset: OpSet = ARITHMETIC,
+    backend=None,
 ) -> ExplorationResult:
     """Sweep mappings of one Einsum and evaluate each on real tensors.
 
     Only single-Einsum exploration is supported (exploring whole cascades
     is the open problem the paper's future-work section names).
+
+    Each candidate runs through the selected execution ``backend``
+    (compiled generated-Python kernels by default); candidates that share
+    a mapping across sweeps hit the process-wide compile cache, so
+    re-exploring after a workload change pays no lowering cost.
     """
+    from .model.backend import resolve_backend
+
     if einsum is None:
         if len(spec.einsum.cascade) != 1:
             raise ValueError("name the Einsum to explore in a cascade")
         einsum = spec.einsum.cascade.produced[0]
     ranks = [rank_of_var(v) for v in spec.einsum.cascade[einsum].all_vars]
+    engine = resolve_backend(backend)
     result = ExplorationResult()
     for candidate in enumerate_candidates(ranks, tile_sizes,
                                           max_loop_orders):
         cand_spec = apply_candidate(spec, einsum, candidate)
         res = evaluate(cand_spec, {k: t.copy() for k, t in tensors.items()},
-                       opset=opset)
+                       opset=opset, backend=engine)
         result.candidates.append((candidate, res))
     return result

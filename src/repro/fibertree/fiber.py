@@ -48,6 +48,22 @@ class Fiber:
             order = sorted(range(len(self.coords)), key=lambda i: self.coords[i])
             self.coords = [self.coords[i] for i in order]
             self.payloads = [self.payloads[i] for i in order]
+            # Sorting can only mask duplicates, never fix them: two elements
+            # at one coordinate have no defined payload, and every merge
+            # co-iterator assumes strictly increasing coordinates.
+            dup = next(
+                (
+                    self.coords[i]
+                    for i in range(len(self.coords) - 1)
+                    if self.coords[i] == self.coords[i + 1]
+                ),
+                None,
+            )
+            if dup is not None:
+                raise ValueError(
+                    f"duplicate coordinate {dup!r}: a fiber holds at most "
+                    "one payload per coordinate"
+                )
         self.coord_range = coord_range
 
     # ------------------------------------------------------------------

@@ -3,55 +3,144 @@
 The code generator (:mod:`repro.ir.codegen`) emits plain Python whose only
 dependencies are the fibertree API and these helpers: k-way intersection
 and union co-iterators, chunk lookup for split (upper) levels, affine
-projection windows, and reduction into the output fibertree.
+projection and occupancy-follower windows, and reduction into the output
+fibertree.
+
+Every co-iterator and lookup has an optional *trace* argument.  When a
+generated kernel runs in traced mode it passes the live
+:class:`~repro.model.traces.TraceSink` (plus the cursor paths and loop
+context) through these arguments, and the helpers emit exactly the same
+event stream — same events, same order — as the interpreting executor.
+The differential test suite (``tests/ir/test_codegen_differential.py``)
+enforces that equivalence.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Any, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Iterator, List, Optional, Tuple
 
 from ..fibertree.fiber import Fiber
 
 
-def coiterate_intersect(*fibers: Fiber) -> Iterator[Tuple[Any, List[Any]]]:
-    """Yield (coord, [payloads...]) present in every fiber."""
-    if not fibers or any(f is None or not isinstance(f, Fiber) for f in fibers):
-        return
-    positions = [0] * len(fibers)
-    lengths = [len(f) for f in fibers]
-    while all(p < n for p, n in zip(positions, lengths)):
-        heads = [f.coords[p] for f, p in zip(fibers, positions)]
-        top = max(heads)
-        if all(h == top for h in heads):
-            yield top, [f.payloads[p] for f, p in zip(fibers, positions)]
-            positions = [p + 1 for p in positions]
-        else:
-            positions = [
-                bisect.bisect_left(f.coords, top, p)
-                for f, p in zip(fibers, positions)
-            ]
+def _live(fibers) -> List[Tuple[int, Fiber]]:
+    """Indices and values of the inputs that are actual fibers.
+
+    Mirrors the interpreter's participant selection: a cursor that is
+    ``None`` (empty) or a scalar simply does not participate at this rank
+    (conjunctive-empty subtrees are pruned by the generated code *before*
+    the co-iteration call, so by this point absence only means "skip").
+    """
+    return [(j, f) for j, f in enumerate(fibers) if isinstance(f, Fiber)]
 
 
-def coiterate_union(*fibers: Optional[Fiber]) -> Iterator[Tuple[Any, List[Any]]]:
-    """Yield (coord, [payload-or-None...]) present in any fiber."""
-    live = [f for f in fibers if isinstance(f, Fiber)]
+def _payload_row(n: int, live_items) -> List[Any]:
+    row: List[Any] = [None] * n
+    for j, p in live_items:
+        row[j] = p
+    return row
+
+
+def coiterate_intersect(*fibers, trace=None) -> Iterator[Tuple[Any, List[Any]]]:
+    """Yield (coord, [payload-or-None...]) present in every live fiber.
+
+    Payloads are aligned with the inputs; positions whose input was not a
+    fiber receive ``None``.  With a single live input this degrades to
+    plain iteration (matching the interpreter, which prices no
+    intersection there).  ``trace`` is ``(sink, rank, infos, ctx)`` with
+    ``infos[j] = (tensor, of, path)`` aligned to the inputs.
+    """
+    n = len(fibers)
+    live = _live(fibers)
     if not live:
         return
-    coords = sorted(set().union(*(set(f.coords) for f in live)))
+    if len(live) == 1:
+        j, fiber = live[0]
+        if trace is not None:
+            sink, _rank, infos, ctx = trace
+            tensor, of, path = infos[j]
+            for c, p in fiber:
+                sink.read(tensor, of, "coord", path + (c,), ctx)
+                yield c, _payload_row(n, [(j, p)])
+        else:
+            for c, p in fiber:
+                yield c, _payload_row(n, [(j, p)])
+        return
+
+    idx = [j for j, _ in live]
+    fs = [f for _, f in live]
+    positions = [0] * len(fs)
+    lengths = [len(f) for f in fs]
+    visited = 0
+    matched = 0
+    sink = None
+    if trace is not None:
+        sink, rank, infos, ctx = trace
+    while all(p < m for p, m in zip(positions, lengths)):
+        heads = [f.coords[p] for f, p in zip(fs, positions)]
+        top = max(heads)
+        if all(h == top for h in heads):
+            matched += 1
+            visited += len(fs)
+            if sink is not None:
+                for j in idx:
+                    tensor, of, path = infos[j]
+                    sink.read(tensor, of, "coord", path + (top,), ctx)
+            yield top, _payload_row(
+                n, [(j, f.payloads[p]) for j, f, p in zip(idx, fs, positions)]
+            )
+            positions = [p + 1 for p in positions]
+        else:
+            for k in range(len(fs)):
+                f, p = fs[k], positions[k]
+                if f.coords[p] < top:
+                    nxt = bisect.bisect_left(f.coords, top, p)
+                    visited += nxt - p
+                    if sink is not None:
+                        tensor, of, path = infos[idx[k]]
+                        for q in range(p, nxt):
+                            sink.read(tensor, of, "coord",
+                                      path + (f.coords[q],), ctx)
+                    positions[k] = nxt
+    if sink is not None:
+        sink.isect(rank, visited, matched)
+
+
+def coiterate_union(*fibers, trace=None) -> Iterator[Tuple[Any, List[Any]]]:
+    """Yield (coord, [payload-or-None...]) present in any live fiber."""
+    n = len(fibers)
+    live = _live(fibers)
+    if not live:
+        return
+    coords = sorted(set().union(*(set(f.coords) for _, f in live)))
+    sink = None
+    if trace is not None:
+        sink, _rank, infos, ctx = trace
     for c in coords:
-        yield c, [
-            f.get_payload(c) if isinstance(f, Fiber) else None
-            for f in fibers
-        ]
+        row: List[Any] = [None] * n
+        for j, f in live:
+            if sink is not None:
+                tensor, of, path = infos[j]
+                sink.read(tensor, of, "coord", path + (c,), ctx)
+            row[j] = f.get_payload(c)
+        yield c, row
 
 
-def iterate(fiber: Optional[Fiber]) -> Iterator[Tuple[Any, List[Any]]]:
-    """Single-fiber iteration in the co-iterator calling convention."""
+def iterate(fiber: Optional[Fiber], trace=None) -> Iterator[Tuple[Any, List[Any]]]:
+    """Single-fiber iteration in the co-iterator calling convention.
+
+    ``trace`` is ``(sink, tensor, of, path, ctx)``.
+    """
     if not isinstance(fiber, Fiber):
         return
-    for c, p in fiber:
-        yield c, [p]
+    if trace is not None:
+        sink, tensor, of, path, ctx = trace
+        for c, p in fiber:
+            sink.read(tensor, of, "coord", path + (c,), ctx)
+            yield c, [p]
+    else:
+        for c, p in fiber:
+            yield c, [p]
 
 
 def lookup(node: Any, coord: Any) -> Any:
@@ -59,6 +148,19 @@ def lookup(node: Any, coord: Any) -> Any:
     if not isinstance(node, Fiber):
         return None
     return node.get_payload(coord)
+
+
+def lookup_t(node: Any, coord: Any, path: tuple, sink, tensor: str,
+             of: str, ctx) -> Tuple[Any, tuple]:
+    """Traced payload lookup: returns (payload, extended path)."""
+    if not isinstance(node, Fiber):
+        return None, path
+    key = path + (coord,)
+    sink.read(tensor, of, "coord", key, ctx)
+    payload = node.get_payload(coord)
+    if payload is not None:
+        sink.read(tensor, of, "payload", key, ctx)
+    return payload, key
 
 
 def lookup_chunk(node: Any, coord: Any) -> Any:
@@ -71,11 +173,47 @@ def lookup_chunk(node: Any, coord: Any) -> Any:
     return node.payloads[pos]
 
 
+def lookup_chunk_t(node: Any, coord: Any, path: tuple, sink, tensor: str,
+                   of: str, ctx) -> Tuple[Any, tuple]:
+    """Traced chunk lookup: returns (chunk, path extended by chunk coord)."""
+    if not isinstance(node, Fiber) or not node.coords:
+        return None, path
+    pos = bisect.bisect_right(node.coords, coord) - 1
+    if pos < 0:
+        return None, path
+    key = path + (node.coords[pos],)
+    sink.read(tensor, of, "coord", key, ctx)
+    return node.payloads[pos], key
+
+
 def project(node: Any, offset: int, shape: int) -> Optional[Fiber]:
     """Affine projection: shift coordinates by ``offset`` into [0, shape)."""
     if not isinstance(node, Fiber):
         return None
     return node.project(offset, lo=0, hi=shape)
+
+
+def window_of(payload: Any, outer) -> Optional[tuple]:
+    """Partition window carried by a chunk payload (leader side).
+
+    A chunk descended from a split-upper level records the half-open
+    coordinate interval it covers; occupancy followers slice their own
+    (unsplit) fibers to that window.  A non-fiber payload keeps whatever
+    window the enclosing scope established.
+    """
+    if isinstance(payload, Fiber):
+        return payload.coord_range
+    return outer
+
+
+def window(node: Any, rng: Optional[tuple]) -> Any:
+    """Restrict a follower fiber to the leader's partition window."""
+    if not isinstance(node, Fiber) or rng is None or not node.coords:
+        return node
+    lo, hi = rng
+    if hi is None:
+        hi = node.coords[-1] + 1
+    return node.slice(lo, hi)
 
 
 def scalar(node: Any) -> Optional[float]:
@@ -86,9 +224,11 @@ def scalar(node: Any) -> Optional[float]:
 
 
 def reduce_into(root: Fiber, point: tuple, value: Any, opset,
-                overwrite: bool) -> None:
+                overwrite: bool) -> int:
     """Insert ``value`` at ``point``, reducing with ``opset.add`` on
-    collision (or overwriting, for take() Einsums)."""
+    collision (or overwriting, for take() Einsums).  Returns the number
+    of reduction adds performed (0 or 1) so traced kernels can count
+    them exactly like the interpreter."""
     node = root
     for coord in point[:-1]:
         node = node.get_payload_ref(coord, make=Fiber)
@@ -96,5 +236,6 @@ def reduce_into(root: Fiber, point: tuple, value: Any, opset,
     existing = node.get_payload(leaf)
     if existing is None or overwrite:
         node.set_payload(leaf, value)
-    else:
-        node.set_payload(leaf, opset.add(existing, value))
+        return 0
+    node.set_payload(leaf, opset.add(existing, value))
+    return 1

@@ -10,12 +10,22 @@ from .components import (
     SequencerModel,
     Traffic,
 )
+from .backend import (
+    Backend,
+    CompileCache,
+    CompiledBackend,
+    GLOBAL_COMPILE_CACHE,
+    InterpreterBackend,
+    resolve_backend,
+    spec_cache_key,
+)
 from .energy import DEFAULT_ENERGY_PJ, EnergyModel
 from .evaluate import (
     EinsumModel,
     EvaluationResult,
     ModelSink,
     evaluate,
+    evaluate_many,
     fuse_blocks,
 )
 from .executor import (
@@ -32,8 +42,11 @@ from .footprint import (
 from .traces import CountingSink, TraceSink
 
 __all__ = [
+    "Backend",
     "BuffetModel",
     "CacheModel",
+    "CompileCache",
+    "CompiledBackend",
     "ComputeModel",
     "CountingSink",
     "DEFAULT_ENERGY_PJ",
@@ -43,6 +56,8 @@ __all__ = [
     "EvaluationResult",
     "ExecutionError",
     "FootprintOracle",
+    "GLOBAL_COMPILE_CACHE",
+    "InterpreterBackend",
     "IntersectModel",
     "MergerModel",
     "ModelSink",
@@ -51,9 +66,12 @@ __all__ = [
     "Traffic",
     "algorithmic_minimum_bits",
     "evaluate",
+    "evaluate_many",
     "execute_cascade",
     "execute_einsum",
     "fuse_blocks",
     "prepare_tensor",
+    "resolve_backend",
+    "spec_cache_key",
     "tensor_rank_stats",
 ]

@@ -1,0 +1,312 @@
+"""Execution backends: the interpreter and the compiled fast path.
+
+TeAAL's pitch is that one declarative spec yields a *generated* simulator,
+so the generated-Python backend is the default execution engine.  This
+module provides:
+
+* :func:`spec_cache_key` — a canonical, dict-order-insensitive key for the
+  parts of a spec that determine lowering (einsum + mapping + params);
+* :class:`CompileCache` — a process-wide memo from canonical spec keys to
+  lowered IR plus compiled kernel objects (fast and traced flavors), so
+  repeated evaluations — sweeps, batched workloads, figure benchmarks —
+  lower and compile exactly once;
+* :class:`InterpreterBackend` / :class:`CompiledBackend` — interchangeable
+  engines behind :func:`repro.model.evaluate.evaluate`.  The compiled
+  backend replays the interpreter's exact trace-event stream through
+  generated kernels; with ``fallback=True`` (the default engine) any
+  mapping the generator cannot express transparently falls back to the
+  interpreter.
+
+Select an engine with ``evaluate(..., backend="compiled")`` (or
+``"interpreter"`` / ``"auto"`` / a :class:`Backend` instance), and batch
+with ``evaluate_many(spec, workloads, workers=N)`` which compiles once and
+fans out across workloads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import fields, is_dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..einsum.operators import ARITHMETIC, OpSet
+from ..fibertree.tensor import Tensor
+from ..ir.builder import build_cascade_ir
+from ..ir.codegen import CodegenError, compile_ir
+from ..ir.nodes import LoopNestIR
+from ..spec.loader import AcceleratorSpec
+from .executor import (
+    ExecutionError,
+    cascade_context,
+    execute_cascade,
+    prepare_tensor,
+)
+from .traces import TraceSink
+
+
+# ----------------------------------------------------------------------
+# Canonical spec keys
+# ----------------------------------------------------------------------
+def canonical_key(obj: Any):
+    """A hashable, canonical form of (nested) spec data.
+
+    Dataclasses canonicalize field by field, dicts sort their items (so
+    YAML/dict insertion order never affects the key), sequences preserve
+    order (lists of directives are applied in order — that *is*
+    semantic).  Values are tagged with their type name so e.g. ``1`` and
+    ``True`` cannot collide.
+    """
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return (
+            obj.__class__.__name__,
+            tuple((f.name, canonical_key(getattr(obj, f.name)))
+                  for f in fields(obj)),
+        )
+    if isinstance(obj, dict):
+        items = [(canonical_key(k), canonical_key(v))
+                 for k, v in obj.items()]
+        items.sort(key=lambda kv: repr(kv[0]))
+        return ("dict", tuple(items))
+    if isinstance(obj, (list, tuple)):
+        return ("seq", tuple(canonical_key(x) for x in obj))
+    if isinstance(obj, (set, frozenset)):
+        return ("set", tuple(sorted((canonical_key(x) for x in obj),
+                                    key=repr)))
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return (type(obj).__name__, obj)
+    return ("repr", repr(obj))
+
+
+def spec_cache_key(spec: AcceleratorSpec):
+    """Canonical key over the spec layers that determine lowering.
+
+    Format, architecture, and binding shape only the *pricing* of trace
+    events (handled by the sink), never the generated loop nest, so two
+    specs differing only there share compiled kernels.  ``spec.name`` is
+    cosmetic and excluded.
+    """
+    return canonical_key((spec.einsum, spec.mapping, spec.params))
+
+
+# ----------------------------------------------------------------------
+# Compile cache
+# ----------------------------------------------------------------------
+class CompiledEinsum:
+    """Lowered IR plus compiled kernels for one Einsum of a cascade."""
+
+    def __init__(self, ir: LoopNestIR):
+        self.ir = ir
+        self.fast, self.fast_source = compile_ir(ir, traced=False)
+        self._traced: Optional[Callable] = None
+        self._traced_source: Optional[str] = None
+        self._lock = threading.Lock()
+
+    @property
+    def traced(self) -> Callable:
+        """The traced kernel, compiled on first use."""
+        if self._traced is None:
+            with self._lock:
+                if self._traced is None:
+                    fn, src = compile_ir(self.ir, traced=True)
+                    self._traced_source = src
+                    self._traced = fn
+        return self._traced
+
+
+class CompiledCascade:
+    """Every Einsum of one spec, lowered and compiled."""
+
+    def __init__(self, spec: AcceleratorSpec):
+        self.units: List[CompiledEinsum] = [
+            CompiledEinsum(ir) for ir in build_cascade_ir(spec)
+        ]
+
+
+class CompileCache:
+    """Memoizes lowering + compilation per canonical spec key."""
+
+    def __init__(self):
+        self._cache: Dict[Any, CompiledCascade] = {}
+        self._failed: Dict[Any, CodegenError] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def get(self, spec: AcceleratorSpec) -> CompiledCascade:
+        key = spec_cache_key(spec)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            failed = self._failed.get(key)
+            if failed is not None:
+                # Negative hit: an unsupported spec stays unsupported, so
+                # repeated evaluations (e.g. a fallback backend sweeping
+                # workloads) must not pay the full lowering cost again.
+                self.hits += 1
+                raise failed
+        # Compile outside the lock: lowering can be slow.
+        try:
+            compiled = CompiledCascade(spec)
+        except CodegenError as err:
+            with self._lock:
+                self._failed.setdefault(key, err)
+                self.misses += 1
+            raise
+        with self._lock:
+            winner = self._cache.setdefault(key, compiled)
+            self.misses += 1
+        return winner
+
+    def clear(self) -> None:
+        with self._lock:
+            self._cache.clear()
+            self._failed.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+#: Process-wide cache shared by the default backends.
+GLOBAL_COMPILE_CACHE = CompileCache()
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class Backend:
+    """An execution engine for a spec's cascade on real tensors."""
+
+    name = "base"
+
+    def run_cascade(
+        self,
+        spec: AcceleratorSpec,
+        tensors: Dict[str, Tensor],
+        opset: OpSet = ARITHMETIC,
+        opsets: Optional[Dict[str, OpSet]] = None,
+        sink: Optional[TraceSink] = None,
+        shapes: Optional[Dict[str, int]] = None,
+        env: Optional[Dict[str, Tensor]] = None,
+    ) -> Dict[str, Tensor]:
+        raise NotImplementedError
+
+
+class InterpreterBackend(Backend):
+    """The reference engine: interprets loop-nest IR over fibertrees."""
+
+    name = "interpreter"
+
+    def run_cascade(self, spec, tensors, opset=ARITHMETIC, opsets=None,
+                    sink=None, shapes=None, env=None):
+        return execute_cascade(spec, tensors, opset=opset, opsets=opsets,
+                               sink=sink, shapes=shapes, env=env)
+
+
+class CompiledBackend(Backend):
+    """Runs generated-Python kernels out of a compile cache.
+
+    Functionally and trace-exactly equivalent to the interpreter (the
+    differential suite enforces both).  With ``fallback=True`` a mapping
+    the code generator cannot express silently uses the interpreter for
+    that spec instead of raising :class:`CodegenError`.
+    """
+
+    name = "compiled"
+
+    def __init__(self, cache: Optional[CompileCache] = None,
+                 fallback: bool = False):
+        self.cache = cache if cache is not None else GLOBAL_COMPILE_CACHE
+        self.fallback = fallback
+        self._interpreter = InterpreterBackend()
+
+    def compile(self, spec: AcceleratorSpec) -> CompiledCascade:
+        """Warm the cache for a spec (raises CodegenError if unsupported)."""
+        return self.cache.get(spec)
+
+    def run_cascade(self, spec, tensors, opset=ARITHMETIC, opsets=None,
+                    sink=None, shapes=None, env=None):
+        try:
+            compiled = self.cache.get(spec)
+        except CodegenError:
+            if self.fallback:
+                return self._interpreter.run_cascade(
+                    spec, tensors, opset=opset, opsets=opsets, sink=sink,
+                    shapes=shapes, env=env,
+                )
+            raise
+        env, all_shapes, rank_orders = cascade_context(spec, tensors,
+                                                       shapes, env)
+        for unit in compiled.units:
+            ir = unit.ir
+            ops = (opsets or {}).get(ir.name, opset)
+            if sink:
+                sink.einsum_begin(ir.name, ir)
+            prepared = self._prepare(ir, env, rank_orders, sink)
+            if sink:
+                out = unit.traced(prepared, ops, all_shapes, sink)
+                if ir.output.needs_producer_swizzle:
+                    sink.swizzle(out.name, out.nnz, side="producer")
+            else:
+                out = unit.fast(prepared, ops, all_shapes)
+            env[ir.name] = out.prune_empty()
+            if sink:
+                sink.einsum_end(ir.name)
+        return env
+
+    @staticmethod
+    def _prepare(ir, env, rank_orders, sink) -> Dict[str, Tensor]:
+        """Prepared inputs for one Einsum, with consumer-swizzle events.
+
+        Mirrors the interpreter's per-(tensor, prep) dedup so swizzle
+        events on intermediates are emitted exactly once.
+        """
+        prepared: Dict[str, Tensor] = {}
+        seen: Dict[tuple, Tensor] = {}
+        for plan in ir.accesses:
+            key = (plan.tensor, tuple(plan.prep))
+            if key not in seen:
+                if plan.tensor not in env:
+                    raise ExecutionError(
+                        f"missing input tensor {plan.tensor!r} for Einsum "
+                        f"{ir.name}"
+                    )
+                seen[key] = prepare_tensor(
+                    env[plan.tensor], rank_orders[plan.tensor], plan.prep
+                )
+                if sink and plan.is_intermediate:
+                    for step in plan.prep:
+                        if step.kind == "swizzle":
+                            sink.swizzle(plan.tensor, seen[key].nnz,
+                                         side="consumer")
+            prepared[plan.tensor] = seen[key]
+        return prepared
+
+
+#: The default engine: compiled kernels with interpreter fallback.
+DEFAULT_BACKEND = CompiledBackend(fallback=True)
+
+_NAMED: Dict[str, Callable[[], Backend]] = {
+    "auto": lambda: DEFAULT_BACKEND,
+    "compiled": lambda: CompiledBackend(),
+    "interpreter": lambda: InterpreterBackend(),
+}
+
+
+def resolve_backend(backend: Any = None) -> Backend:
+    """Resolve a backend argument: None/'auto', a name, or an instance."""
+    if backend is None:
+        return DEFAULT_BACKEND
+    if isinstance(backend, Backend):
+        return backend
+    if isinstance(backend, str):
+        try:
+            return _NAMED[backend]()
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {backend!r}; known: {sorted(_NAMED)}"
+            ) from None
+    raise TypeError(f"cannot resolve a backend from {type(backend).__name__}")

@@ -10,13 +10,16 @@ bottleneck analysis, and reduces action counts to energy.
 from __future__ import annotations
 
 from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..einsum.operators import ARITHMETIC, OpSet
 from ..fibertree.tensor import Tensor
 from ..spec.architecture import Component, Topology
 from ..spec.loader import AcceleratorSpec
+from ..ir.codegen import CodegenError
+from .backend import CompiledBackend, resolve_backend
 from .components import (
     BuffetModel,
     CacheModel,
@@ -28,7 +31,6 @@ from .components import (
     Traffic,
 )
 from .energy import EnergyModel
-from .executor import execute_cascade
 from .footprint import FootprintOracle, algorithmic_minimum_bits
 from .traces import TraceSink
 
@@ -447,12 +449,20 @@ def evaluate(
     opsets: Optional[Dict[str, OpSet]] = None,
     shapes: Optional[Dict[str, int]] = None,
     energy_model: Optional[EnergyModel] = None,
+    backend=None,
 ) -> EvaluationResult:
-    """Run a full TeAAL evaluation: execute + model + reduce."""
+    """Run a full TeAAL evaluation: execute + model + reduce.
+
+    ``backend`` selects the execution engine: ``"compiled"`` (generated
+    Python kernels), ``"interpreter"``, ``"auto"``/``None`` (compiled
+    with interpreter fallback — the default), or a
+    :class:`~repro.model.backend.Backend` instance.
+    """
+    engine = resolve_backend(backend)
     env: Dict[str, Tensor] = {}
     sink = ModelSink(spec, env)
-    execute_cascade(spec, tensors, opset=opset, opsets=opsets, sink=sink,
-                    shapes=shapes, env=env)
+    engine.run_cascade(spec, tensors, opset=opset, opsets=opsets, sink=sink,
+                       shapes=shapes, env=env)
     blocks = fuse_blocks(spec, sink)
     return EvaluationResult(
         spec=spec,
@@ -462,3 +472,44 @@ def evaluate(
         oracle=sink.oracle,
         energy_model=energy_model or EnergyModel(),
     )
+
+
+def evaluate_many(
+    spec: AcceleratorSpec,
+    workloads: Sequence[Dict[str, Tensor]],
+    opset: OpSet = ARITHMETIC,
+    opsets: Optional[Dict[str, OpSet]] = None,
+    shapes: Optional[Dict[str, int]] = None,
+    energy_model: Optional[EnergyModel] = None,
+    backend=None,
+    workers: Optional[int] = None,
+) -> List[EvaluationResult]:
+    """Evaluate one spec over many workloads, compiling once.
+
+    The spec is lowered and compiled a single time (warming the backend's
+    compile cache), then every workload — a ``{tensor: Tensor}`` dict —
+    is evaluated against the cached kernels.  ``workers > 1`` fans the
+    evaluations out over a thread pool (kernels and component models are
+    independent per workload); the default runs them sequentially, which
+    is usually fastest for CPU-bound Python but keeps the same API.
+
+    Returns one :class:`EvaluationResult` per workload, in order.
+    """
+    engine = resolve_backend(backend)
+    if isinstance(engine, CompiledBackend):
+        try:
+            engine.compile(spec)  # warm the cache once, up front
+        except CodegenError:
+            if not engine.fallback:
+                raise
+
+    def one(tensors: Dict[str, Tensor]) -> EvaluationResult:
+        return evaluate(spec, tensors, opset=opset, opsets=opsets,
+                        shapes=shapes, energy_model=energy_model,
+                        backend=engine)
+
+    workloads = list(workloads)
+    if workers and workers > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(one, workloads))
+    return [one(w) for w in workloads]

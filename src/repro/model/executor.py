@@ -564,6 +564,31 @@ def execute_einsum(
     return out
 
 
+def cascade_context(
+    spec: AcceleratorSpec,
+    tensors: Dict[str, Tensor],
+    shapes: Optional[Dict[str, int]] = None,
+    env: Optional[Dict[str, Tensor]] = None,
+):
+    """Shared cascade setup: (env, resolved shapes, rank orders).
+
+    Both execution engines (this interpreter and the compiled backend)
+    resolve their inputs through this one helper so their shape and
+    rank-order semantics can never drift apart.
+    """
+    if env is None:
+        env = {}
+    env.update(tensors)
+    all_shapes = _resolve_shapes(spec, env)
+    if shapes:
+        all_shapes.update(shapes)
+    rank_orders = {
+        t: spec.mapping.rank_order_of(t, spec.einsum.ranks_of(t))
+        for t in spec.einsum.tensors
+    }
+    return env, all_shapes, rank_orders
+
+
 def execute_cascade(
     spec: AcceleratorSpec,
     tensors: Dict[str, Tensor],
@@ -581,16 +606,8 @@ def execute_cascade(
     dict sees intermediates as they are produced).  Returns the environment
     with all intermediates and outputs added.
     """
-    if env is None:
-        env = {}
-    env.update(tensors)
-    all_shapes = _resolve_shapes(spec, env)
-    if shapes:
-        all_shapes.update(shapes)
-    rank_orders = {
-        t: spec.mapping.rank_order_of(t, spec.einsum.ranks_of(t))
-        for t in spec.einsum.tensors
-    }
+    env, all_shapes, rank_orders = cascade_context(spec, tensors, shapes,
+                                                   env)
     for ir in build_cascade_ir(spec):
         ops = (opsets or {}).get(ir.name, opset)
         env[ir.name] = execute_einsum(ir, env, rank_orders, ops, sink,

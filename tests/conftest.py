@@ -1,0 +1,27 @@
+"""Shared test configuration: a reproducible hypothesis profile.
+
+The differential suites run hypothesis-generated tensors through both
+execution backends; CI pins the profile so failures replay exactly.
+Select with ``HYPOTHESIS_PROFILE=repro`` (the default here) or ``dev``
+for a larger, randomized local search.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,  # deterministic example generation, CI-reproducible
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))

@@ -30,6 +30,22 @@ class TestConstruction:
         with pytest.raises(ValueError):
             Fiber([0, 1], [1.0])
 
+    def test_duplicate_coordinates_raise(self):
+        # Regression: duplicates used to survive the constructor's re-sort
+        # silently, leaving an ambiguous payload at one coordinate and
+        # breaking the strictly-increasing invariant every merge
+        # co-iterator relies on.
+        with pytest.raises(ValueError, match="duplicate coordinate"):
+            Fiber([0, 2, 2], [1.0, 2.0, 3.0])
+
+    def test_duplicates_in_unsorted_input_raise(self):
+        with pytest.raises(ValueError, match="duplicate coordinate"):
+            Fiber([5, 0, 5], [3.0, 1.0, 2.0])
+
+    def test_duplicate_tuple_coordinates_raise(self):
+        with pytest.raises(ValueError, match="duplicate coordinate"):
+            Fiber([(0, 1), (0, 1)], [1.0, 2.0])
+
     def test_from_dict_nested(self):
         f = Fiber.from_dict({1: {0: 5.0, 3: 6.0}, 4: {2: 7.0}})
         assert isinstance(f.get_payload(1), Fiber)

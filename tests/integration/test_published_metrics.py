@@ -1,0 +1,117 @@
+"""Golden regression: pinned evaluation metrics through *both* backends.
+
+The figure benchmarks compare against the paper's digitized values loosely
+(scaled-down stand-in workloads only preserve the *shape* of the results).
+This test is the loud tripwire underneath them: a handful of end-to-end
+metrics — normalized traffic, DRAM bytes, cycles, energy, op counts — are
+pinned to exact golden values and must come out identical from the
+interpreter and the compiled backend.  Any drift in the executor, the
+code generator, the trace protocol, or the component models fails tier-1
+immediately, naming the metric that moved.
+"""
+
+import pytest
+
+from repro.accelerators import accelerator
+from repro.model import evaluate
+from repro.published import (
+    FIG9A_EXTENSOR_TRAFFIC,
+    FIG9B_GAMMA_TRAFFIC,
+    FIG9C_OUTERSPACE_TRAFFIC,
+)
+from repro.workloads import spmspm_pair
+
+# Partition parameters scaled to the stand-in workloads (as used by the
+# figure benchmarks in benchmarks/_common.py).
+PARAMS = {
+    "extensor": dict(k1=64, k0=16, m1=64, m0=16, n1=64, n0=16),
+    "gamma": dict(pe_rows=32, merge_way=64),
+    "outerspace": dict(mult_outer=256, mult_inner=16, merge_outer=128,
+                       merge_inner=8),
+}
+
+# Golden values measured on the "wi" stand-in at the time this harness was
+# introduced.  They are pins, not truths: a deliberate model change should
+# update them in the same commit, with the reason in the message.
+GOLDEN = {
+    "gamma": dict(
+        normalized_traffic=1.0733359542746546,
+        traffic_bytes=425904.0,
+        exec_cycles=20686.0,
+        energy_mj=0.09014009744,
+        total_ops=186748,
+    ),
+    "extensor": dict(
+        normalized_traffic=3.5315974637352445,
+        traffic_bytes=1401352.0,
+        exec_cycles=47934.0,
+        energy_mj=0.23089328312,
+        total_ops=114880,
+    ),
+    "outerspace": dict(
+        normalized_traffic=5.497202649166843,
+        traffic_bytes=2181312.0,
+        exec_cycles=25562.25,
+        energy_mj=0.3542436388,
+        total_ops=143736,
+    ),
+}
+
+REPORTED_WI = {
+    "gamma": FIG9B_GAMMA_TRAFFIC["wi"],
+    "extensor": FIG9A_EXTENSOR_TRAFFIC["wi"],
+    "outerspace": FIG9C_OUTERSPACE_TRAFFIC["wi"],
+}
+
+
+def _metrics(result):
+    return dict(
+        normalized_traffic=result.normalized_traffic(),
+        traffic_bytes=result.traffic_bytes(),
+        exec_cycles=result.exec_cycles,
+        energy_mj=result.energy_mj,
+        total_ops=result.total_ops(),
+    )
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """Each pinned accelerator on "wi", through both engines."""
+    out = {}
+    for accel in GOLDEN:
+        a, b = spmspm_pair("wi")
+        spec = accelerator(accel, **PARAMS.get(accel, {}))
+        out[accel] = {
+            backend: evaluate(spec, {"A": a.copy(), "B": b.copy()},
+                              backend=backend)
+            for backend in ("interpreter", "compiled")
+        }
+    return out
+
+
+@pytest.mark.parametrize("accel", sorted(GOLDEN))
+@pytest.mark.parametrize("backend", ["interpreter", "compiled"])
+def test_pinned_metrics(runs, accel, backend):
+    measured = _metrics(runs[accel][backend])
+    for metric, golden in GOLDEN[accel].items():
+        assert measured[metric] == pytest.approx(golden, rel=1e-9), (
+            f"{accel}/{backend}: {metric} drifted from its golden value"
+        )
+
+
+@pytest.mark.parametrize("accel", sorted(GOLDEN))
+def test_backends_identical(runs, accel):
+    a = runs[accel]["interpreter"]
+    b = runs[accel]["compiled"]
+    assert _metrics(a) == _metrics(b)
+    assert a.action_counts() == b.action_counts()
+    final = a.spec.einsum.cascade.outputs[-1]
+    assert a.env[final].points() == b.env[final].points()
+
+
+@pytest.mark.parametrize("accel", sorted(GOLDEN))
+def test_within_reach_of_published(runs, accel):
+    """Stand-in workloads track the paper's normalized traffic loosely."""
+    measured = runs[accel]["compiled"].normalized_traffic()
+    reported = REPORTED_WI[accel]
+    assert measured == pytest.approx(reported, rel=0.40)

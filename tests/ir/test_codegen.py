@@ -1,12 +1,10 @@
 """Code-generation backend: generated Python must match the interpreter."""
 
 import numpy as np
-import pytest
 
 from repro.fibertree import tensor_from_dense, tensor_to_dense
 from repro.ir import build_cascade_ir, build_ir
-from repro.ir.codegen import CodegenError, compile_ir, generate_module, \
-    generate_source
+from repro.ir.codegen import compile_ir, generate_module, generate_source
 from repro.model import execute_cascade
 from repro.model.executor import prepare_tensor
 from repro.spec import load_spec
@@ -218,13 +216,77 @@ einsum:
             tensor_to_dense(env["Z"], shape=[7, 6]), a.T @ b
         )
 
-    def test_followers_rejected(self):
+    def test_followers_compile(self):
         from repro.accelerators import accelerator
 
         spec = accelerator("gamma")
         ir = build_ir(spec, "T")  # B is an occupancy follower
-        with pytest.raises(CodegenError, match="follower"):
-            generate_source(ir)
+        src = generate_source(ir)
+        assert "rt.window(" in src  # follower adopts the leader's window
+
+    def test_every_registered_spec_compiles(self):
+        from repro.accelerators import FACTORIES, accelerator
+
+        for name in FACTORIES:
+            spec = accelerator(name)
+            for ir in build_cascade_ir(spec):
+                generate_source(ir)
+                generate_source(ir, traced=True)
+
+
+class TestGeneratedOccupancyFollower:
+    FOLLOWER = MATMUL + """
+mapping:
+  partitioning:
+    Z:
+      K: [uniform_occupancy(A.4)]
+  loop-order:
+    Z: [K1, M, N, K0]
+"""
+
+    def test_follower_matches_interpreter(self):
+        gen, interp, _ = compile_and_run(
+            self.FOLLOWER,
+            {"A": random_dense((13, 9), 0.5, 21),
+             "B": random_dense((13, 8), 0.5, 22)},
+        )
+        assert gen.points() == interp.points()
+
+    def test_multi_level_follower_split(self):
+        gen, interp, _ = compile_and_run(
+            MATMUL + """
+mapping:
+  partitioning:
+    Z:
+      K: [uniform_occupancy(A.8), uniform_occupancy(A.2)]
+  loop-order:
+    Z: [K2, K1, M, N, K0]
+""",
+            {"A": random_dense((16, 9), 0.5, 23),
+             "B": random_dense((16, 8), 0.5, 24)},
+        )
+        assert gen.points() == interp.points()
+
+    def test_union_follower_requires_window(self):
+        # Additive co-iteration at the split rank: without the leader's
+        # runtime window the follower would leak coordinates outside the
+        # current chunk into every chunk's union.
+        gen, interp, _ = compile_and_run(
+            """
+einsum:
+  declaration: {A: [V], B: [V], Z: [V]}
+  expressions: ["Z[v] = A[v] + B[v]"]
+mapping:
+  partitioning:
+    Z:
+      V: [uniform_occupancy(A.4)]
+  loop-order:
+    Z: [V1, V0]
+""",
+            {"A": random_dense((17,), 0.6, 25),
+             "B": random_dense((17,), 0.6, 26)},
+        )
+        assert gen.points() == interp.points()
 
 
 class TestGeneratedLiteralIndices:

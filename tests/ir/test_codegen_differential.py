@@ -1,0 +1,332 @@
+"""Differential test harness: compiled kernels vs. the interpreter.
+
+The compiled backend is only trustworthy if it is *indistinguishable*
+from the reference interpreter — same outputs and the same trace-derived
+traffic, for every registered accelerator spec and for the tricky mapping
+features (occupancy followers, runtime windows, flattening, multi-level
+splits, affine projection, take/union leaves).
+
+These tests compare the two engines at the strongest level available:
+the full ordered trace-event stream.  Equal streams imply equal traffic
+counts, equal intersection statistics, and equal spacetime stamps, for
+any component model downstream.  Inputs are hypothesis-generated, with a
+fixed profile (see ``tests/conftest.py``) so CI failures replay exactly.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.accelerators import FACTORIES, accelerator
+from repro.fibertree import tensor_from_dense
+from repro.model import CompileCache, CompiledBackend, InterpreterBackend
+from repro.model.traces import TraceSink
+from repro.spec import load_spec
+
+# One cache for the whole module: repeated hypothesis examples of the same
+# spec compile exactly once.
+_CACHE = CompileCache()
+
+
+class StreamSink(TraceSink):
+    """Records the full ordered event stream."""
+
+    def __init__(self):
+        self.events = []
+
+    def einsum_begin(self, name, ir):
+        self.events.append(("begin", name))
+
+    def einsum_end(self, name):
+        self.events.append(("end", name))
+
+    def read(self, tensor, rank, kind, key, ctx):
+        self.events.append(("read", tensor, rank, kind, key, tuple(ctx)))
+
+    def write(self, tensor, rank, kind, key, ctx):
+        self.events.append(("write", tensor, rank, kind, key, tuple(ctx)))
+
+    def isect(self, rank, visited, matched):
+        self.events.append(("isect", rank, visited, matched))
+
+    def compute(self, op, n, time_stamp, space_stamp):
+        self.events.append(("compute", op, n, time_stamp, space_stamp))
+
+    def swizzle(self, tensor, n, side):
+        self.events.append(("swizzle", tensor, n, side))
+
+
+def traffic_counts(events):
+    """Trace-derived traffic: per-(tensor, kind) read/write tallies."""
+    reads, writes = {}, {}
+    for ev in events:
+        if ev[0] == "read":
+            key = (ev[1], ev[3])
+            reads[key] = reads.get(key, 0) + 1
+        elif ev[0] == "write":
+            key = (ev[1], ev[3])
+            writes[key] = writes.get(key, 0) + 1
+    return reads, writes
+
+
+def assert_backends_agree(spec, tensors):
+    """Run both engines; outputs and event streams must be identical."""
+    interp_sink, compiled_sink = StreamSink(), StreamSink()
+    env_i = InterpreterBackend().run_cascade(
+        spec, {k: t.copy() for k, t in tensors.items()}, sink=interp_sink
+    )
+    env_c = CompiledBackend(cache=_CACHE).run_cascade(
+        spec, {k: t.copy() for k, t in tensors.items()}, sink=compiled_sink
+    )
+    for name in spec.einsum.cascade.produced:
+        assert env_i[name].points() == env_c[name].points(), name
+    assert traffic_counts(interp_sink.events) == \
+        traffic_counts(compiled_sink.events)
+    if interp_sink.events != compiled_sink.events:
+        for k, (a, b) in enumerate(zip(interp_sink.events,
+                                       compiled_sink.events)):
+            assert a == b, f"event {k}: interpreter {a} != compiled {b}"
+        assert len(interp_sink.events) == len(compiled_sink.events)
+
+
+def sparse_matrix(rng, rows, cols, density):
+    return (rng.random((rows, cols)) < density) * rng.integers(
+        1, 9, (rows, cols)
+    ).astype(float)
+
+
+# ----------------------------------------------------------------------
+# Every registered accelerator spec
+# ----------------------------------------------------------------------
+SPMSPM = sorted(set(FACTORIES) - {"eyeriss", "tensaurus"})
+
+
+@pytest.mark.parametrize("name", SPMSPM)
+@settings(max_examples=5)
+@given(data=st.data())
+def test_registry_spmspm_differential(name, data):
+    seed = data.draw(st.integers(0, 2**16), label="seed")
+    k = data.draw(st.integers(4, 24), label="K")
+    m = data.draw(st.integers(4, 20), label="M")
+    n = data.draw(st.integers(4, 20), label="N")
+    density = data.draw(st.sampled_from([0.1, 0.3, 0.6]), label="density")
+    rng = np.random.default_rng(seed)
+    tensors = {
+        "A": tensor_from_dense("A", ["K", "M"],
+                               sparse_matrix(rng, k, m, density)),
+        "B": tensor_from_dense("B", ["K", "N"],
+                               sparse_matrix(rng, k, n, density)),
+    }
+    assert_backends_agree(accelerator(name), tensors)
+
+
+@settings(max_examples=3)
+@given(data=st.data())
+def test_registry_tensaurus_differential(data):
+    seed = data.draw(st.integers(0, 2**16), label="seed")
+    i, j, k, r = (data.draw(st.integers(3, 8), label=d)
+                  for d in ("I", "J", "K", "R"))
+    rng = np.random.default_rng(seed)
+    t = (rng.random((i, j, k)) < 0.4) * rng.integers(
+        1, 9, (i, j, k)).astype(float)
+    tensors = {
+        "T": tensor_from_dense("T", ["I", "J", "K"], t),
+        "A": tensor_from_dense("A", ["K", "R"], sparse_matrix(rng, k, r, 0.7)),
+        "B": tensor_from_dense("B", ["J", "R"], sparse_matrix(rng, j, r, 0.7)),
+    }
+    assert_backends_agree(accelerator("tensaurus"), tensors)
+
+
+@settings(max_examples=3)
+@given(data=st.data())
+def test_registry_eyeriss_differential(data):
+    spec = accelerator("eyeriss")
+    p = spec.einsum.shapes["P"]
+    q = spec.einsum.shapes["Q"]
+    seed = data.draw(st.integers(0, 2**16), label="seed")
+    c = data.draw(st.integers(1, 2), label="C")
+    mm = data.draw(st.integers(1, 2), label="M")
+    r = data.draw(st.integers(1, 3), label="R")
+    s = data.draw(st.integers(1, 3), label="S")
+    rng = np.random.default_rng(seed)
+    ish = (1, c, p + r - 1, q + s - 1)
+    fsh = (c, mm, r, s)
+    i = (rng.random(ish) < 0.5) * rng.integers(1, 9, ish).astype(float)
+    f = (rng.random(fsh) < 0.8) * rng.integers(1, 9, fsh).astype(float)
+    tensors = {
+        "I": tensor_from_dense("I", ["B", "C", "H", "W"], i),
+        "F": tensor_from_dense("F", ["C", "M", "R", "S"], f),
+    }
+    assert_backends_agree(spec, tensors)
+
+
+# ----------------------------------------------------------------------
+# Feature-focused mappings, including the newly supported followers
+# ----------------------------------------------------------------------
+MATMUL = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    Z: [M, N]
+  expressions:
+    - Z[m, n] = A[k, m] * B[k, n]
+"""
+
+FEATURE_MAPPINGS = {
+    "occupancy-follower": MATMUL + """
+mapping:
+  partitioning:
+    Z:
+      K: [uniform_occupancy(A.4)]
+  loop-order:
+    Z: [K1, M, N, K0]
+""",
+    "follower-b-leads": MATMUL + """
+mapping:
+  partitioning:
+    Z:
+      K: [uniform_occupancy(B.5)]
+  loop-order:
+    Z: [K1, N, M, K0]
+""",
+    "multi-level-follower": MATMUL + """
+mapping:
+  partitioning:
+    Z:
+      K: [uniform_occupancy(A.8), uniform_occupancy(A.2)]
+  loop-order:
+    Z: [K2, K1, M, N, K0]
+""",
+    "shape-tiled": MATMUL + """
+mapping:
+  partitioning:
+    Z:
+      K: [uniform_shape(4)]
+      M: [uniform_shape(4)]
+  loop-order:
+    Z: [K1, M1, M0, N, K0]
+""",
+    "flatten-occupancy": MATMUL + """
+mapping:
+  partitioning:
+    Z:
+      (K, M): [flatten()]
+      KM: [uniform_occupancy(A.6)]
+  loop-order:
+    Z: [KM1, KM0, N]
+""",
+    "subtract": """
+einsum:
+  declaration: {A: [V], B: [V], Z: [V]}
+  expressions: ["Z[v] = A[v] - B[v]"]
+""",
+    "union-follower": """
+einsum:
+  declaration: {A: [V], B: [V], Z: [V]}
+  expressions: ["Z[v] = A[v] + B[v]"]
+mapping:
+  partitioning:
+    Z:
+      V: [uniform_occupancy(A.4)]
+  loop-order:
+    Z: [V1, V0]
+""",
+    "take-existential": """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    S: [K, M]
+  expressions:
+    - S[k, m] = take(A[k, m], B[k, n], 0)
+""",
+    "take-follower": """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    T: [K, M, N]
+  expressions:
+    - T[k, m, n] = take(A[k, m], B[k, n], 1)
+mapping:
+  partitioning:
+    T:
+      K: [uniform_occupancy(A.4)]
+  loop-order:
+    T: [K1, K0, M, N]
+""",
+}
+
+
+@pytest.mark.parametrize("feature", sorted(FEATURE_MAPPINGS))
+@settings(max_examples=8)
+@given(data=st.data())
+def test_feature_mapping_differential(feature, data):
+    spec = load_spec(FEATURE_MAPPINGS[feature], name=feature)
+    seed = data.draw(st.integers(0, 2**16), label="seed")
+    density = data.draw(st.sampled_from([0.15, 0.4, 0.7]), label="density")
+    rng = np.random.default_rng(seed)
+    tensors = {}
+    rank_shape = {}
+    for t in spec.einsum.cascade.inputs:
+        ranks = spec.einsum.ranks_of(t)
+        shape = tuple(
+            rank_shape.setdefault(r, data.draw(st.integers(3, 16),
+                                               label=f"shape {r}"))
+            for r in ranks
+        )
+        arr = (rng.random(shape) < density) * rng.integers(
+            1, 9, shape).astype(float)
+        tensors[t] = tensor_from_dense(t, ranks, arr)
+    assert_backends_agree(spec, tensors)
+
+
+@settings(max_examples=6)
+@given(data=st.data())
+def test_convolution_differential(data):
+    w = data.draw(st.integers(5, 14), label="W")
+    s = data.draw(st.integers(1, 3), label="S")
+    q = w - s + 1
+    seed = data.draw(st.integers(0, 2**16), label="seed")
+    spec = load_spec(f"""
+einsum:
+  declaration: {{I: [W], F: [S], O: [Q]}}
+  expressions: ["O[q] = I[q + s] * F[s]"]
+  shapes: {{Q: {q}}}
+""")
+    rng = np.random.default_rng(seed)
+    tensors = {
+        "I": tensor_from_dense(
+            "I", ["W"],
+            (rng.random(w) < 0.7) * rng.integers(1, 9, w).astype(float)),
+        "F": tensor_from_dense(
+            "F", ["S"], rng.integers(1, 9, s).astype(float)),
+    }
+    assert_backends_agree(spec, tensors)
+
+
+# ----------------------------------------------------------------------
+# Degenerate inputs: empties must not diverge either
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ["gamma", "extensor", "outerspace"])
+def test_empty_inputs_differential(name):
+    tensors = {
+        "A": tensor_from_dense("A", ["K", "M"], np.zeros((6, 5))),
+        "B": tensor_from_dense("B", ["K", "N"], np.zeros((6, 4))),
+    }
+    assert_backends_agree(accelerator(name), tensors)
+
+
+def test_single_nonzero_differential():
+    a = np.zeros((8, 7))
+    b = np.zeros((8, 6))
+    a[3, 2] = 5.0
+    b[3, 4] = 2.0
+    tensors = {
+        "A": tensor_from_dense("A", ["K", "M"], a),
+        "B": tensor_from_dense("B", ["K", "N"], b),
+    }
+    for name in ("gamma", "sparch"):
+        assert_backends_agree(accelerator(name), tensors)
