@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 export HYPOTHESIS_PROFILE ?= repro
 
-.PHONY: test test-differential bench-backend benchmarks example
+.PHONY: test test-differential bench-backend bench-smoke benchmarks example
 
 # Tier-1: unit + integration + the codegen differential suite, with the
 # fixed hypothesis profile for reproducibility.
@@ -15,9 +15,14 @@ test-differential:
 	$(PYTHON) -m pytest tests/ir/test_codegen_differential.py \
 	    tests/integration/test_published_metrics.py -q
 
-# Compiled fast path vs. interpreter on a 24-workload sweep.
+# Every engine (interpreter / traced / counters / object / flat) on a
+# 24-workload sweep; appends to benchmarks/BENCH_backend.json.
 bench-backend:
 	$(PYTHON) benchmarks/bench_backend.py
+
+# Tiny sweep, no trajectory write: the CI smoke gate.
+bench-smoke:
+	$(PYTHON) benchmarks/bench_backend.py --workloads 3 --no-json
 
 # Full figure-reproduction benchmarks (slow).
 benchmarks:

@@ -6,11 +6,13 @@ references) and by workload loaders (to ingest scipy sparse matrices).
 
 from __future__ import annotations
 
+from array import array
 from typing import Optional, Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
+from .arena import FlatArena
 from .tensor import Tensor
 
 
@@ -60,15 +62,66 @@ def tensor_to_dense(tensor: Tensor, shape: Optional[Sequence[int]] = None) -> np
 
 
 def tensor_from_scipy(name: str, rank_ids: Sequence[str], matrix) -> Tensor:
-    """Build a 2-rank fibertree from any scipy sparse matrix."""
+    """Build a 2-rank fibertree from any scipy sparse matrix.
+
+    Ingestion routes through :func:`arena_from_scipy`: CSR buffers repack
+    directly into flat arena levels (no per-point sorting), and the boxed
+    fibertree is rebuilt from the arena.
+    """
     if len(rank_ids) != 2:
         raise ValueError("scipy sparse matrices are 2-dimensional")
-    coo = sp.coo_matrix(matrix)
-    points = (
-        ((int(r), int(c)), float(v))
-        for r, c, v in zip(coo.row, coo.col, coo.data)
+    csr = sp.csr_matrix(matrix)
+    return arena_from_scipy(csr).to_tensor(name, rank_ids,
+                                           shape=list(csr.shape))
+
+
+def arena_from_scipy(matrix) -> FlatArena:
+    """Build a 2-level :class:`FlatArena` straight from a scipy matrix.
+
+    A CSR matrix *is* already a flat structure-of-arrays fibertree — row
+    pointers are segment pointers, column indices are leaf coordinates —
+    so this conversion never materializes boxed fibers: it drops empty
+    rows, splits explicit zeros out, and repacks the CSR buffers as
+    arena levels.
+    """
+    csr = sp.csr_matrix(matrix)
+    csr.sum_duplicates()
+    csr.eliminate_zeros()
+    indptr = csr.indptr
+    row_coords = array("q")
+    segs1 = array("q", [0])
+    for r in range(csr.shape[0]):
+        if indptr[r + 1] > indptr[r]:
+            row_coords.append(r)
+            segs1.append(int(indptr[r + 1]))
+    arena = FlatArena(
+        depth=2,
+        coords=[row_coords, array("q", (int(c) for c in csr.indices))],
+        segs=[array("q", [0, len(row_coords)]), segs1],
+        vals=[float(v) for v in csr.data],
+        ranges=[[None], [None] * len(row_coords)],
     )
-    return Tensor.from_coo(name, rank_ids, points, shape=list(coo.shape))
+    arena.validate()
+    return arena
+
+
+def arena_to_scipy(arena: FlatArena, shape: Optional[Sequence[int]] = None):
+    """Materialize a 2-level arena as a scipy CSR matrix."""
+    if arena.depth != 2:
+        raise ValueError("only 2-level arenas convert to scipy matrices")
+    rows = []
+    row_coords = arena.coords[0]
+    segs1 = arena.segs[1]
+    for f in range(len(row_coords)):
+        rows.extend([row_coords[f]] * (segs1[f + 1] - segs1[f]))
+    cols = list(arena.coords[1])
+    if shape is None:
+        shape = (
+            (max(rows) + 1) if rows else 0,
+            (max(cols) + 1) if cols else 0,
+        )
+    return sp.csr_matrix((list(arena.vals), (rows, cols)),
+                         shape=tuple(shape))
 
 
 def tensor_to_scipy(tensor: Tensor) -> sp.csr_matrix:

@@ -605,6 +605,8 @@ def generate_source(ir: LoopNestIR, func_name: str = "kernel",
 
 _PRELUDE = '''"""TeAAL-generated simulator module."""
 
+from bisect import bisect_left as _bl
+
 from repro.fibertree.fiber import Fiber
 from repro.fibertree.tensor import Tensor
 import repro.ir.codegen_runtime as rt
@@ -664,10 +666,34 @@ def generate_module(irs, name: str = "generated") -> str:
     return "".join(parts)
 
 
+#: Kernel flavors: object-cursor kernels ("fast"/"traced") walk boxed
+#: fibers; arena-native kernels ("flat"/"counted") walk FlatArena spans
+#: (see :mod:`repro.ir.codegen_flat`).
+KERNEL_FLAVORS = ("fast", "traced", "flat", "counted")
+
+
 def compile_ir(ir: LoopNestIR, func_name: str = "kernel",
-               traced: bool = False):
-    """Compile one Einsum's generated source and return the function."""
-    source = _PRELUDE + generate_source(ir, func_name, traced=traced)
+               traced: bool = False, flavor: str = None):
+    """Compile one Einsum's generated source and return the function.
+
+    ``flavor`` selects the kernel variant (see :data:`KERNEL_FLAVORS`);
+    when omitted, ``traced`` picks between the two object-cursor flavors
+    for backward compatibility.
+    """
+    if flavor is None:
+        flavor = "traced" if traced else "fast"
+    if flavor in ("fast", "traced"):
+        body = generate_source(ir, func_name, traced=(flavor == "traced"))
+    elif flavor in ("flat", "counted"):
+        from .codegen_flat import generate_flat_source
+
+        body = generate_flat_source(ir, func_name,
+                                    counted=(flavor == "counted"))
+    else:
+        raise ValueError(
+            f"unknown kernel flavor {flavor!r}; known: {KERNEL_FLAVORS}"
+        )
+    source = _PRELUDE + body
     namespace: Dict[str, object] = {}
-    exec(compile(source, f"<teaal:{ir.name}>", "exec"), namespace)
+    exec(compile(source, f"<teaal:{ir.name}:{flavor}>", "exec"), namespace)
     return namespace[func_name], source

@@ -1,0 +1,788 @@
+"""Flat code generation: loop nests over arena spans instead of fibers.
+
+:mod:`repro.ir.codegen` lowers an Einsum to kernels that walk boxed
+:class:`~repro.fibertree.fiber.Fiber` objects.  This module lowers the
+*same* IR to kernels that operate natively on
+:class:`~repro.fibertree.arena.FlatArena` buffers: every cursor is a
+half-open position span ``[lo, hi)`` into one level's flat coordinate
+array, iteration is ``for p in range(lo, hi)``, descent is two segment
+loads, and two-way intersection is an inlined galloping merge on the raw
+coordinate buffers — no generators, no per-element payload lists, no
+``Fiber`` allocation for windows, slices, or projections.
+
+Two flavors share one generator:
+
+* **flat** ``kernel(arenas, opset, shapes)`` — the untraced fast path;
+* **counted** ``kernel(arenas, opset, shapes, kc)`` — counter fusion:
+  instead of one :class:`~repro.model.traces.TraceSink` method call per
+  touched element, the kernel bumps local integer tallies (per
+  (tensor, rank, kind) reads/writes, per-rank intersection statistics,
+  per-op compute counts with their spacetime stamp sets) and flushes them
+  into a :class:`~repro.model.traces.KernelCounters` once at the end.
+  The tallies equal, exactly, the aggregates of the traced event stream —
+  including the subtle cases: lookup misses still count a coordinate
+  read, abandoned co-iterations (existential ``take()`` short-circuits)
+  keep their partial visit counts but drop the final ``isect`` event,
+  and ineffectual leaves price nothing.
+
+The walk order, the guard structure, and every membership decision are
+copied from :class:`repro.ir.codegen._Generator` so the differential
+suite can hold all three engines (interpreter, object kernels, flat
+kernels) to identical outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..einsum.ast import Access, Add, Expr, Mul, Take
+from .nodes import FLAT_UPPER, PLAIN, UPPER, VIRTUAL, LoopNestIR
+from .codegen import (
+    CodegenError,
+    _coord_code,
+    _drivable,
+    _Emitter,
+    _existential_ranks,
+    _physical_below,
+    _point_code,
+    _statically_driven,
+)
+
+
+class _FlatGenerator:
+    """Emits one arena-native kernel (flat or counted) for one Einsum."""
+
+    def __init__(self, ir: LoopNestIR, func_name: str, counted: bool):
+        self.ir = ir
+        self.func_name = func_name
+        self.counted = counted
+        self.em = _Emitter()  # body emitter (swapped in during generate)
+        self.existential = _existential_ranks(ir)
+        self.stamp_ranks = (set(ir.time_ranks) | set(ir.space_ranks)) \
+            if counted else set()
+        self.n_ranks = len(ir.loop_ranks)
+        self._tmp_count = 0
+        # Arena geometry per access: number of physical levels, and the
+        # arena level each plan depth sits on (virtual levels add no
+        # arena level).
+        self.n_phys: List[int] = []
+        self.level_at: List[List[int]] = []
+        for plan in ir.accesses:
+            at = [0]
+            for lvl in plan.levels:
+                at.append(at[-1] + (1 if lvl.is_physical else 0))
+            self.level_at.append(at)
+            self.n_phys.append(at[-1])
+        # Counter bookkeeping (counted flavor only).
+        self.read_ctrs: Dict[Tuple[str, str, str], str] = {}
+        self.write_ctrs: Dict[Tuple[str, str, str], str] = {}
+        self.isect_ranks: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Cursor helpers
+    # ------------------------------------------------------------------
+    def _al(self, i: int, d: int) -> int:
+        """Arena level of access ``i``'s cursor at plan depth ``d``."""
+        return self.level_at[i][d]
+
+    def _is_scalar(self, i: int, d: int) -> bool:
+        return self._al(i, d) == self.n_phys[i]
+
+    def _cur_none_check(self, i: int, d: int) -> str:
+        if self._is_scalar(i, d):
+            return f"n{i}_{d}"
+        return f"n{i}_{d}a"
+
+    def _absent(self, i: int, d: int) -> None:
+        """Set access ``i``'s cursor at depth ``d`` to absent."""
+        if self._is_scalar(i, d):
+            self.em.emit(f"n{i}_{d} = None")
+        else:
+            self.em.emit(f"n{i}_{d}a = None")
+            self.em.emit(f"n{i}_{d}b = None")
+
+    def _descend(self, i: int, d: int, pos: str) -> None:
+        """Descend access ``i`` from depth ``d`` via element position ``pos``."""
+        child = self._al(i, d) + 1
+        if child == self.n_phys[i]:
+            self.em.emit(f"n{i}_{d + 1} = t{i}_v[{pos}]")
+        else:
+            self.em.emit(f"n{i}_{d + 1}a = t{i}_s{child}[{pos}]")
+            self.em.emit(f"n{i}_{d + 1}b = t{i}_s{child}[{pos} + 1]")
+
+    def _copy(self, i: int, d: int) -> None:
+        """Copy the cursor past a virtual level (depth d -> d+1)."""
+        if self._is_scalar(i, d):
+            self.em.emit(f"n{i}_{d + 1} = n{i}_{d}")
+        else:
+            self.em.emit(f"n{i}_{d + 1}a = n{i}_{d}a")
+            self.em.emit(f"n{i}_{d + 1}b = n{i}_{d}b")
+
+    # ------------------------------------------------------------------
+    # Counter helpers (counted flavor; no-ops otherwise)
+    # ------------------------------------------------------------------
+    def _rctr(self, tensor: str, of: str, kind: str) -> str:
+        key = (tensor, of, kind)
+        var = self.read_ctrs.get(key)
+        if var is None:
+            var = f"cr{len(self.read_ctrs)}"
+            self.read_ctrs[key] = var
+        return var
+
+    def _wctr(self, tensor: str, of: str, kind: str) -> str:
+        key = (tensor, of, kind)
+        var = self.write_ctrs.get(key)
+        if var is None:
+            var = f"cw{len(self.write_ctrs)}"
+            self.write_ctrs[key] = var
+        return var
+
+    def _bump_read(self, i: int, of: str, kind: str, amount: str = "1") -> None:
+        if self.counted:
+            tensor = self.ir.accesses[i].tensor
+            self.em.emit(f"{self._rctr(tensor, of, kind)} += {amount}")
+
+    # ------------------------------------------------------------------
+    def generate(self) -> str:
+        ir = self.ir
+        preps: Dict[str, tuple] = {}
+        for plan in ir.accesses:
+            prep = tuple(plan.prep)
+            if preps.setdefault(plan.tensor, prep) != prep:
+                raise CodegenError(
+                    f"tensor {plan.tensor} is accessed twice with different "
+                    "preprocessing; use the interpreter"
+                )
+        for i, n in enumerate(self.n_phys):
+            if n == 0:
+                raise CodegenError(
+                    f"access {ir.accesses[i].tensor} has no physical levels; "
+                    "flat kernels need at least one"
+                )
+
+        body = _Emitter()
+        body.indent = 1
+        self.em = body
+        depths = {i: 0 for i in range(len(ir.accesses))}
+        self._lookups(level=-1, depths=depths)
+        self._rank(0, depths, wins={}, guarded=set())
+
+        head = _Emitter()
+        args = "arenas, opset, shapes, kc" if self.counted \
+            else "arenas, opset, shapes"
+        head.emit(f"def {self.func_name}({args}):")
+        head.indent += 1
+        flavor = "counted" if self.counted else "flat"
+        head.emit(f'"""Generated ({flavor}, arena-native) from: {ir.einsum}"""')
+        for i, plan in enumerate(ir.accesses):
+            n = self.n_phys[i]
+            head.emit(f"_a{i} = arenas[{plan.tensor!r}]")
+            for L in range(n):
+                head.emit(f"t{i}_c{L} = _a{i}.coords[{L}]")
+            for L in range(1, n):
+                head.emit(f"t{i}_s{L} = _a{i}.segs[{L}]")
+                head.emit(f"t{i}_r{L} = _a{i}.ranges[{L}]")
+            head.emit(f"t{i}_v = _a{i}.vals")
+            head.emit(f"n{i}_0a = 0")
+            head.emit(f"n{i}_0b = len(t{i}_c0)")
+        head.emit("out = Fiber()")
+        if self.counted:
+            for var in self.read_ctrs.values():
+                head.emit(f"{var} = 0")
+            for var in self.write_ctrs.values():
+                head.emit(f"{var} = 0")
+            for rank in self.isect_ranks:
+                head.emit(f"iv_{rank} = 0")
+                head.emit(f"im_{rank} = 0")
+            for op in ("mul", "add", "copy"):
+                head.emit(f"cn_{op} = 0")
+                head.emit(f"cs_{op} = set()")
+                head.emit(f"cl_{op} = set()")
+            for rank in sorted(self.stamp_ranks):
+                head.emit(f"st_{rank} = 0")
+        if self.existential:
+            head.emit("wr_0 = False")
+
+        tail = _Emitter()
+        tail.indent = 1
+        if self.counted:
+            for (tensor, of, kind), var in self.read_ctrs.items():
+                tail.emit(
+                    f"kc.add_read({tensor!r}, {of!r}, {kind!r}, {var})"
+                )
+            for (tensor, of, kind), var in self.write_ctrs.items():
+                tail.emit(
+                    f"kc.add_write({tensor!r}, {of!r}, {kind!r}, {var})"
+                )
+            for rank in self.isect_ranks:
+                tail.emit(f"kc.add_isect({rank!r}, iv_{rank}, im_{rank})")
+            for op in ("mul", "add", "copy"):
+                tail.emit(f"kc.add_compute({op!r}, cn_{op}, cs_{op}, cl_{op})")
+        tail.emit(
+            "return Tensor("
+            f"{ir.output.tensor!r}, {ir.output.storage_ranks!r}, out, "
+            f"[shapes.get(r) for r in {ir.output.storage_ranks!r}])"
+        )
+        return "\n".join(head.lines + body.lines + tail.lines) + "\n"
+
+    # ------------------------------------------------------------------
+    def _dead_guard(self, depths: Dict[int, int], guarded: Set[str]) -> int:
+        names = []
+        for i, plan in enumerate(self.ir.accesses):
+            if plan.conjunctive and depths[i] > 0:
+                name = self._cur_none_check(i, depths[i])
+                if name not in guarded:
+                    names.append(name)
+                    guarded.add(name)
+        if not names:
+            return 0
+        cond = " or ".join(f"{n} is None" for n in names)
+        self.em.emit(f"if not ({cond}):")
+        self.em.indent += 1
+        return 1
+
+    # ------------------------------------------------------------------
+    def _rank(self, level: int, depths: Dict[int, int],
+              wins: Dict[str, str], guarded: Set[str]) -> None:
+        ir, em = self.ir, self.em
+        if level == self.n_ranks:
+            self._leaf(depths)
+            return
+        rank = ir.loop_ranks[level]
+        binds = ir.binds.get(rank, ())
+
+        guarded = set(guarded)
+        close = self._dead_guard(depths, guarded)
+
+        drivers: List[Tuple[int, object]] = []
+        virtual: List[int] = []
+        for i, plan in enumerate(ir.accesses):
+            d = depths[i]
+            if d < len(plan.levels) and plan.levels[d].rank == rank:
+                lvl = plan.levels[d]
+                if lvl.kind == VIRTUAL:
+                    virtual.append(i)
+                elif _drivable(lvl, binds):
+                    drivers.append((i, lvl))
+
+        new_depths = dict(depths)
+        if not drivers:
+            if virtual or rank in _statically_driven(ir):
+                raise CodegenError(
+                    f"rank {rank} is driven only dynamically; unsupported"
+                )
+            self._dense(level, rank, binds, new_depths, wins, guarded)
+            em.indent -= close
+            return
+
+        # Narrow each driver's span (projection / follower window) into
+        # fresh q-vars; record (i, lvl, arena level, depth, lo, hi, offset).
+        specs = []
+        for i, lvl in drivers:
+            d = depths[i]
+            L = self._al(i, d)
+            a, b = f"n{i}_{d}a", f"n{i}_{d}b"
+            off = None
+            if lvl.kind == PLAIN and not lvl.exprs[0].is_var:
+                e = lvl.exprs[0]
+                bound = [f"v_{v}" for v in e.vars if v != binds[0]]
+                offset = " + ".join(bound + [str(e.const)]) or "0"
+                origin = ir.origin.get(rank, rank)
+                em.emit(f"o{i}_{d} = -({offset})")
+                em.emit(
+                    f"q{i}_{d}a, q{i}_{d}b = rt.project_span(t{i}_c{L}, "
+                    f"{a}, {b}, o{i}_{d}, shapes[{origin!r}])"
+                )
+                a, b, off = f"q{i}_{d}a", f"q{i}_{d}b", f"o{i}_{d}"
+            elif lvl.kind == PLAIN and lvl.exprs[0].is_var and lvl.of in wins:
+                em.emit(
+                    f"q{i}_{d}a, q{i}_{d}b = rt.window_span(t{i}_c{L}, "
+                    f"{a}, {b}, {wins[lvl.of]})"
+                )
+                a, b = f"q{i}_{d}a", f"q{i}_{d}b"
+            specs.append((i, lvl, L, d, a, b, off))
+            new_depths[i] = depths[i] + 1
+        for i in virtual:
+            new_depths[i] = depths[i] + 1
+
+        mode = ir.modes.get(rank, "single")
+        stamped = rank in self.stamp_ranks
+        if stamped:
+            em.emit(f"po_{rank} = -1")
+
+        if len(specs) == 1:
+            opened = self._open_single(rank, specs[0])
+        elif (
+            len(specs) == 2
+            and mode != "union"
+            and all(ir.accesses[i].conjunctive for i, _ in drivers)
+        ):
+            opened = self._open_merge2(rank, specs)
+        else:
+            opened = self._open_kway(rank, mode, specs)
+
+        # ---- shared loop body -----------------------------------------
+        if stamped:
+            em.emit(f"po_{rank} += 1")
+        if len(binds) == 1:
+            em.emit(f"v_{binds[0]} = c_{rank}")
+        elif len(binds) > 1:
+            em.emit(f"{', '.join('v_' + v for v in binds)} = c_{rank}")
+        if self.existential:
+            em.emit(f"wr_{level + 1} = False")
+
+        wins2 = dict(wins)
+        for j, (i, lvl, L, d, a, b, off) in enumerate(specs):
+            of = lvl.of or lvl.rank
+            pos = f"p{i}_{d}"
+            if opened["kway"]:
+                em.emit(f"{pos} = ps_{rank}[{j}]")
+                em.emit(f"if {pos} >= 0:")
+                em.indent += 1
+            self._bump_read(i, of, "payload")
+            self._descend(i, d, pos)
+            if lvl.kind in (UPPER, FLAT_UPPER):
+                prev = wins2.get(lvl.of, "None")
+                if opened["kway"]:
+                    em.emit(f"w_{lvl.of} = t{i}_r{L + 1}[{pos}]")
+                    em.indent -= 1
+                    em.emit("else:")
+                    em.indent += 1
+                    self._absent(i, d + 1)
+                    em.emit(f"w_{lvl.of} = {prev}")
+                    em.indent -= 1
+                else:
+                    em.emit(f"w_{lvl.of} = t{i}_r{L + 1}[{pos}]")
+                wins2[lvl.of] = f"w_{lvl.of}"
+            elif opened["kway"]:
+                em.indent -= 1
+                em.emit("else:")
+                em.indent += 1
+                self._absent(i, d + 1)
+                em.indent -= 1
+        for i in virtual:
+            self._copy(i, depths[i])
+        if stamped:
+            style = ir.time_styles.get(rank, "pos")
+            src = f"c_{rank}" if style == "coord" else f"po_{rank}"
+            em.emit(f"st_{rank} = {src}")
+        self._lookups(level, new_depths)
+        self._rank(level + 1, new_depths, wins2, guarded)
+        self._propagate_wrote(level, rank)
+        self._close_loop(rank, opened, specs)
+        em.indent -= close
+
+    # ------------------------------------------------------------------
+    # Loop openers: each returns a dict describing how to close the loop.
+    # On return the emitter sits *inside* the loop body, right after the
+    # ``c_<rank>`` coordinate has been bound, with ``p<i>_<d>`` position
+    # vars bound for inline forms.
+    # ------------------------------------------------------------------
+    def _open_single(self, rank: str, spec) -> dict:
+        em = self.em
+        i, lvl, L, d, a, b, off = spec
+        pos = f"p{i}_{d}"
+        guard = 0
+        if not self.ir.accesses[i].conjunctive:
+            em.emit(f"if {a} is not None:")
+            em.indent += 1
+            guard = 1
+        em.emit(f"for {pos} in range({a}, {b}):")
+        em.indent += 1
+        coord = f"t{i}_c{L}[{pos}]"
+        if off:
+            coord = f"{coord} + {off}"
+        em.emit(f"c_{rank} = {coord}")
+        self._bump_read(i, (lvl.of or lvl.rank), "coord")
+        return {"kind": "single", "kway": False, "guard": guard}
+
+    def _open_merge2(self, rank: str, specs) -> dict:
+        em = self.em
+        (i0, lvl0, L0, d0, a0, b0, off0), (i1, lvl1, L1, d1, a1, b1, off1) = \
+            specs
+        p0, p1 = f"p{i0}_{d0}", f"p{i1}_{d1}"
+        em.emit(f"{p0} = {a0}")
+        em.emit(f"{p1} = {a1}")
+        if self.counted:
+            em.emit(f"_iv_{rank} = 0")
+            em.emit(f"_im_{rank} = 0")
+            if rank not in self.isect_ranks:
+                self.isect_ranks.append(rank)
+        em.emit(f"while {p0} < {b0} and {p1} < {b1}:")
+        em.indent += 1
+        h0 = f"t{i0}_c{L0}[{p0}]" + (f" + {off0}" if off0 else "")
+        h1 = f"t{i1}_c{L1}[{p1}]" + (f" + {off1}" if off1 else "")
+        em.emit(f"h0_{rank} = {h0}")
+        em.emit(f"h1_{rank} = {h1}")
+        em.emit(f"if h0_{rank} == h1_{rank}:")
+        em.indent += 1
+        em.emit(f"c_{rank} = h0_{rank}")
+        if self.counted:
+            em.emit(f"_iv_{rank} += 2")
+            em.emit(f"_im_{rank} += 1")
+            self._bump_read(i0, (lvl0.of or lvl0.rank), "coord")
+            self._bump_read(i1, (lvl1.of or lvl1.rank), "coord")
+        return {"kind": "merge2", "kway": False, "guard": 0}
+
+    def _open_kway(self, rank: str, mode: str, specs) -> dict:
+        em = self.em
+        k = len(specs)
+        parts = []
+        for i, lvl, L, d, a, b, off in specs:
+            parts.append(f"(t{i}_c{L}, {a}, {b}, {off or 0})")
+        union = mode == "union"
+        helper = "flat_union" if union else "flat_isect"
+        size = k if union else k + 2
+        em.emit(f"sx_{rank} = [0] * {size}")
+        em.emit(
+            f"for c_{rank}, ps_{rank} in rt.{helper}(({', '.join(parts)},), "
+            f"sx_{rank}):"
+        )
+        em.indent += 1
+        if self.counted and not union and rank not in self.isect_ranks:
+            self.isect_ranks.append(rank)
+        return {"kind": "kway", "kway": True, "union": union, "guard": 0}
+
+    def _close_loop(self, rank: str, opened: dict, specs) -> None:
+        em = self.em
+        if opened["kind"] == "single":
+            em.indent -= 1  # for
+            em.indent -= opened["guard"]
+        elif opened["kind"] == "merge2":
+            (i0, lvl0, L0, d0, a0, b0, off0), \
+                (i1, lvl1, L1, d1, a1, b1, off1) = specs
+            p0, p1 = f"p{i0}_{d0}", f"p{i1}_{d1}"
+            em.emit(f"{p0} += 1")
+            em.emit(f"{p1} += 1")
+            em.indent -= 1  # close the match branch
+            em.emit(f"elif h0_{rank} < h1_{rank}:")
+            em.indent += 1
+            t0 = f"h1_{rank} - {off0}" if off0 else f"h1_{rank}"
+            em.emit(f"nx_{rank} = _bl(t{i0}_c{L0}, {t0}, {p0}, {b0})")
+            if self.counted:
+                em.emit(f"_iv_{rank} += nx_{rank} - {p0}")
+                self._bump_read(i0, (lvl0.of or lvl0.rank), "coord",
+                                f"nx_{rank} - {p0}")
+            em.emit(f"{p0} = nx_{rank}")
+            em.indent -= 1
+            em.emit("else:")
+            em.indent += 1
+            t1 = f"h0_{rank} - {off1}" if off1 else f"h0_{rank}"
+            em.emit(f"nx_{rank} = _bl(t{i1}_c{L1}, {t1}, {p1}, {b1})")
+            if self.counted:
+                em.emit(f"_iv_{rank} += nx_{rank} - {p1}")
+                self._bump_read(i1, (lvl1.of or lvl1.rank), "coord",
+                                f"nx_{rank} - {p1}")
+            em.emit(f"{p1} = nx_{rank}")
+            em.indent -= 1
+            em.indent -= 1  # close the while body
+            if self.counted:
+                # Runs only on normal exit: an abandoned co-iteration
+                # drops its isect event, exactly like the traced stream.
+                em.emit("else:")
+                em.indent += 1
+                em.emit(f"iv_{rank} += _iv_{rank}")
+                em.emit(f"im_{rank} += _im_{rank}")
+                em.indent -= 1
+        else:  # kway
+            em.indent -= 1  # close the for body
+            if self.counted and not opened["union"]:
+                k = len(specs)
+                em.emit("else:")
+                em.indent += 1
+                em.emit(f"iv_{rank} += sx_{rank}[{k}]")
+                em.emit(f"im_{rank} += sx_{rank}[{k + 1}]")
+                em.indent -= 1
+            if self.counted:
+                # Visit tallies are eager in the helper, so they stay
+                # correct even when the loop breaks early.
+                for j, (i, lvl, L, d, a, b, off) in enumerate(specs):
+                    self._bump_read(i, (lvl.of or lvl.rank), "coord",
+                                    f"sx_{rank}[{j}]")
+
+    # ------------------------------------------------------------------
+    def _propagate_wrote(self, level: int, rank: str) -> None:
+        if not self.existential:
+            return
+        em = self.em
+        em.emit(f"if wr_{level + 1}:")
+        em.indent += 1
+        em.emit(f"wr_{level} = True")
+        if rank in self.existential:
+            em.emit("break")
+        em.indent -= 1
+
+    # ------------------------------------------------------------------
+    def _dense(self, level: int, rank: str, binds, depths: Dict[int, int],
+               wins: Dict[str, str], guarded: Set[str]) -> None:
+        ir, em = self.ir, self.em
+        if len(binds) != 1:
+            raise CodegenError(f"cannot iterate rank {rank} densely")
+        origin = ir.origin.get(rank, rank)
+        var = binds[0]
+        em.emit(f"for v_{var} in range(shapes[{origin!r}]):")
+        em.indent += 1
+        if self.existential:
+            em.emit(f"wr_{level + 1} = False")
+        if rank in self.stamp_ranks:
+            em.emit(f"st_{rank} = v_{var}")
+        self._lookups(level, depths)
+        self._rank(level + 1, depths, wins, guarded)
+        self._propagate_wrote(level, rank)
+        em.indent -= 1
+
+    # ------------------------------------------------------------------
+    def _lookups(self, level: int, depths: Dict[int, int]) -> None:
+        """Advance cursors through levels fully bound after this rank.
+
+        The break conditions are copied verbatim from the object
+        generator so both kernels advance at exactly the same points.
+        """
+        ir, em = self.ir, self.em
+        bound_vars = set()
+        for r in ir.loop_ranks[: level + 1]:
+            bound_vars.update(ir.binds.get(r, ()))
+        for i, plan in enumerate(ir.accesses):
+            d = depths[i]
+            while d < len(plan.levels):
+                lvl = plan.levels[d]
+                if lvl.kind == VIRTUAL:
+                    break  # virtual levels advance only at their loop rank
+                later_rank = lvl.rank in ir.loop_ranks[level + 1:]
+                of = lvl.of or lvl.rank
+                L = self._al(i, d)
+                pos = f"p{i}_{d}"
+                if lvl.kind in (UPPER, FLAT_UPPER):
+                    below = _physical_below(plan, d, lvl.of)
+                    if below is None or any(
+                        set(e.vars) - bound_vars for e in below.exprs
+                    ) or later_rank and _drivable(
+                        lvl, ir.binds.get(lvl.rank, ())
+                    ):
+                        break
+                    target = _coord_code(below)
+                    em.emit(f"if n{i}_{d}a is None:")
+                    em.indent += 1
+                    self._absent(i, d + 1)
+                    em.indent -= 1
+                    em.emit("else:")
+                    em.indent += 1
+                    em.emit(
+                        f"{pos} = rt.span_chunk(t{i}_c{L}, n{i}_{d}a, "
+                        f"n{i}_{d}b, {target})"
+                    )
+                    em.emit(f"if {pos} < 0:")
+                    em.indent += 1
+                    self._absent(i, d + 1)
+                    em.indent -= 1
+                    em.emit("else:")
+                    em.indent += 1
+                    self._bump_read(i, of, "coord")
+                    self._descend(i, d, pos)
+                    em.indent -= 2
+                    d += 1
+                    depths[i] = d
+                    continue
+                unbound = any(set(e.vars) - bound_vars for e in lvl.exprs)
+                if unbound:
+                    break
+                if later_rank and _drivable(lvl, ir.binds.get(lvl.rank, ())):
+                    break  # it will drive its own loop
+                em.emit(f"if n{i}_{d}a is None:")
+                em.indent += 1
+                self._absent(i, d + 1)
+                em.indent -= 1
+                em.emit("else:")
+                em.indent += 1
+                self._bump_read(i, of, "coord")
+                em.emit(
+                    f"{pos} = rt.span_find(t{i}_c{L}, n{i}_{d}a, "
+                    f"n{i}_{d}b, {_coord_code(lvl)})"
+                )
+                em.emit(f"if {pos} < 0:")
+                em.indent += 1
+                self._absent(i, d + 1)
+                em.indent -= 1
+                em.emit("else:")
+                em.indent += 1
+                self._bump_read(i, of, "payload")
+                self._descend(i, d, pos)
+                em.indent -= 2
+                d += 1
+                depths[i] = d
+
+    # ------------------------------------------------------------------
+    # Leaves
+    # ------------------------------------------------------------------
+    def _scalar_ref(self, i: int, d: int) -> str:
+        """The leaf scalar of access ``i`` at depth ``d`` (None if absent
+        or not fully descended — mirroring ``rt.scalar`` on a fiber)."""
+        if self._is_scalar(i, d):
+            return f"n{i}_{d}"
+        return "None"
+
+    def _leaf(self, depths: Dict[int, int]) -> None:
+        if self.counted:
+            self._leaf_counted(depths)
+        else:
+            self._leaf_flat(depths)
+
+    def _leaf_flat(self, depths: Dict[int, int]) -> None:
+        ir, em = self.ir, self.em
+        counter = [0]
+        value = self._fast_expr(ir.einsum.expr, depths, counter)
+        point = _point_code(ir.output.indices)
+        overwrite = "True" if ir.einsum.is_take else "False"
+        em.emit(f"value = {value}")
+        em.emit("if value is not None:")
+        em.indent += 1
+        em.emit(f"rt.reduce_into(out, {point}, value, opset, {overwrite})")
+        if self.existential:
+            em.emit(f"wr_{self.n_ranks} = True")
+        em.indent -= 1
+
+    def _fast_expr(self, expr: Expr, depths, counter) -> str:
+        if isinstance(expr, Access):
+            i = counter[0]
+            counter[0] += 1
+            return self._scalar_ref(i, depths[i])
+        if isinstance(expr, Mul):
+            parts = [self._fast_expr(f, depths, counter)
+                     for f in expr.factors]
+            inner = parts[0]
+            for p in parts[1:]:
+                inner = f"_mul(opset, {inner}, {p})"
+            return inner
+        if isinstance(expr, Add):
+            left = self._fast_expr(expr.left, depths, counter)
+            right = self._fast_expr(expr.right, depths, counter)
+            op = "_sub" if expr.negate else "_add"
+            return f"{op}(opset, {left}, {right})"
+        if isinstance(expr, Take):
+            args = []
+            for _ in expr.args:
+                i = counter[0]
+                counter[0] += 1
+                args.append(self._scalar_ref(i, depths[i]))
+            return f"_take([{', '.join(args)}], {expr.which})"
+        raise CodegenError(f"cannot generate flat code for {expr!r}")
+
+    def _leaf_counted(self, depths: Dict[int, int]) -> None:
+        ir, em = self.ir, self.em
+        em.emit("mu = 0")
+        em.emit("ad = 0")
+        counter = [0]
+        value = self._counted_expr(ir.einsum.expr, depths, counter)
+        point = _point_code(ir.output.indices)
+        overwrite = "True" if ir.einsum.is_take else "False"
+        em.emit(f"if {value} is not None:")
+        em.indent += 1
+        em.emit(
+            f"ad += rt.reduce_into(out, {point}, {value}, opset, {overwrite})"
+        )
+        ts = "(" + "".join(f"st_{r}, " for r in ir.time_ranks) + ")"
+        ss = "(" + "".join(f"st_{r}, " for r in ir.space_ranks) + ")"
+        em.emit(f"_ts = {ts}")
+        em.emit(f"_ss = {ss}")
+        em.emit("if mu:")
+        em.indent += 1
+        em.emit("cn_mul += mu")
+        em.emit("cs_mul.add(_ts)")
+        em.emit("cl_mul.add(_ss)")
+        em.indent -= 1
+        em.emit("if ad:")
+        em.indent += 1
+        em.emit("cn_add += ad")
+        em.emit("cs_add.add(_ts)")
+        em.emit("cl_add.add(_ss)")
+        em.indent -= 1
+        em.emit("if not mu and not ad:")
+        em.indent += 1
+        em.emit("cn_copy += 1")
+        em.emit("cs_copy.add(_ts)")
+        em.emit("cl_copy.add(_ss)")
+        em.indent -= 1
+        out_rank = (ir.output.storage_ranks[-1]
+                    if ir.output.storage_ranks else "root")
+        em.emit(f"{self._wctr(ir.output.tensor, out_rank, 'elem')} += 1")
+        if self.existential:
+            em.emit(f"wr_{self.n_ranks} = True")
+        em.indent -= 1
+
+    def _tmp(self) -> str:
+        self._tmp_count += 1
+        return f"t{self._tmp_count}"
+
+    def _counted_expr(self, expr: Expr, depths, counter) -> str:
+        """Counted analog of the traced expression emitter: exact op
+        counts, scalars read straight from the arena cursors."""
+        em = self.em
+        if isinstance(expr, Access):
+            i = counter[0]
+            counter[0] += 1
+            return self._scalar_ref(i, depths[i])
+        if isinstance(expr, Mul):
+            parts = [self._counted_expr(f, depths, counter)
+                     for f in expr.factors]
+            v = self._tmp()
+            cond = " or ".join(f"{p} is None" for p in parts)
+            em.emit(f"if {cond}:")
+            em.indent += 1
+            em.emit(f"{v} = None")
+            em.indent -= 1
+            em.emit("else:")
+            em.indent += 1
+            folded = parts[0]
+            for p in parts[1:]:
+                folded = f"opset.mul({folded}, {p})"
+            em.emit(f"{v} = {folded}")
+            em.emit(f"mu += {len(parts) - 1}")
+            em.indent -= 1
+            return v
+        if isinstance(expr, Add):
+            left = self._counted_expr(expr.left, depths, counter)
+            right = self._counted_expr(expr.right, depths, counter)
+            v = self._tmp()
+            em.emit(f"if {left} is None and {right} is None:")
+            em.indent += 1
+            em.emit(f"{v} = None")
+            em.indent -= 1
+            em.emit(f"elif {right} is None:")
+            em.indent += 1
+            em.emit(f"{v} = {left}")
+            em.indent -= 1
+            em.emit(f"elif {left} is None:")
+            em.indent += 1
+            em.emit(f"{v} = {'None' if expr.negate else right}")
+            em.indent -= 1
+            em.emit("else:")
+            em.indent += 1
+            op = "sub" if expr.negate else "add"
+            em.emit(f"{v} = opset.{op}({left}, {right})")
+            em.emit("ad += 1")
+            em.indent -= 1
+            return v
+        if isinstance(expr, Take):
+            args = []
+            for _ in expr.args:
+                i = counter[0]
+                counter[0] += 1
+                args.append(self._scalar_ref(i, depths[i]))
+            v = self._tmp()
+            cond = " or ".join(f"{a} is None" for a in args)
+            em.emit(f"if {cond}:")
+            em.indent += 1
+            em.emit(f"{v} = None")
+            em.indent -= 1
+            em.emit("else:")
+            em.indent += 1
+            em.emit(f"{v} = {args[expr.which]}")
+            em.indent -= 1
+            return v
+        raise CodegenError(f"cannot generate flat code for {expr!r}")
+
+
+def generate_flat_source(ir: LoopNestIR, func_name: str = "kernel",
+                         counted: bool = False) -> str:
+    """Generate arena-native Python source for one lowered Einsum."""
+    return _FlatGenerator(ir, func_name, counted).generate()

@@ -223,6 +223,146 @@ def scalar(node: Any) -> Optional[float]:
     return node
 
 
+# ----------------------------------------------------------------------
+# Flat-span helpers (used by the arena-native kernels of codegen_flat)
+# ----------------------------------------------------------------------
+# A flat cursor is a half-open position span [lo, hi) into one level's
+# coordinate buffer of a FlatArena; ``lo is None`` marks an absent cursor.
+# These helpers mirror the Fiber-based helpers above exactly — same
+# membership, same visit counting — so the flat kernels stay differentially
+# equal to the interpreter.
+
+def span_find(coords, lo: Optional[int], hi: int, coord) -> int:
+    """Position of ``coord`` in the span, or -1 when absent."""
+    i = bisect.bisect_left(coords, coord, lo, hi)
+    if i < hi and coords[i] == coord:
+        return i
+    return -1
+
+
+def span_chunk(coords, lo: Optional[int], hi: int, coord) -> int:
+    """Position of the split-level chunk containing ``coord``, or -1."""
+    i = bisect.bisect_right(coords, coord, lo, hi) - 1
+    return i if i >= lo else -1
+
+
+def window_span(coords, lo, hi, rng):
+    """Narrow a span to a leader's partition window (cf. :func:`window`)."""
+    if lo is None or rng is None or lo == hi:
+        return lo, hi
+    wlo, whi = rng
+    if whi is None:
+        whi = coords[hi - 1] + 1
+    return (
+        bisect.bisect_left(coords, wlo, lo, hi),
+        bisect.bisect_left(coords, whi, lo, hi),
+    )
+
+
+def project_span(coords, lo, hi, off: int, shape: int):
+    """Narrow a span to coordinates whose ``c + off`` lands in [0, shape)."""
+    if lo is None:
+        return None, None
+    return (
+        bisect.bisect_left(coords, -off, lo, hi),
+        bisect.bisect_left(coords, shape - off, lo, hi),
+    )
+
+
+def flat_isect(specs, stats) -> Iterator[Tuple[Any, List[int]]]:
+    """K-way intersection over flat spans; yields (coord, positions).
+
+    ``specs[j] = (coords, lo, hi, off)``; ``lo is None`` means input ``j``
+    does not participate (mirroring :func:`coiterate_intersect`'s liveness
+    rule).  The positions row holds -1 for non-participants.  ``stats`` is
+    a list of ``len(specs) + 2`` counters updated *eagerly* (so an
+    abandoned generator leaves partial-but-accurate tallies, exactly like
+    the traced event stream): per-input coordinates visited, then total
+    visited, then total matched — the totals are only written on matches
+    and skips, never on completion, so they line up with the traced
+    ``isect`` accounting.
+    """
+    n = len(specs)
+    live = [j for j in range(n) if specs[j][1] is not None]
+    if not live:
+        return
+    if len(live) == 1:
+        j = live[0]
+        coords, lo, hi, off = specs[j]
+        for p in range(lo, hi):
+            stats[j] += 1
+            row = [-1] * n
+            row[j] = p
+            c = coords[p]
+            yield (c + off if off else c), row
+        return
+    ptrs = [specs[j][1] for j in live]
+    ends = [specs[j][2] for j in live]
+    while all(p < e for p, e in zip(ptrs, ends)):
+        heads = []
+        for k, j in enumerate(live):
+            coords, _, _, off = specs[j]
+            c = coords[ptrs[k]]
+            heads.append(c + off if off else c)
+        top = max(heads)
+        if all(h == top for h in heads):
+            row = [-1] * n
+            for k, j in enumerate(live):
+                stats[j] += 1
+                row[j] = ptrs[k]
+            stats[n] += len(live)
+            stats[n + 1] += 1
+            yield top, row
+            ptrs = [p + 1 for p in ptrs]
+        else:
+            for k, j in enumerate(live):
+                if heads[k] < top:
+                    coords, _, _, off = specs[j]
+                    target = top - off if off else top
+                    nxt = bisect.bisect_left(coords, target, ptrs[k], ends[k])
+                    stats[j] += nxt - ptrs[k]
+                    stats[n] += nxt - ptrs[k]
+                    ptrs[k] = nxt
+
+
+def flat_union(specs, stats) -> Iterator[Tuple[Any, List[int]]]:
+    """K-way merge union over flat spans; yields (coord, positions).
+
+    Every participating input counts one visited coordinate per union
+    coordinate (present or not), matching :func:`coiterate_union`'s traced
+    read stream.  ``stats[j]`` tallies input ``j``'s visits eagerly.
+    """
+    n = len(specs)
+    live = [j for j in range(n) if specs[j][1] is not None]
+    if not live:
+        return
+    ptrs = {j: specs[j][1] for j in live}
+    while True:
+        c = None
+        for j in live:
+            coords, _, hi, off = specs[j]
+            if ptrs[j] < hi:
+                h = coords[ptrs[j]]
+                if off:
+                    h = h + off
+                if c is None or h < c:
+                    c = h
+        if c is None:
+            return
+        row = [-1] * n
+        for j in live:
+            stats[j] += 1
+            coords, _, hi, off = specs[j]
+            if ptrs[j] < hi:
+                h = coords[ptrs[j]]
+                if off:
+                    h = h + off
+                if h == c:
+                    row[j] = ptrs[j]
+                    ptrs[j] += 1
+        yield c, row
+
+
 def reduce_into(root: Fiber, point: tuple, value: Any, opset,
                 overwrite: bool) -> int:
     """Insert ``value`` at ``point``, reducing with ``opset.add`` on

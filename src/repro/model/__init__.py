@@ -24,6 +24,8 @@ from .evaluate import (
     EinsumModel,
     EvaluationResult,
     ModelSink,
+    counters_priceable,
+    default_workers,
     evaluate,
     evaluate_many,
     fuse_blocks,
@@ -39,7 +41,7 @@ from .footprint import (
     algorithmic_minimum_bits,
     tensor_rank_stats,
 )
-from .traces import CountingSink, TraceSink
+from .traces import CountingSink, KernelCounters, TraceSink
 
 __all__ = [
     "Backend",
@@ -59,12 +61,15 @@ __all__ = [
     "GLOBAL_COMPILE_CACHE",
     "InterpreterBackend",
     "IntersectModel",
+    "KernelCounters",
     "MergerModel",
     "ModelSink",
     "SequencerModel",
     "TraceSink",
     "Traffic",
     "algorithmic_minimum_bits",
+    "counters_priceable",
+    "default_workers",
     "evaluate",
     "evaluate_many",
     "execute_cascade",

@@ -30,6 +30,7 @@ from dataclasses import fields, is_dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from ..einsum.operators import ARITHMETIC, OpSet
+from ..fibertree.arena import FlatArena, arena_from_tensor
 from ..fibertree.tensor import Tensor
 from ..ir.builder import build_cascade_ir
 from ..ir.codegen import CodegenError, compile_ir
@@ -41,7 +42,7 @@ from .executor import (
     execute_cascade,
     prepare_tensor,
 )
-from .traces import TraceSink
+from .traces import KernelCounters, TraceSink
 
 
 # ----------------------------------------------------------------------
@@ -92,25 +93,67 @@ def spec_cache_key(spec: AcceleratorSpec):
 # Compile cache
 # ----------------------------------------------------------------------
 class CompiledEinsum:
-    """Lowered IR plus compiled kernels for one Einsum of a cascade."""
+    """Lowered IR plus compiled kernels for one Einsum of a cascade.
+
+    Four flavors share the lowered IR: the object-cursor ``fast`` and
+    ``traced`` kernels (walking boxed fibers), and the arena-native
+    ``flat`` and ``counted`` kernels (walking
+    :class:`~repro.fibertree.arena.FlatArena` spans).  ``fast`` compiles
+    eagerly — its success defines "this spec compiles" — the rest on
+    first use.
+    """
 
     def __init__(self, ir: LoopNestIR):
         self.ir = ir
-        self.fast, self.fast_source = compile_ir(ir, traced=False)
-        self._traced: Optional[Callable] = None
-        self._traced_source: Optional[str] = None
+        self.fast, self.fast_source = compile_ir(ir, flavor="fast")
+        self._kernels: Dict[str, tuple] = {"fast": (self.fast,
+                                                    self.fast_source)}
+        self._errors: Dict[str, CodegenError] = {}
         self._lock = threading.Lock()
+
+    def _get(self, flavor: str) -> Callable:
+        entry = self._kernels.get(flavor)
+        if entry is not None:
+            return entry[0]
+        err = self._errors.get(flavor)
+        if err is not None:
+            raise err
+        with self._lock:
+            entry = self._kernels.get(flavor)
+            if entry is not None:
+                return entry[0]
+            err = self._errors.get(flavor)
+            if err is not None:
+                raise err
+            try:
+                fn, src = compile_ir(self.ir, flavor=flavor)
+            except CodegenError as exc:
+                self._errors[flavor] = exc
+                raise
+            self._kernels[flavor] = (fn, src)
+            return fn
+
+    def source_for(self, flavor: str) -> str:
+        self._get(flavor)
+        return self._kernels[flavor][1]
 
     @property
     def traced(self) -> Callable:
-        """The traced kernel, compiled on first use."""
-        if self._traced is None:
-            with self._lock:
-                if self._traced is None:
-                    fn, src = compile_ir(self.ir, traced=True)
-                    self._traced_source = src
-                    self._traced = fn
-        return self._traced
+        """The traced object-cursor kernel, compiled on first use."""
+        return self._get("traced")
+
+    @property
+    def counted(self) -> Callable:
+        """The counter-fused arena kernel (raises CodegenError if
+        the flat generator cannot express this Einsum)."""
+        return self._get("counted")
+
+    def flat_or_none(self) -> Optional[Callable]:
+        """The arena-native fast kernel, or None when unsupported."""
+        try:
+            return self._get("flat")
+        except CodegenError:
+            return None
 
 
 class CompiledCascade:
@@ -206,6 +249,19 @@ class InterpreterBackend(Backend):
                                sink=sink, shapes=shapes, env=env)
 
 
+def _arenas_of(prepared: Dict[str, Tensor]) -> Dict[str, FlatArena]:
+    """Convert prepared tensors to flat arenas, deduping shared objects."""
+    converted: Dict[int, FlatArena] = {}
+    out: Dict[str, FlatArena] = {}
+    for name, t in prepared.items():
+        key = id(t)
+        arena = converted.get(key)
+        if arena is None:
+            arena = converted[key] = arena_from_tensor(t)
+        out[name] = arena
+    return out
+
+
 class CompiledBackend(Backend):
     """Runs generated-Python kernels out of a compile cache.
 
@@ -213,14 +269,29 @@ class CompiledBackend(Backend):
     differential suite enforces both).  With ``fallback=True`` a mapping
     the code generator cannot express silently uses the interpreter for
     that spec instead of raising :class:`CodegenError`.
+
+    Untraced runs (``sink=None``) execute the arena-native *flat*
+    kernels: inputs are converted to
+    :class:`~repro.fibertree.arena.FlatArena` structure-of-arrays
+    buffers and the generated loops stream over raw index spans.  Pass
+    ``kernel_flavor="object"`` to force the boxed-fiber fast kernels
+    instead (the pre-flat behavior, kept for benchmarking).  Any Einsum
+    the flat generator cannot express silently drops back to its object
+    fast kernel, so outputs never depend on the flavor.
     """
 
     name = "compiled"
 
     def __init__(self, cache: Optional[CompileCache] = None,
-                 fallback: bool = False):
+                 fallback: bool = False, kernel_flavor: str = "flat"):
+        if kernel_flavor not in ("flat", "object"):
+            raise ValueError(
+                f"kernel_flavor must be 'flat' or 'object', "
+                f"got {kernel_flavor!r}"
+            )
         self.cache = cache if cache is not None else GLOBAL_COMPILE_CACHE
         self.fallback = fallback
+        self.kernel_flavor = kernel_flavor
         self._interpreter = InterpreterBackend()
 
     def compile(self, spec: AcceleratorSpec) -> CompiledCascade:
@@ -251,7 +322,49 @@ class CompiledBackend(Backend):
                 if ir.output.needs_producer_swizzle:
                     sink.swizzle(out.name, out.nnz, side="producer")
             else:
-                out = unit.fast(prepared, ops, all_shapes)
+                flat = unit.flat_or_none() \
+                    if self.kernel_flavor == "flat" else None
+                if flat is not None:
+                    out = flat(_arenas_of(prepared), ops, all_shapes)
+                else:
+                    out = unit.fast(prepared, ops, all_shapes)
+            env[ir.name] = out.prune_empty()
+            if sink:
+                sink.einsum_end(ir.name)
+        return env
+
+    def run_cascade_counted(self, spec, tensors, opset=ARITHMETIC,
+                            opsets=None, sink=None, shapes=None, env=None,
+                            on_counters=None):
+        """Run the cascade through counter-fused arena kernels.
+
+        No per-element trace events are emitted; instead each Einsum's
+        aggregate :class:`~repro.model.traces.KernelCounters` is handed
+        to ``on_counters(name, counters)`` right before ``einsum_end``.
+        ``sink``, when given, still receives the per-Einsum brackets and
+        the swizzle events (those originate outside the kernels).
+
+        Raises :class:`CodegenError` — before any Einsum runs — when the
+        flat generator cannot express some Einsum of the cascade.
+        """
+        compiled = self.cache.get(spec)
+        for unit in compiled.units:
+            unit.counted  # force-compile everything up front
+        env, all_shapes, rank_orders = cascade_context(spec, tensors,
+                                                       shapes, env)
+        for unit in compiled.units:
+            ir = unit.ir
+            ops = (opsets or {}).get(ir.name, opset)
+            if sink:
+                sink.einsum_begin(ir.name, ir)
+            prepared = self._prepare(ir, env, rank_orders, sink)
+            counters = KernelCounters()
+            out = unit.counted(_arenas_of(prepared), ops, all_shapes,
+                               counters)
+            if sink and ir.output.needs_producer_swizzle:
+                sink.swizzle(out.name, out.nnz, side="producer")
+            if on_counters:
+                on_counters(ir.name, counters)
             env[ir.name] = out.prune_empty()
             if sink:
                 sink.einsum_end(ir.name)

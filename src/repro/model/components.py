@@ -68,6 +68,17 @@ class DramModel:
         self.traffic.write(tensor, bits)
         self.accesses += 1
 
+    def read_bulk(self, tensor: str, bits: float, n: int) -> None:
+        """``n`` reads of ``bits`` each, priced in one pass (counter
+        fusion): identical traffic and access counts to ``n`` calls of
+        :meth:`read`."""
+        self.traffic.read(tensor, bits * n)
+        self.accesses += n
+
+    def write_bulk(self, tensor: str, bits: float, n: int) -> None:
+        self.traffic.write(tensor, bits * n)
+        self.accesses += n
+
     def time_seconds(self) -> float:
         return self.traffic.total_bits / self.bandwidth_bits
 
@@ -364,6 +375,13 @@ class ComputeModel:
         self.ops += n
         self.steps.add(time_stamp)
         self.lanes.add(space_stamp)
+
+    def compute_bulk(self, n: int, time_stamps, space_stamps) -> None:
+        """Aggregate form used by counter-fused pricing: ``n`` total ops
+        whose compute events carried exactly these stamp sets."""
+        self.ops += n
+        self.steps.update(time_stamps)
+        self.lanes.update(space_stamps)
 
     def serial_steps(self) -> int:
         return len(self.steps)

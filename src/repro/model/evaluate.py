@@ -9,6 +9,7 @@ bottleneck analysis, and reduces action counts to energy.
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -19,7 +20,7 @@ from ..fibertree.tensor import Tensor
 from ..spec.architecture import Component, Topology
 from ..spec.loader import AcceleratorSpec
 from ..ir.codegen import CodegenError
-from .backend import CompiledBackend, resolve_backend
+from .backend import CompiledBackend, canonical_key, resolve_backend
 from .components import (
     BuffetModel,
     CacheModel,
@@ -32,7 +33,7 @@ from .components import (
 )
 from .energy import EnergyModel
 from .footprint import FootprintOracle, algorithmic_minimum_bits
-from .traces import TraceSink
+from .traces import KernelCounters, TraceSink
 
 _DEFAULT_DRAM = Component(name="DRAM", klass="DRAM",
                           attributes={"bandwidth": 128})
@@ -442,6 +443,100 @@ class EvaluationResult:
         return weighted / total_steps
 
 
+# ----------------------------------------------------------------------
+# Counter-fused pricing (metrics="counters")
+# ----------------------------------------------------------------------
+#: Memo for :func:`counters_priceable`: the answer depends only on the
+#: spec layers probed (einsum names, binding, architecture), so sweeps
+#: over many workloads pay the ModelSink probe exactly once per spec.
+_PRICEABLE_CACHE: Dict[object, bool] = {}
+
+
+def counters_priceable(spec: AcceleratorSpec) -> bool:
+    """Can this spec's metrics be priced from aggregate counters alone?
+
+    Exactly when no Einsum binds data to a buffer or cache: buffets and
+    caches derive fills and drains from per-element keys and evict
+    windows, which aggregates cannot reconstruct.  Everything else —
+    DRAM traffic, intersection units, functional units, sequencers,
+    mergers — is a pure function of the tallies, so counter pricing is
+    *exact* (equal to the traced result), not an approximation.
+    """
+    key = canonical_key((spec.einsum, spec.binding, spec.architecture))
+    cached = _PRICEABLE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    probe = ModelSink(spec, {})
+    result = True
+    for einsum in spec.einsum.cascade:
+        probe.einsum_begin(einsum.name, None)
+        buffered = bool(probe.current.buffers)
+        probe.einsum_end(einsum.name)
+        if buffered:
+            result = False
+            break
+    _PRICEABLE_CACHE[key] = result
+    return result
+
+
+def _price_counters(sink: ModelSink, counters: KernelCounters) -> None:
+    """Price one Einsum's fused counters into the active component models.
+
+    Mirrors :class:`ModelSink`'s per-event routing, applied to the
+    aggregates in one pass (the ``einsum_end``-time pricing of the
+    counter-fused path).  Only valid when :func:`counters_priceable`
+    held — i.e. every data route lands on DRAM.
+    """
+    em = sink.current
+    oracle = sink.oracle
+    for (tensor, rank, kind), n in counters.reads.items():
+        em.dram.read_bulk(tensor, oracle.access_bits(tensor, rank, kind), n)
+    for (tensor, rank, kind), n in counters.writes.items():
+        em.dram.write_bulk(tensor, oracle.access_bits(tensor, rank, kind), n)
+    if em.intersects:
+        model = next(iter(em.intersects.values()))
+        for visited, matched in counters.isects.values():
+            model.isect(visited, matched)
+    for op, (n, steps, lanes) in counters.computes.items():
+        model = em.computes.get(op)
+        if model is None:
+            model = next(iter(em.computes.values()))
+        model.compute_bulk(n, steps, lanes)
+        for seq in em.sequencers.values():
+            seq.compute(n)
+
+
+def _evaluate_counters(spec, tensors, opset, opsets, shapes, energy_model,
+                       engine) -> Optional[EvaluationResult]:
+    """The counter-fused evaluation path; None when it does not apply."""
+    if not isinstance(engine, CompiledBackend):
+        return None
+    if not counters_priceable(spec):
+        return None
+    env: Dict[str, Tensor] = {}
+    sink = ModelSink(spec, env)
+
+    def on_counters(name: str, counters: KernelCounters) -> None:
+        _price_counters(sink, counters)
+
+    try:
+        engine.run_cascade_counted(
+            spec, tensors, opset=opset, opsets=opsets, sink=sink,
+            shapes=shapes, env=env, on_counters=on_counters,
+        )
+    except CodegenError:
+        return None
+    blocks = fuse_blocks(spec, sink)
+    return EvaluationResult(
+        spec=spec,
+        einsums=sink.einsums,
+        blocks=blocks,
+        env=env,
+        oracle=sink.oracle,
+        energy_model=energy_model or EnergyModel(),
+    )
+
+
 def evaluate(
     spec: AcceleratorSpec,
     tensors: Dict[str, Tensor],
@@ -450,6 +545,7 @@ def evaluate(
     shapes: Optional[Dict[str, int]] = None,
     energy_model: Optional[EnergyModel] = None,
     backend=None,
+    metrics: str = "trace",
 ) -> EvaluationResult:
     """Run a full TeAAL evaluation: execute + model + reduce.
 
@@ -457,8 +553,27 @@ def evaluate(
     Python kernels), ``"interpreter"``, ``"auto"``/``None`` (compiled
     with interpreter fallback — the default), or a
     :class:`~repro.model.backend.Backend` instance.
+
+    ``metrics`` selects how component models are fed:
+
+    * ``"trace"`` (default) — one event per touched element streams to a
+      :class:`ModelSink`; exact for every component class.
+    * ``"counters"`` — counter fusion: arena-native kernels accumulate
+      per-rank read/write/intersection/compute tallies and the models
+      price them in one pass per Einsum.  Exact whenever the spec binds
+      no buffers/caches (see :func:`counters_priceable`); otherwise this
+      silently falls back to ``"trace"`` so results never change.
     """
     engine = resolve_backend(backend)
+    if metrics == "counters":
+        result = _evaluate_counters(spec, tensors, opset, opsets, shapes,
+                                    energy_model, engine)
+        if result is not None:
+            return result
+    elif metrics != "trace":
+        raise ValueError(
+            f"unknown metrics mode {metrics!r}; known: 'trace', 'counters'"
+        )
     env: Dict[str, Tensor] = {}
     sink = ModelSink(spec, env)
     engine.run_cascade(spec, tensors, opset=opset, opsets=opsets, sink=sink,
@@ -474,6 +589,23 @@ def evaluate(
     )
 
 
+#: Cap on the auto-detected worker count of :func:`evaluate_many`.
+MAX_DEFAULT_WORKERS = 8
+
+
+def default_workers() -> int:
+    """The worker count :func:`evaluate_many` uses when none is given.
+
+    ``os.cpu_count()`` capped at :data:`MAX_DEFAULT_WORKERS`; override
+    with the ``REPRO_EVALUATE_WORKERS`` environment variable (set it to
+    ``1`` to force sequential evaluation).
+    """
+    env = os.environ.get("REPRO_EVALUATE_WORKERS")
+    if env:
+        return max(1, int(env))
+    return max(1, min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS))
+
+
 def evaluate_many(
     spec: AcceleratorSpec,
     workloads: Sequence[Dict[str, Tensor]],
@@ -483,15 +615,19 @@ def evaluate_many(
     energy_model: Optional[EnergyModel] = None,
     backend=None,
     workers: Optional[int] = None,
+    metrics: str = "trace",
 ) -> List[EvaluationResult]:
     """Evaluate one spec over many workloads, compiling once.
 
     The spec is lowered and compiled a single time (warming the backend's
     compile cache), then every workload — a ``{tensor: Tensor}`` dict —
-    is evaluated against the cached kernels.  ``workers > 1`` fans the
+    is evaluated against the cached kernels.  ``workers`` fans the
     evaluations out over a thread pool (kernels and component models are
-    independent per workload); the default runs them sequentially, which
-    is usually fastest for CPU-bound Python but keeps the same API.
+    independent per workload); it defaults to :func:`default_workers`
+    (``os.cpu_count()`` capped at :data:`MAX_DEFAULT_WORKERS`, overridden
+    by the ``REPRO_EVALUATE_WORKERS`` environment variable — set it to
+    ``1`` to force sequential evaluation).  ``metrics`` is forwarded to
+    :func:`evaluate` per workload.
 
     Returns one :class:`EvaluationResult` per workload, in order.
     """
@@ -506,10 +642,12 @@ def evaluate_many(
     def one(tensors: Dict[str, Tensor]) -> EvaluationResult:
         return evaluate(spec, tensors, opset=opset, opsets=opsets,
                         shapes=shapes, energy_model=energy_model,
-                        backend=engine)
+                        backend=engine, metrics=metrics)
 
     workloads = list(workloads)
-    if workers and workers > 1:
+    if workers is None:
+        workers = default_workers()
+    if workers > 1 and len(workloads) > 1:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(one, workloads))
     return [one(w) for w in workloads]

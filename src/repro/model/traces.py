@@ -110,3 +110,53 @@ class CountingSink(TraceSink):
 
     def parallel_lanes(self, einsum: str) -> int:
         return max(1, len(self.space_lanes.get(einsum, ())))
+
+
+class KernelCounters:
+    """Counter-fused trace aggregates for one Einsum execution.
+
+    Filled by the "counted" arena-native kernels
+    (:mod:`repro.ir.codegen_flat`): instead of one sink method call per
+    touched element, the kernel bumps local integers and flushes them
+    here once.  The tallies equal the aggregates of the per-element
+    traced event stream exactly, so component models that only consume
+    aggregates (DRAM traffic, intersection units, functional units,
+    sequencers) can price a run in one pass at ``einsum_end``.
+
+    * ``reads`` / ``writes`` — ``(tensor, rank, kind) -> count``;
+    * ``isects`` — ``rank -> [visited, matched]``;
+    * ``computes`` — ``op -> [n, time-stamp set, space-stamp set]``.
+    """
+
+    __slots__ = ("reads", "writes", "isects", "computes")
+
+    def __init__(self):
+        self.reads = Counter()
+        self.writes = Counter()
+        self.isects = {}
+        self.computes = {}
+
+    def add_read(self, tensor: str, rank: str, kind: str, n: int) -> None:
+        if n:
+            self.reads[(tensor, rank, kind)] += n
+
+    def add_write(self, tensor: str, rank: str, kind: str, n: int) -> None:
+        if n:
+            self.writes[(tensor, rank, kind)] += n
+
+    def add_isect(self, rank: str, visited: int, matched: int) -> None:
+        if visited or matched:
+            entry = self.isects.setdefault(rank, [0, 0])
+            entry[0] += visited
+            entry[1] += matched
+
+    def add_compute(self, op: str, n: int, time_stamps, space_stamps) -> None:
+        if n:
+            entry = self.computes.setdefault(op, [0, set(), set()])
+            entry[0] += n
+            entry[1].update(time_stamps)
+            entry[2].update(space_stamps)
+
+    @property
+    def total_computes(self) -> int:
+        return sum(entry[0] for entry in self.computes.values())

@@ -1,0 +1,210 @@
+"""Property tests: Fiber <-> FlatArena round trips.
+
+The flat structure-of-arrays storage is only trustworthy if it is a
+lossless re-encoding of the boxed fibertree: coordinates, payloads, and
+the partition ``coord_range`` annotations must all survive a round trip,
+and structurally invalid arenas (duplicate coordinates within a fiber)
+must be rejected just as :class:`Fiber` rejects them.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+
+from repro.fibertree import (
+    Fiber,
+    FlatArena,
+    FlatFiberView,
+    Tensor,
+    arena_from_fiber,
+    arena_from_scipy,
+    arena_from_tensor,
+    arena_to_scipy,
+    tensor_from_arena,
+    tensor_from_dense,
+)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def tensors(draw, max_depth=3):
+    depth = draw(st.integers(1, max_depth))
+    shape = tuple(draw(st.integers(1, 6)) for _ in range(depth))
+    n_points = draw(st.integers(0, 20))
+    points = {}
+    for _ in range(n_points):
+        point = tuple(draw(st.integers(0, s - 1)) for s in shape)
+        points[point] = draw(
+            st.floats(0.5, 9.5, allow_nan=False, allow_infinity=False)
+        )
+    ranks = [f"R{i}" for i in range(depth)]
+    return Tensor.from_coo("T", ranks, points.items(), shape=list(shape))
+
+
+def all_fibers(fiber):
+    """Yield every fiber of a tree, top-down."""
+    yield fiber
+    for p in fiber.payloads:
+        if isinstance(p, Fiber):
+            yield from all_fibers(p)
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+@settings(max_examples=50)
+@given(t=tensors())
+def test_tensor_roundtrip_preserves_everything(t):
+    arena = arena_from_tensor(t)
+    arena.validate()
+    assert arena.nnz == t.nnz
+    back = tensor_from_arena(arena, t.name, t.rank_ids, t.shape)
+    assert back == t
+    assert back.points() == t.points()
+    # coord_range is compared level by level, not just through __eq__
+    # (Fiber.__eq__ ignores coord_range).
+    for a, b in zip(all_fibers(t.root), all_fibers(back.root)):
+        assert a.coords == b.coords
+        assert a.coord_range == b.coord_range
+
+
+@settings(max_examples=30)
+@given(t=tensors(max_depth=2), size=st.integers(1, 5))
+def test_split_coord_ranges_survive_roundtrip(t, size):
+    """Occupancy splits record partition windows; arenas must keep them."""
+    split = t.partition_uniform_occupancy(t.rank_ids[0], [size])
+    arena = arena_from_tensor(split)
+    back = tensor_from_arena(arena, split.name, split.rank_ids, split.shape)
+    for a, b in zip(all_fibers(split.root), all_fibers(back.root)):
+        assert a.coords == b.coords
+        assert a.payloads == b.payloads or all(
+            isinstance(p, Fiber) for p in a.payloads
+        )
+        assert a.coord_range == b.coord_range
+
+
+@settings(max_examples=30)
+@given(t=tensors(max_depth=2), step=st.integers(1, 5))
+def test_shape_split_ranges_survive_roundtrip(t, step):
+    split = t.partition_uniform_shape(t.rank_ids[0], [step])
+    arena = arena_from_tensor(split)
+    back = tensor_from_arena(arena, split.name, split.rank_ids, split.shape)
+    for a, b in zip(all_fibers(split.root), all_fibers(back.root)):
+        assert a.coord_range == b.coord_range
+
+
+@settings(max_examples=30)
+@given(t=tensors(max_depth=2))
+def test_flattened_tuple_coords_roundtrip(t):
+    if t.num_ranks < 2:
+        return
+    flat = t.flatten_ranks(t.rank_ids[:2])
+    arena = arena_from_tensor(flat)
+    arena.validate()
+    back = tensor_from_arena(arena, flat.name, flat.rank_ids, flat.shape)
+    assert back.points() == flat.points()
+
+
+# ----------------------------------------------------------------------
+# Views
+# ----------------------------------------------------------------------
+@settings(max_examples=30)
+@given(t=tensors())
+def test_flat_view_walks_like_the_fiber(t):
+    arena = arena_from_tensor(t)
+    view = arena.root_view()
+
+    def walk(fiber, v):
+        assert len(fiber) == len(v)
+        assert fiber.coords == v.coords
+        assert fiber.coord_range == v.coord_range
+        for (c1, p1), (c2, p2) in zip(fiber, v):
+            assert c1 == c2
+            if isinstance(p1, Fiber):
+                assert isinstance(p2, FlatFiberView)
+                assert v.get_payload(c1) is not None
+                walk(p1, p2)
+            else:
+                assert p1 == p2
+                assert v.get_payload(c1) == p1
+
+    walk(t.root, view)
+    assert view.to_fiber() == t.root
+
+
+# ----------------------------------------------------------------------
+# Rejection of malformed arenas
+# ----------------------------------------------------------------------
+def test_duplicate_coordinates_rejected():
+    arena = arena_from_tensor(
+        tensor_from_dense("A", ["K"], np.array([1.0, 2.0, 3.0]))
+    )
+    arena.coords[0][1] = arena.coords[0][0]  # forge a duplicate in one fiber
+    with pytest.raises(ValueError, match="strictly increasing"):
+        arena.validate()
+    with pytest.raises(ValueError):
+        arena.to_fiber()
+
+
+def test_unsorted_coordinates_rejected():
+    arena = arena_from_tensor(
+        tensor_from_dense("A", ["K"], np.array([1.0, 2.0, 3.0]))
+    )
+    arena.coords[0][0], arena.coords[0][2] = \
+        arena.coords[0][2], arena.coords[0][0]
+    with pytest.raises(ValueError, match="strictly increasing"):
+        arena.validate()
+
+
+def test_misaligned_segments_rejected():
+    arena = arena_from_tensor(tensor_from_dense("A", ["K", "M"], np.eye(3)))
+    arena.segs[1][-1] = arena.segs[1][-1] + 1
+    with pytest.raises(ValueError):
+        arena.validate()
+
+
+def test_too_shallow_and_too_deep_trees_rejected():
+    t = tensor_from_dense("A", ["K", "M"], np.eye(3))
+    with pytest.raises(TypeError):
+        arena_from_fiber(t.root, 3)  # deeper than the tree
+    with pytest.raises(TypeError):
+        arena_from_fiber(t.root, 1)  # shallower than the tree
+
+
+def test_empty_tensor_roundtrip():
+    t = Tensor.empty("Z", ["M", "N"], shape=[4, 5])
+    arena = arena_from_tensor(t)
+    arena.validate()
+    assert arena.nnz == 0
+    back = tensor_from_arena(arena, "Z", ["M", "N"], [4, 5])
+    assert back.points() == {}
+
+
+# ----------------------------------------------------------------------
+# scipy bridges
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("density", [0.0, 0.2, 0.9])
+def test_scipy_roundtrip(density):
+    rng = np.random.default_rng(3)
+    dense = (rng.random((13, 9)) < density) * rng.integers(
+        1, 9, (13, 9)
+    ).astype(float)
+    m = sp.csr_matrix(dense)
+    arena = arena_from_scipy(m)
+    arena.validate()
+    assert arena.nnz == m.nnz
+    back = arena_to_scipy(arena, m.shape)
+    assert (back != m).nnz == 0
+    # And it matches the boxed ingestion path exactly.
+    t = tensor_from_dense("A", ["R", "C"], dense)
+    assert tensor_from_arena(arena, "A", ["R", "C"]).points() == t.points()
+
+
+def test_scipy_rejects_non_matrix_arena():
+    t = tensor_from_dense("A", ["K"], np.ones(3))
+    with pytest.raises(ValueError):
+        arena_to_scipy(arena_from_tensor(t))

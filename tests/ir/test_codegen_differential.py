@@ -1,16 +1,29 @@
 """Differential test harness: compiled kernels vs. the interpreter.
 
-The compiled backend is only trustworthy if it is *indistinguishable*
-from the reference interpreter — same outputs and the same trace-derived
-traffic, for every registered accelerator spec and for the tricky mapping
-features (occupancy followers, runtime windows, flattening, multi-level
-splits, affine projection, take/union leaves).
+The compiled backends are only trustworthy if they are
+*indistinguishable* from the reference interpreter — same outputs and
+the same trace-derived traffic, for every registered accelerator spec
+and for the tricky mapping features (occupancy followers, runtime
+windows, flattening, multi-level splits, affine projection, take/union
+leaves).
 
-These tests compare the two engines at the strongest level available:
-the full ordered trace-event stream.  Equal streams imply equal traffic
-counts, equal intersection statistics, and equal spacetime stamps, for
-any component model downstream.  Inputs are hypothesis-generated, with a
-fixed profile (see ``tests/conftest.py``) so CI failures replay exactly.
+Three execution paths are held together here:
+
+* **interpreter vs. object-compiled (traced)** — compared at the
+  strongest level available: the full ordered trace-event stream.
+  Equal streams imply equal traffic counts, equal intersection
+  statistics, and equal spacetime stamps, for any component model
+  downstream.
+* **flat-compiled (arena-native, untraced)** — outputs must equal both
+  engines above, and the specs under test must *actually* flat-compile
+  (no silent fallback to object kernels).
+* **counted (counter-fused)** — the per-Einsum aggregate tallies must
+  equal the aggregates of the interpreter's ordered event stream,
+  read for read, intersection for intersection, stamp set for stamp
+  set.
+
+Inputs are hypothesis-generated, with a fixed profile (see
+``tests/conftest.py``) so CI failures replay exactly.
 """
 
 import hypothesis.strategies as st
@@ -70,8 +83,65 @@ def traffic_counts(events):
     return reads, writes
 
 
+def stream_aggregates(events):
+    """Per-Einsum aggregates of an ordered event stream.
+
+    Returns ``{einsum: (reads, writes, isects, computes)}`` in exactly
+    the shape :class:`~repro.model.traces.KernelCounters` accumulates:
+    reads/writes keyed ``(tensor, rank, kind)``, isects keyed rank with
+    ``[visited, matched]`` (zero events dropped, as counters never
+    record them), computes keyed op with ``[n, time-stamp set,
+    space-stamp set]``.
+    """
+    out = {}
+    current = None
+    for ev in events:
+        if ev[0] == "begin":
+            current = out.setdefault(ev[1], ({}, {}, {}, {}))
+        elif ev[0] == "end":
+            current = None
+        elif ev[0] == "read":
+            key = (ev[1], ev[2], ev[3])
+            current[0][key] = current[0].get(key, 0) + 1
+        elif ev[0] == "write":
+            key = (ev[1], ev[2], ev[3])
+            current[1][key] = current[1].get(key, 0) + 1
+        elif ev[0] == "isect":
+            _, rank, visited, matched = ev
+            if visited or matched:
+                entry = current[2].setdefault(rank, [0, 0])
+                entry[0] += visited
+                entry[1] += matched
+        elif ev[0] == "compute":
+            _, op, n, ts, ss = ev
+            entry = current[3].setdefault(op, [0, set(), set()])
+            entry[0] += n
+            entry[1].add(ts)
+            entry[2].add(ss)
+    return out
+
+
+def assert_counters_match_stream(spec, tensors, events):
+    """Counter-fused kernels must aggregate the traced stream exactly."""
+    counters = {}
+    backend = CompiledBackend(cache=_CACHE)
+    backend.run_cascade_counted(
+        spec, {k: t.copy() for k, t in tensors.items()},
+        on_counters=lambda name, kc: counters.setdefault(name, kc),
+    )
+    expected = stream_aggregates(events)
+    assert set(counters) == set(expected)
+    for name, kc in counters.items():
+        reads, writes, isects, computes = expected[name]
+        assert dict(kc.reads) == reads, f"{name}: read tallies diverge"
+        assert dict(kc.writes) == writes, f"{name}: write tallies diverge"
+        assert kc.isects == isects, f"{name}: isect tallies diverge"
+        assert {op: [n, ts, ss] for op, (n, ts, ss) in kc.computes.items()} \
+            == computes, f"{name}: compute tallies diverge"
+
+
 def assert_backends_agree(spec, tensors):
-    """Run both engines; outputs and event streams must be identical."""
+    """Run every engine; outputs, event streams, and counters must agree."""
     interp_sink, compiled_sink = StreamSink(), StreamSink()
     env_i = InterpreterBackend().run_cascade(
         spec, {k: t.copy() for k, t in tensors.items()}, sink=interp_sink
@@ -88,6 +158,24 @@ def assert_backends_agree(spec, tensors):
                                        compiled_sink.events)):
             assert a == b, f"event {k}: interpreter {a} != compiled {b}"
         assert len(interp_sink.events) == len(compiled_sink.events)
+
+    # Untraced paths: object kernels and arena-native flat kernels must
+    # reproduce the same outputs — and the flat kernels must really
+    # exist for these specs (no silent fallback).
+    for unit in _CACHE.get(spec).units:
+        assert unit.flat_or_none() is not None, \
+            f"{unit.ir.name}: flat kernel failed to compile"
+    env_o = CompiledBackend(cache=_CACHE, kernel_flavor="object").run_cascade(
+        spec, {k: t.copy() for k, t in tensors.items()}
+    )
+    env_f = CompiledBackend(cache=_CACHE, kernel_flavor="flat").run_cascade(
+        spec, {k: t.copy() for k, t in tensors.items()}
+    )
+    for name in spec.einsum.cascade.produced:
+        assert env_i[name].points() == env_o[name].points(), name
+        assert env_i[name].points() == env_f[name].points(), name
+
+    assert_counters_match_stream(spec, tensors, interp_sink.events)
 
 
 def sparse_matrix(rng, rows, cols, density):

@@ -1,0 +1,161 @@
+"""Counter-fused metrics (``evaluate(metrics="counters")``) and the flat
+untraced backend path.
+
+Counter pricing is only offered where it is *exact* — specs that bind no
+buffers/caches — so every assertion here is strict equality against the
+traced evaluation, not a tolerance band.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accelerators import accelerator
+from repro.fibertree import tensor_from_dense
+from repro.model import (
+    CompileCache,
+    CompiledBackend,
+    counters_priceable,
+    default_workers,
+    evaluate,
+    evaluate_many,
+)
+from repro.model.evaluate import MAX_DEFAULT_WORKERS
+from repro.spec import load_spec
+
+MATMUL = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    Z: [M, N]
+  expressions:
+    - Z[m, n] = A[k, m] * B[k, n]
+"""
+
+SPLIT = MATMUL + """
+mapping:
+  partitioning:
+    Z:
+      K: [uniform_occupancy(A.6)]
+  loop-order:
+    Z: [K1, M, N, K0]
+"""
+
+ISECT_BOUND = SPLIT + """
+architecture:
+  Main:
+    clock: 1.0e9
+    subtree:
+      - name: System
+        local:
+          - name: DRAM
+            class: DRAM
+            attributes: {bandwidth: 64}
+          - name: ISect
+            class: Intersection
+            attributes: {type: two-finger}
+          - name: ALU
+            class: Compute
+            attributes: {type: mul}
+binding:
+  Z:
+    config: Main
+    components:
+      ISect:
+        - op: intersect
+          rank: K0
+      ALU:
+        - op: mul
+"""
+
+
+def tensors(seed=0, k=12, m=9, n=8, density=0.4):
+    rng = np.random.default_rng(seed)
+    a = (rng.random((k, m)) < density) * rng.integers(1, 9, (k, m))
+    b = (rng.random((k, n)) < density) * rng.integers(1, 9, (k, n))
+    return {
+        "A": tensor_from_dense("A", ["K", "M"], a.astype(float)),
+        "B": tensor_from_dense("B", ["K", "N"], b.astype(float)),
+    }
+
+
+def assert_results_equal(a, b):
+    assert a.traffic_bytes() == b.traffic_bytes()
+    assert a.exec_seconds == b.exec_seconds
+    assert a.energy_pj == b.energy_pj
+    assert a.total_ops() == b.total_ops()
+    assert a.utilization() == b.utilization()
+    assert a.action_counts() == b.action_counts()
+    for name in a.env:
+        assert a.env[name].points() == b.env[name].points()
+
+
+@pytest.mark.parametrize("spec_yaml", [MATMUL, SPLIT, ISECT_BOUND])
+def test_counter_pricing_equals_traced(spec_yaml):
+    spec = load_spec(spec_yaml, name="ctr")
+    assert counters_priceable(spec)
+    backend = CompiledBackend(cache=CompileCache())
+    work = tensors()
+    traced = evaluate(spec, dict(work), backend=backend)
+    counted = evaluate(spec, dict(work), backend=backend,
+                       metrics="counters")
+    assert_results_equal(traced, counted)
+
+
+def test_buffered_specs_fall_back_to_trace():
+    spec = accelerator("gamma")
+    assert not counters_priceable(spec)
+    backend = CompiledBackend(cache=CompileCache())
+    work = tensors(seed=3)
+    traced = evaluate(spec, dict(work), backend=backend)
+    counted = evaluate(spec, dict(work), backend=backend,
+                       metrics="counters")
+    # Fallback must be silent and results identical to the traced path.
+    assert_results_equal(traced, counted)
+
+
+def test_unknown_metrics_mode_rejected():
+    spec = load_spec(MATMUL)
+    with pytest.raises(ValueError, match="metrics"):
+        evaluate(spec, tensors(), metrics="vibes")
+
+
+def test_evaluate_many_counters_and_workers():
+    spec = load_spec(SPLIT, name="sweep")
+    backend = CompiledBackend(cache=CompileCache())
+    workloads = [tensors(seed=i) for i in range(5)]
+    sequential = evaluate_many(spec, [dict(w) for w in workloads],
+                               backend=backend, workers=1)
+    threaded = evaluate_many(spec, [dict(w) for w in workloads],
+                             backend=backend, workers=4,
+                             metrics="counters")
+    for a, b in zip(sequential, threaded):
+        assert_results_equal(a, b)
+
+
+def test_default_workers_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_EVALUATE_WORKERS", "3")
+    assert default_workers() == 3
+    monkeypatch.delenv("REPRO_EVALUATE_WORKERS")
+    import os
+
+    expected = max(1, min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS))
+    assert default_workers() == expected
+
+
+def test_flat_and_object_flavors_agree_untraced():
+    spec = load_spec(SPLIT, name="flavors")
+    cache = CompileCache()
+    work = tensors(seed=9)
+    env_o = CompiledBackend(cache=cache, kernel_flavor="object") \
+        .run_cascade(spec, dict(work))
+    env_f = CompiledBackend(cache=cache, kernel_flavor="flat") \
+        .run_cascade(spec, dict(work))
+    assert env_o["Z"].points() == env_f["Z"].points()
+    # The flat kernel genuinely compiled (not a silent object fallback).
+    assert cache.get(spec).units[0].flat_or_none() is not None
+
+
+def test_bad_kernel_flavor_rejected():
+    with pytest.raises(ValueError, match="kernel_flavor"):
+        CompiledBackend(kernel_flavor="turbo")
