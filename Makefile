@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 export HYPOTHESIS_PROFILE ?= repro
 
-.PHONY: test test-differential bench-backend bench-smoke benchmarks example
+.PHONY: test test-differential coverage bench-backend bench-smoke benchmarks example
 
 # Tier-1: unit + integration + the codegen differential suite, with the
 # fixed hypothesis profile for reproducibility.
@@ -13,7 +13,13 @@ test:
 # the code generator).
 test-differential:
 	$(PYTHON) -m pytest tests/ir/test_codegen_differential.py \
+	    tests/model/test_fused.py \
 	    tests/integration/test_published_metrics.py -q
+
+# Tier-1 with the CI coverage floor (needs pytest-cov).
+coverage:
+	$(PYTHON) -m pytest tests -q --cov=repro --cov-report=term \
+	    --cov-fail-under=80
 
 # Every engine (interpreter / traced / counters / object / flat) on a
 # 24-workload sweep; appends to benchmarks/BENCH_backend.json.

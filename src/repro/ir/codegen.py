@@ -667,9 +667,10 @@ def generate_module(irs, name: str = "generated") -> str:
 
 
 #: Kernel flavors: object-cursor kernels ("fast"/"traced") walk boxed
-#: fibers; arena-native kernels ("flat"/"counted") walk FlatArena spans
-#: (see :mod:`repro.ir.codegen_flat`).
-KERNEL_FLAVORS = ("fast", "traced", "flat", "counted")
+#: fibers; arena-native kernels ("flat"/"counted"/"fused") walk FlatArena
+#: spans (see :mod:`repro.ir.codegen_flat`).  "fused" inlines the
+#: buffet/cache component state machines into the arena loops.
+KERNEL_FLAVORS = ("fast", "traced", "flat", "counted", "fused")
 
 
 def compile_ir(ir: LoopNestIR, func_name: str = "kernel",
@@ -684,11 +685,12 @@ def compile_ir(ir: LoopNestIR, func_name: str = "kernel",
         flavor = "traced" if traced else "fast"
     if flavor in ("fast", "traced"):
         body = generate_source(ir, func_name, traced=(flavor == "traced"))
-    elif flavor in ("flat", "counted"):
+    elif flavor in ("flat", "counted", "fused"):
         from .codegen_flat import generate_flat_source
 
         body = generate_flat_source(ir, func_name,
-                                    counted=(flavor == "counted"))
+                                    counted=(flavor == "counted"),
+                                    fused=(flavor == "fused"))
     else:
         raise ValueError(
             f"unknown kernel flavor {flavor!r}; known: {KERNEL_FLAVORS}"

@@ -10,7 +10,7 @@ loads, and two-way intersection is an inlined galloping merge on the raw
 coordinate buffers — no generators, no per-element payload lists, no
 ``Fiber`` allocation for windows, slices, or projections.
 
-Two flavors share one generator:
+Three flavors share one generator:
 
 * **flat** ``kernel(arenas, opset, shapes)`` — the untraced fast path;
 * **counted** ``kernel(arenas, opset, shapes, kc)`` — counter fusion:
@@ -24,11 +24,26 @@ Two flavors share one generator:
   read, abandoned co-iterations (existential ``take()`` short-circuits)
   keep their partial visit counts but drop the final ``isect`` event,
   and ineffectual leaves price nothing.
+* **fused** ``kernel(arenas, opset, shapes, kc, fm)`` — model fusion:
+  everything the counted flavor does, plus the buffet/cache component
+  state machines inlined into the loops.  The kernel tracks coordinate
+  paths (``h`` vars) and loop-context prefixes (``cx`` vars) exactly as
+  the traced object kernels do, and at every touch site consults a
+  *port* bound once at entry from ``fm`` (a
+  :class:`repro.model.evaluate.FusedMachines` routing plan built from
+  the binding spec at run time — the generated code itself stays
+  binding-independent, so fused kernels share the same compile-cache
+  entry across binding variations).  A ``None`` port means the touch
+  falls through to DRAM and bumps the fused counter; a live port is a
+  :class:`~repro.ir.codegen_runtime.FusedBuffet` /
+  :class:`~repro.ir.codegen_runtime.FusedCache` state machine receiving
+  the same (key, evict-window) sequence the traced
+  :class:`~repro.model.evaluate.ModelSink` would deliver.
 
 The walk order, the guard structure, and every membership decision are
 copied from :class:`repro.ir.codegen._Generator` so the differential
-suite can hold all three engines (interpreter, object kernels, flat
-kernels) to identical outputs.
+suite can hold all engines (interpreter, object kernels, flat kernels,
+fused kernels) to identical outputs and metrics.
 """
 
 from __future__ import annotations
@@ -43,6 +58,7 @@ from .codegen import (
     _drivable,
     _Emitter,
     _existential_ranks,
+    _expr_code,
     _physical_below,
     _point_code,
     _statically_driven,
@@ -50,12 +66,16 @@ from .codegen import (
 
 
 class _FlatGenerator:
-    """Emits one arena-native kernel (flat or counted) for one Einsum."""
+    """Emits one arena-native kernel (flat, counted, or fused) for one
+    Einsum."""
 
-    def __init__(self, ir: LoopNestIR, func_name: str, counted: bool):
+    def __init__(self, ir: LoopNestIR, func_name: str, counted: bool,
+                 fused: bool = False):
         self.ir = ir
         self.func_name = func_name
-        self.counted = counted
+        self.counted = counted or fused
+        self.fused = fused
+        counted = self.counted
         self.em = _Emitter()  # body emitter (swapped in during generate)
         self.existential = _existential_ranks(ir)
         self.stamp_ranks = (set(ir.time_ranks) | set(ir.space_ranks)) \
@@ -73,10 +93,17 @@ class _FlatGenerator:
                 at.append(at[-1] + (1 if lvl.is_physical else 0))
             self.level_at.append(at)
             self.n_phys.append(at[-1])
-        # Counter bookkeeping (counted flavor only).
+        # Counter bookkeeping (counted/fused flavors only).
         self.read_ctrs: Dict[Tuple[str, str, str], str] = {}
         self.write_ctrs: Dict[Tuple[str, str, str], str] = {}
         self.isect_ranks: List[str] = []
+        # Component-machine ports (fused flavor): one per touched
+        # (tensor, rank, kind) triple, bound from ``fm`` at kernel entry.
+        self.ports: Dict[Tuple[str, str, str], str] = {}
+        # Pair dispatchers: the bound ``read2`` of a machine that claims
+        # both the coord and the payload port of one (tensor, rank) —
+        # the back-to-back event pair every present element emits.
+        self.pairs: Dict[Tuple[str, str], str] = {}
 
     # ------------------------------------------------------------------
     # Cursor helpers
@@ -100,6 +127,10 @@ class _FlatGenerator:
         else:
             self.em.emit(f"n{i}_{d}a = None")
             self.em.emit(f"n{i}_{d}b = None")
+        if self.fused:
+            # Keep the path var defined along absent branches; no event
+            # below an absent cursor ever reads it, so the value is moot.
+            self.em.emit(f"h{i}_{d} = ()")
 
     def _descend(self, i: int, d: int, pos: str) -> None:
         """Descend access ``i`` from depth ``d`` via element position ``pos``."""
@@ -117,9 +148,11 @@ class _FlatGenerator:
         else:
             self.em.emit(f"n{i}_{d + 1}a = n{i}_{d}a")
             self.em.emit(f"n{i}_{d + 1}b = n{i}_{d}b")
+        if self.fused:
+            self.em.emit(f"h{i}_{d + 1} = h{i}_{d}")
 
     # ------------------------------------------------------------------
-    # Counter helpers (counted flavor; no-ops otherwise)
+    # Counter/port helpers (counted+fused flavors; no-ops for flat)
     # ------------------------------------------------------------------
     def _rctr(self, tensor: str, of: str, kind: str) -> str:
         key = (tensor, of, kind)
@@ -137,10 +170,118 @@ class _FlatGenerator:
             self.write_ctrs[key] = var
         return var
 
+    def _port(self, tensor: str, of: str, kind: str) -> str:
+        key = (tensor, of, kind)
+        var = self.ports.get(key)
+        if var is None:
+            var = f"mp{len(self.ports)}"
+            self.ports[key] = var
+        return var
+
+    def _pair(self, tensor: str, of: str) -> str:
+        key = (tensor, of)
+        var = self.pairs.get(key)
+        if var is None:
+            self._port(tensor, of, "coord")
+            self._port(tensor, of, "payload")
+            var = f"pp{len(self.pairs)}"
+            self.pairs[key] = var
+        return var
+
+    def _deferrable(self, i: int) -> bool:
+        """Can access ``i``'s driver coord read defer to the payload site?
+
+        Safe when no other access shares the tensor: with one access,
+        nothing can slip between the coord and payload events of one
+        element on their shared machine, so dispatching the pair together
+        preserves the machine's exact event order.  (Lookup sites are
+        straight-line and always safe — they don't consult this.)
+        """
+        tensor = self.ir.accesses[i].tensor
+        return sum(1 for p in self.ir.accesses if p.tensor == tensor) == 1
+
+    def _emit_pair_read(self, i: int, of: str, key: str, cx: str) -> None:
+        """The coord+payload event pair of one present element.
+
+        One ``read2`` call when a single machine claims both ports, the
+        exact two-dispatch sequence otherwise.  The coord *counter* case
+        is handled at the original coord site (counters are
+        order-insensitive), so here a ``None`` coord port means no-op.
+        """
+        em = self.em
+        tensor = self.ir.accesses[i].tensor
+        pc = self._port(tensor, of, "coord")
+        pp = self._port(tensor, of, "payload")
+        pair = self._pair(tensor, of)
+        pctr = self._rctr(tensor, of, "payload")
+        em.emit(f"if {pair} is not None:")
+        em.indent += 1
+        em.emit(f"{pair}({of!r}, {key}, {cx})")
+        em.indent -= 1
+        em.emit("else:")
+        em.indent += 1
+        em.emit(f"if {pc}r is not None:")
+        em.indent += 1
+        em.emit(f"{pc}r({of!r}, {key}, {cx})")
+        em.indent -= 1
+        em.emit(f"if {pp}r is None:")
+        em.indent += 1
+        em.emit(f"{pctr} += 1")
+        em.indent -= 1
+        em.emit("else:")
+        em.indent += 1
+        em.emit(f"{pp}r({of!r}, {key}, {cx})")
+        em.indent -= 2
+
+    def _emit_coord_counter(self, i: int, of: str) -> None:
+        """The counter half of a deferred coord read: bump only when the
+        event routes to DRAM (machine dispatch happens at the pair
+        site; counters are order-insensitive, so bumping here is
+        exact)."""
+        em = self.em
+        tensor = self.ir.accesses[i].tensor
+        port = self._port(tensor, of, "coord")
+        em.emit(f"if {port}r is None:")
+        em.indent += 1
+        em.emit(f"{self._rctr(tensor, of, 'coord')} += 1")
+        em.indent -= 1
+
     def _bump_read(self, i: int, of: str, kind: str, amount: str = "1") -> None:
+        """Tally one (or ``amount``) DRAM-routed read events.
+
+        Only used where the fused flavor routes the site separately (or
+        not at all); sites a component machine may claim go through
+        :meth:`_emit_read` instead.
+        """
         if self.counted:
             tensor = self.ir.accesses[i].tensor
             self.em.emit(f"{self._rctr(tensor, of, kind)} += {amount}")
+
+    def _emit_read(self, i: int, of: str, kind: str, key: str = None,
+                   cx: str = None) -> None:
+        """One read event: counter bump, or machine dispatch when fused.
+
+        ``key`` is the Python expression of the event's coordinate path
+        (the traced kernel's ``h`` + coord), ``cx`` the loop-context
+        prefix var; both are only evaluated on the machine branch.
+        """
+        if not self.counted:
+            return
+        em = self.em
+        tensor = self.ir.accesses[i].tensor
+        ctr = self._rctr(tensor, of, kind)
+        if not self.fused:
+            em.emit(f"{ctr} += 1")
+            return
+        port = self._port(tensor, of, kind)
+        em.emit(f"if {port}r is None:")
+        em.indent += 1
+        em.emit(f"{ctr} += 1")
+        em.indent -= 1
+        em.emit("else:")
+        em.indent += 1
+        em.emit(f"{port}r({of!r}, {key}, {cx})")
+        em.indent -= 1
 
     # ------------------------------------------------------------------
     def generate(self) -> str:
@@ -168,11 +309,16 @@ class _FlatGenerator:
         self._rank(0, depths, wins={}, guarded=set())
 
         head = _Emitter()
-        args = "arenas, opset, shapes, kc" if self.counted \
-            else "arenas, opset, shapes"
+        if self.fused:
+            args = "arenas, opset, shapes, kc, fm"
+        elif self.counted:
+            args = "arenas, opset, shapes, kc"
+        else:
+            args = "arenas, opset, shapes"
         head.emit(f"def {self.func_name}({args}):")
         head.indent += 1
-        flavor = "counted" if self.counted else "flat"
+        flavor = "fused" if self.fused else (
+            "counted" if self.counted else "flat")
         head.emit(f'"""Generated ({flavor}, arena-native) from: {ir.einsum}"""')
         for i, plan in enumerate(ir.accesses):
             n = self.n_phys[i]
@@ -185,7 +331,24 @@ class _FlatGenerator:
             head.emit(f"t{i}_v = _a{i}.vals")
             head.emit(f"n{i}_0a = 0")
             head.emit(f"n{i}_0b = len(t{i}_c0)")
+            if self.fused:
+                head.emit(f"h{i}_0 = ()")
         head.emit("out = Fiber()")
+        head.emit("_on = out")
+        head.emit("_op = None")
+        if self.fused:
+            head.emit("cx0 = ()")
+            for (tensor, of, kind), var in self.ports.items():
+                head.emit(f"{var} = fm.port({tensor!r}, {of!r}, {kind!r})")
+                head.emit(f"{var}r = None if {var} is None else {var}.read")
+                head.emit(f"{var}w = None if {var} is None else {var}.write")
+            for (tensor, of), var in self.pairs.items():
+                pc = self.ports[(tensor, of, "coord")]
+                pp = self.ports[(tensor, of, "payload")]
+                head.emit(
+                    f"{var} = {pc}.read2 if ({pc} is not None and "
+                    f"{pc} is {pp}) else None"
+                )
         if self.counted:
             for var in self.read_ctrs.values():
                 head.emit(f"{var} = 0")
@@ -311,15 +474,15 @@ class _FlatGenerator:
             em.emit(f"po_{rank} = -1")
 
         if len(specs) == 1:
-            opened = self._open_single(rank, specs[0])
+            opened = self._open_single(rank, level, specs[0])
         elif (
             len(specs) == 2
             and mode != "union"
             and all(ir.accesses[i].conjunctive for i, _ in drivers)
         ):
-            opened = self._open_merge2(rank, specs)
+            opened = self._open_merge2(rank, level, specs)
         else:
-            opened = self._open_kway(rank, mode, specs)
+            opened = self._open_kway(rank, level, mode, specs)
 
         # ---- shared loop body -----------------------------------------
         if stamped:
@@ -335,11 +498,24 @@ class _FlatGenerator:
         for j, (i, lvl, L, d, a, b, off) in enumerate(specs):
             of = lvl.of or lvl.rank
             pos = f"p{i}_{d}"
+            if self.fused:
+                # The traced kernels extend the path unconditionally (the
+                # absent k-way branch included); only present cursors
+                # ever read it, so the value below absent cursors is
+                # irrelevant — but it must be defined.
+                em.emit(f"h{i}_{d + 1} = h{i}_{d} + (c_{rank},)")
             if opened["kway"]:
                 em.emit(f"{pos} = ps_{rank}[{j}]")
                 em.emit(f"if {pos} >= 0:")
                 em.indent += 1
-            self._bump_read(i, of, "payload")
+            if self.fused and not opened["kway"] and self._deferrable(i):
+                # The opener deferred this driver's machine coord read
+                # to here; fire the coord+payload pair together.
+                self._emit_pair_read(i, of, key=f"h{i}_{d + 1}",
+                                     cx=f"cx{level}")
+            else:
+                self._emit_read(i, of, "payload", key=f"h{i}_{d + 1}",
+                                cx=f"cx{level}")
             self._descend(i, d, pos)
             if lvl.kind in (UPPER, FLAT_UPPER):
                 prev = wins2.get(lvl.of, "None")
@@ -366,10 +542,14 @@ class _FlatGenerator:
             style = ir.time_styles.get(rank, "pos")
             src = f"c_{rank}" if style == "coord" else f"po_{rank}"
             em.emit(f"st_{rank} = {src}")
+        if self.fused:
+            # The loop-context prefix: what the traced kernel's live
+            # ``ctx`` list holds after ``ctx.append((rank, c))``.
+            em.emit(f"cx{level + 1} = cx{level} + (({rank!r}, c_{rank}),)")
         self._lookups(level, new_depths)
         self._rank(level + 1, new_depths, wins2, guarded)
         self._propagate_wrote(level, rank)
-        self._close_loop(rank, opened, specs)
+        self._close_loop(rank, level, opened, specs)
         em.indent -= close
 
     # ------------------------------------------------------------------
@@ -378,7 +558,7 @@ class _FlatGenerator:
     # ``c_<rank>`` coordinate has been bound, with ``p<i>_<d>`` position
     # vars bound for inline forms.
     # ------------------------------------------------------------------
-    def _open_single(self, rank: str, spec) -> dict:
+    def _open_single(self, rank: str, level: int, spec) -> dict:
         em = self.em
         i, lvl, L, d, a, b, off = spec
         pos = f"p{i}_{d}"
@@ -393,10 +573,14 @@ class _FlatGenerator:
         if off:
             coord = f"{coord} + {off}"
         em.emit(f"c_{rank} = {coord}")
-        self._bump_read(i, (lvl.of or lvl.rank), "coord")
+        if self.fused and self._deferrable(i):
+            self._emit_coord_counter(i, (lvl.of or lvl.rank))
+        else:
+            self._emit_read(i, (lvl.of or lvl.rank), "coord",
+                            key=f"h{i}_{d} + (c_{rank},)", cx=f"cx{level}")
         return {"kind": "single", "kway": False, "guard": guard}
 
-    def _open_merge2(self, rank: str, specs) -> dict:
+    def _open_merge2(self, rank: str, level: int, specs) -> dict:
         em = self.em
         (i0, lvl0, L0, d0, a0, b0, off0), (i1, lvl1, L1, d1, a1, b1, off1) = \
             specs
@@ -420,11 +604,17 @@ class _FlatGenerator:
         if self.counted:
             em.emit(f"_iv_{rank} += 2")
             em.emit(f"_im_{rank} += 1")
-            self._bump_read(i0, (lvl0.of or lvl0.rank), "coord")
-            self._bump_read(i1, (lvl1.of or lvl1.rank), "coord")
+            for i_, lvl_, d_ in ((i0, lvl0, d0), (i1, lvl1, d1)):
+                of_ = lvl_.of or lvl_.rank
+                if self.fused and self._deferrable(i_):
+                    self._emit_coord_counter(i_, of_)
+                else:
+                    self._emit_read(i_, of_, "coord",
+                                    key=f"h{i_}_{d_} + (c_{rank},)",
+                                    cx=f"cx{level}")
         return {"kind": "merge2", "kway": False, "guard": 0}
 
-    def _open_kway(self, rank: str, mode: str, specs) -> dict:
+    def _open_kway(self, rank: str, level: int, mode: str, specs) -> dict:
         em = self.em
         k = len(specs)
         parts = []
@@ -434,16 +624,62 @@ class _FlatGenerator:
         helper = "flat_union" if union else "flat_isect"
         size = k if union else k + 2
         em.emit(f"sx_{rank} = [0] * {size}")
+        touches = ""
+        if self.fused:
+            # Per-input touch callbacks: coord read events for inputs
+            # routed to a component machine fire from inside the helper,
+            # in the traced co-iterator's exact order.
+            names = []
+            for j, (i, lvl, L, d, a, b, off) in enumerate(specs):
+                of = lvl.of or lvl.rank
+                port = self._port(self.ir.accesses[i].tensor, of, "coord")
+                name = f"tk{j}_{rank}"
+                em.emit(
+                    f"{name} = None if {port}r is None else rt.make_touch("
+                    f"{port}r, {of!r}, h{i}_{d}, cx{level})"
+                )
+                names.append(name)
+            touches = f", ({', '.join(names)},)"
         em.emit(
             f"for c_{rank}, ps_{rank} in rt.{helper}(({', '.join(parts)},), "
-            f"sx_{rank}):"
+            f"sx_{rank}{touches}):"
         )
         em.indent += 1
         if self.counted and not union and rank not in self.isect_ranks:
             self.isect_ranks.append(rank)
         return {"kind": "kway", "kway": True, "union": union, "guard": 0}
 
-    def _close_loop(self, rank: str, opened: dict, specs) -> None:
+    def _skip_reads(self, rank: str, level: int, i: int, lvl, L: int,
+                    d: int, off, p: str) -> None:
+        """Tally the coordinates a merge2 skip jumped over.
+
+        Counted: one bulk counter bump.  Fused with a live port: the
+        machine needs per-element keys, so the galloped-over positions
+        replay one at a time (only for machine-routed inputs — DRAM
+        routes keep the O(1) bump).
+        """
+        em = self.em
+        of = lvl.of or lvl.rank
+        amount = f"nx_{rank} - {p}"
+        if not self.fused:
+            self._bump_read(i, of, "coord", amount)
+            return
+        tensor = self.ir.accesses[i].tensor
+        port = self._port(tensor, of, "coord")
+        em.emit(f"if {port}r is None:")
+        em.indent += 1
+        em.emit(f"{self._rctr(tensor, of, 'coord')} += {amount}")
+        em.indent -= 1
+        em.emit("else:")
+        em.indent += 1
+        em.emit(
+            f"{port}.read_span({of!r}, h{i}_{d}, t{i}_c{L}, {p}, "
+            f"nx_{rank}, {off or 0}, cx{level})"
+        )
+        em.indent -= 1
+
+    def _close_loop(self, rank: str, level: int, opened: dict,
+                    specs) -> None:
         em = self.em
         if opened["kind"] == "single":
             em.indent -= 1  # for
@@ -461,8 +697,7 @@ class _FlatGenerator:
             em.emit(f"nx_{rank} = _bl(t{i0}_c{L0}, {t0}, {p0}, {b0})")
             if self.counted:
                 em.emit(f"_iv_{rank} += nx_{rank} - {p0}")
-                self._bump_read(i0, (lvl0.of or lvl0.rank), "coord",
-                                f"nx_{rank} - {p0}")
+                self._skip_reads(rank, level, i0, lvl0, L0, d0, off0, p0)
             em.emit(f"{p0} = nx_{rank}")
             em.indent -= 1
             em.emit("else:")
@@ -471,8 +706,7 @@ class _FlatGenerator:
             em.emit(f"nx_{rank} = _bl(t{i1}_c{L1}, {t1}, {p1}, {b1})")
             if self.counted:
                 em.emit(f"_iv_{rank} += nx_{rank} - {p1}")
-                self._bump_read(i1, (lvl1.of or lvl1.rank), "coord",
-                                f"nx_{rank} - {p1}")
+                self._skip_reads(rank, level, i1, lvl1, L1, d1, off1, p1)
             em.emit(f"{p1} = nx_{rank}")
             em.indent -= 1
             em.indent -= 1  # close the while body
@@ -495,10 +729,23 @@ class _FlatGenerator:
                 em.indent -= 1
             if self.counted:
                 # Visit tallies are eager in the helper, so they stay
-                # correct even when the loop breaks early.
+                # correct even when the loop breaks early.  Machine-routed
+                # inputs (fused) already fired their per-element touches
+                # inside the helper.
                 for j, (i, lvl, L, d, a, b, off) in enumerate(specs):
-                    self._bump_read(i, (lvl.of or lvl.rank), "coord",
-                                    f"sx_{rank}[{j}]")
+                    of = lvl.of or lvl.rank
+                    tensor = self.ir.accesses[i].tensor
+                    if self.fused:
+                        port = self._port(tensor, of, "coord")
+                        em.emit(f"if {port}r is None:")
+                        em.indent += 1
+                        em.emit(
+                            f"{self._rctr(tensor, of, 'coord')} += "
+                            f"sx_{rank}[{j}]"
+                        )
+                        em.indent -= 1
+                    else:
+                        self._bump_read(i, of, "coord", f"sx_{rank}[{j}]")
 
     # ------------------------------------------------------------------
     def _propagate_wrote(self, level: int, rank: str) -> None:
@@ -526,6 +773,8 @@ class _FlatGenerator:
             em.emit(f"wr_{level + 1} = False")
         if rank in self.stamp_ranks:
             em.emit(f"st_{rank} = v_{var}")
+        if self.fused:
+            em.emit(f"cx{level + 1} = cx{level} + (({rank!r}, v_{var}),)")
         self._lookups(level, depths)
         self._rank(level + 1, depths, wins, guarded)
         self._propagate_wrote(level, rank)
@@ -577,7 +826,12 @@ class _FlatGenerator:
                     em.indent -= 1
                     em.emit("else:")
                     em.indent += 1
-                    self._bump_read(i, of, "coord")
+                    if self.fused:
+                        em.emit(
+                            f"h{i}_{d + 1} = h{i}_{d} + (t{i}_c{L}[{pos}],)"
+                        )
+                    self._emit_read(i, of, "coord", key=f"h{i}_{d + 1}",
+                                    cx=f"cx{level + 1}")
                     self._descend(i, d, pos)
                     em.indent -= 2
                     d += 1
@@ -594,18 +848,40 @@ class _FlatGenerator:
                 em.indent -= 1
                 em.emit("else:")
                 em.indent += 1
-                self._bump_read(i, of, "coord")
+                if self.fused:
+                    # Lookups are straight-line: the machine coord read
+                    # can always defer past span_find, pairing with the
+                    # payload read on hits (counter half bumps now —
+                    # counters are order-insensitive).
+                    em.emit(
+                        f"h{i}_{d + 1} = h{i}_{d} + ({_coord_code(lvl)},)"
+                    )
+                    self._emit_coord_counter(i, of)
+                else:
+                    self._emit_read(i, of, "coord", key=f"h{i}_{d + 1}",
+                                    cx=f"cx{level + 1}")
                 em.emit(
                     f"{pos} = rt.span_find(t{i}_c{L}, n{i}_{d}a, "
                     f"n{i}_{d}b, {_coord_code(lvl)})"
                 )
                 em.emit(f"if {pos} < 0:")
                 em.indent += 1
+                if self.fused:
+                    pc = self._port(self.ir.accesses[i].tensor, of, "coord")
+                    em.emit(f"if {pc}r is not None:")
+                    em.indent += 1
+                    em.emit(f"{pc}r({of!r}, h{i}_{d + 1}, cx{level + 1})")
+                    em.indent -= 1
                 self._absent(i, d + 1)
                 em.indent -= 1
                 em.emit("else:")
                 em.indent += 1
-                self._bump_read(i, of, "payload")
+                if self.fused:
+                    self._emit_pair_read(i, of, key=f"h{i}_{d + 1}",
+                                         cx=f"cx{level + 1}")
+                else:
+                    self._emit_read(i, of, "payload", key=f"h{i}_{d + 1}",
+                                    cx=f"cx{level + 1}")
                 self._descend(i, d, pos)
                 em.indent -= 2
                 d += 1
@@ -627,16 +903,37 @@ class _FlatGenerator:
         else:
             self._leaf_flat(depths)
 
+    def _emit_reduce(self, target: str, value: str) -> None:
+        """Reduce ``value`` into the output at the current point.
+
+        The output subtree at the point's prefix is memoized in
+        ``_on``/``_op`` (it changes only when an outer loop advances), so
+        consecutive leaves skip the root-to-leaf descent.
+        """
+        ir, em = self.ir, self.em
+        indices = ir.output.indices
+        prefix = _point_code(indices[:-1])
+        leaf = _expr_code(indices[-1]) if indices else "0"
+        overwrite = "True" if ir.einsum.is_take else "False"
+        em.emit(f"_pp = {prefix}")
+        em.emit("if _pp != _op:")
+        em.indent += 1
+        em.emit("_on = rt.out_ref(out, _pp)")
+        em.emit("_op = _pp")
+        em.indent -= 1
+        em.emit(
+            f"{target}rt.reduce_leaf(_on, {leaf}, {value}, opset, "
+            f"{overwrite})"
+        )
+
     def _leaf_flat(self, depths: Dict[int, int]) -> None:
         ir, em = self.ir, self.em
         counter = [0]
         value = self._fast_expr(ir.einsum.expr, depths, counter)
-        point = _point_code(ir.output.indices)
-        overwrite = "True" if ir.einsum.is_take else "False"
         em.emit(f"value = {value}")
         em.emit("if value is not None:")
         em.indent += 1
-        em.emit(f"rt.reduce_into(out, {point}, value, opset, {overwrite})")
+        self._emit_reduce("", "value")
         if self.existential:
             em.emit(f"wr_{self.n_ranks} = True")
         em.indent -= 1
@@ -674,12 +971,9 @@ class _FlatGenerator:
         counter = [0]
         value = self._counted_expr(ir.einsum.expr, depths, counter)
         point = _point_code(ir.output.indices)
-        overwrite = "True" if ir.einsum.is_take else "False"
         em.emit(f"if {value} is not None:")
         em.indent += 1
-        em.emit(
-            f"ad += rt.reduce_into(out, {point}, {value}, opset, {overwrite})"
-        )
+        self._emit_reduce("ad += ", value)
         ts = "(" + "".join(f"st_{r}, " for r in ir.time_ranks) + ")"
         ss = "(" + "".join(f"st_{r}, " for r in ir.space_ranks) + ")"
         em.emit(f"_ts = {ts}")
@@ -704,7 +998,19 @@ class _FlatGenerator:
         em.indent -= 1
         out_rank = (ir.output.storage_ranks[-1]
                     if ir.output.storage_ranks else "root")
-        em.emit(f"{self._wctr(ir.output.tensor, out_rank, 'elem')} += 1")
+        wctr = self._wctr(ir.output.tensor, out_rank, "elem")
+        if self.fused:
+            port = self._port(ir.output.tensor, out_rank, "elem")
+            em.emit(f"if {port}w is None:")
+            em.indent += 1
+            em.emit(f"{wctr} += 1")
+            em.indent -= 1
+            em.emit("else:")
+            em.indent += 1
+            em.emit(f"{port}w({out_rank!r}, {point}, cx{self.n_ranks})")
+            em.indent -= 1
+        else:
+            em.emit(f"{wctr} += 1")
         if self.existential:
             em.emit(f"wr_{self.n_ranks} = True")
         em.indent -= 1
@@ -783,6 +1089,10 @@ class _FlatGenerator:
 
 
 def generate_flat_source(ir: LoopNestIR, func_name: str = "kernel",
-                         counted: bool = False) -> str:
-    """Generate arena-native Python source for one lowered Einsum."""
-    return _FlatGenerator(ir, func_name, counted).generate()
+                         counted: bool = False, fused: bool = False) -> str:
+    """Generate arena-native Python source for one lowered Einsum.
+
+    ``counted`` adds fused counters; ``fused`` additionally inlines the
+    buffet/cache component state machines (implies counters).
+    """
+    return _FlatGenerator(ir, func_name, counted, fused).generate()

@@ -18,6 +18,7 @@ enforces that equivalence.
 from __future__ import annotations
 
 import bisect
+from collections import OrderedDict
 from typing import Any, Iterator, List, Optional, Tuple
 
 from ..fibertree.fiber import Fiber
@@ -269,7 +270,7 @@ def project_span(coords, lo, hi, off: int, shape: int):
     )
 
 
-def flat_isect(specs, stats) -> Iterator[Tuple[Any, List[int]]]:
+def flat_isect(specs, stats, touches=None) -> Iterator[Tuple[Any, List[int]]]:
     """K-way intersection over flat spans; yields (coord, positions).
 
     ``specs[j] = (coords, lo, hi, off)``; ``lo is None`` means input ``j``
@@ -281,20 +282,32 @@ def flat_isect(specs, stats) -> Iterator[Tuple[Any, List[int]]]:
     visited, then total matched — the totals are only written on matches
     and skips, never on completion, so they line up with the traced
     ``isect`` accounting.
+
+    ``touches`` (fused kernels) is a per-input tuple of callables or
+    ``None``: ``touches[j](c)`` fires once per coordinate input ``j``
+    visits, in exactly the order the traced co-iterator emits its coord
+    read events, so buffer/cache state machines see the same stream.
     """
     n = len(specs)
     live = [j for j in range(n) if specs[j][1] is not None]
     if not live:
         return
+    if touches is not None and not any(touches):
+        touches = None
     if len(live) == 1:
         j = live[0]
         coords, lo, hi, off = specs[j]
+        tj = touches[j] if touches else None
         for p in range(lo, hi):
             stats[j] += 1
             row = [-1] * n
             row[j] = p
             c = coords[p]
-            yield (c + off if off else c), row
+            if off:
+                c = c + off
+            if tj is not None:
+                tj(c)
+            yield c, row
         return
     ptrs = [specs[j][1] for j in live]
     ends = [specs[j][2] for j in live]
@@ -310,6 +323,8 @@ def flat_isect(specs, stats) -> Iterator[Tuple[Any, List[int]]]:
             for k, j in enumerate(live):
                 stats[j] += 1
                 row[j] = ptrs[k]
+                if touches is not None and touches[j] is not None:
+                    touches[j](top)
             stats[n] += len(live)
             stats[n + 1] += 1
             yield top, row
@@ -322,20 +337,28 @@ def flat_isect(specs, stats) -> Iterator[Tuple[Any, List[int]]]:
                     nxt = bisect.bisect_left(coords, target, ptrs[k], ends[k])
                     stats[j] += nxt - ptrs[k]
                     stats[n] += nxt - ptrs[k]
+                    if touches is not None and touches[j] is not None:
+                        tj = touches[j]
+                        for q in range(ptrs[k], nxt):
+                            tj(coords[q] + off if off else coords[q])
                     ptrs[k] = nxt
 
 
-def flat_union(specs, stats) -> Iterator[Tuple[Any, List[int]]]:
+def flat_union(specs, stats, touches=None) -> Iterator[Tuple[Any, List[int]]]:
     """K-way merge union over flat spans; yields (coord, positions).
 
     Every participating input counts one visited coordinate per union
     coordinate (present or not), matching :func:`coiterate_union`'s traced
     read stream.  ``stats[j]`` tallies input ``j``'s visits eagerly.
+    ``touches[j]`` (fused kernels) fires per visited coordinate, in the
+    traced event order.
     """
     n = len(specs)
     live = [j for j in range(n) if specs[j][1] is not None]
     if not live:
         return
+    if touches is not None and not any(touches):
+        touches = None
     ptrs = {j: specs[j][1] for j in live}
     while True:
         c = None
@@ -352,6 +375,8 @@ def flat_union(specs, stats) -> Iterator[Tuple[Any, List[int]]]:
         row = [-1] * n
         for j in live:
             stats[j] += 1
+            if touches is not None and touches[j] is not None:
+                touches[j](c)
             coords, _, hi, off = specs[j]
             if ptrs[j] < hi:
                 h = coords[ptrs[j]]
@@ -361,6 +386,321 @@ def flat_union(specs, stats) -> Iterator[Tuple[Any, List[int]]]:
                     row[j] = ptrs[j]
                     ptrs[j] += 1
         yield c, row
+
+
+# ----------------------------------------------------------------------
+# Fused component state machines (used by the "fused" kernel flavor)
+# ----------------------------------------------------------------------
+# These inline the buffet/cache models of repro.model.components into the
+# generated arena loops: instead of routing one TraceSink event per touched
+# element through ModelSink._route, the kernel calls these machines
+# directly at the (statically known) touch sites.  Each machine replays
+# the *exact* decision procedure of its model class — same keys, same
+# evict windows, same float-accumulation sequence for cache occupancy —
+# and accumulates pure integer tallies that
+# ``BuffetModel.price_actions`` / ``CacheModel.price_actions`` absorb in
+# one pass per Einsum.  The differential conformance suite
+# (``tests/model/test_fused.py``) holds the resulting metrics bit-equal
+# to the traced interpreter.
+
+#: Sentinel evict-window cut for "the whole loop context" (the traced
+#: ``BuffetModel._window_of`` scan falls off the end of ``ctx`` without
+#: meeting ``evict_on``).
+WHOLE_CTX = 1 << 30
+
+
+class FusedBuffet:
+    """Explicitly-managed buffer state machine over precomputed keys.
+
+    Mirrors :class:`repro.model.components.BuffetModel` exactly:
+    ``key_depth`` truncates coordinate paths for subtree/eager coverage,
+    ``cut`` is the static evict-window prefix length of the loop context
+    (``0`` when the binding has no ``evict-on`` rank, :data:`WHOLE_CTX`
+    when the rank never appears in this Einsum's loop order).
+    """
+
+    __slots__ = ("key_depth", "cut", "window", "present", "dirty",
+                 "ever_drained", "reads", "writes", "fills", "drains",
+                 "partial_output_fills", "fill_reads", "_cx")
+
+    def __init__(self, key_depth: Optional[int], cut: int):
+        self.key_depth = key_depth
+        self.cut = cut
+        self.window: Optional[tuple] = None
+        self.present: set = set()
+        self.dirty: set = set()
+        self.ever_drained: set = set()
+        self.reads = 0
+        self.writes = 0
+        self.fills = 0
+        self.drains = 0
+        self.partial_output_fills = 0
+        self.fill_reads = 0  # fills that read DRAM (read-miss + partial)
+        # Identity memo of the last loop-context tuple rolled against:
+        # the same ``cx`` object implies the same window, so consecutive
+        # events inside one loop body skip the slice + compare entirely.
+        self._cx: Optional[tuple] = None
+
+    def _roll(self, cx: tuple) -> None:
+        win = cx[:self.cut]
+        if win != self.window:
+            self._drain()
+            self.window = win
+
+    def _drain(self) -> None:
+        if self.dirty:
+            self.drains += len(self.dirty)
+            self.ever_drained.update(self.dirty)
+        self.present.clear()
+        self.dirty.clear()
+
+    def read(self, of: str, path: tuple, cx: tuple) -> None:
+        if cx is not self._cx:
+            self._roll(cx)
+            self._cx = cx
+        kd = self.key_depth
+        key = path[:kd] if kd is not None else (of, path)
+        self.reads += 1
+        if key in self.present:
+            return
+        self.present.add(key)
+        self.fills += 1
+        self.fill_reads += 1
+
+    def read2(self, of: str, path: tuple, cx: tuple) -> None:
+        """Two consecutive reads of one key in one call.
+
+        State- and tally-identical to ``read(); read()`` — a miss fills
+        on the first read and hits on the second — fired by the fused
+        kernels for the coord+payload event pair every present element
+        emits back to back.
+        """
+        if cx is not self._cx:
+            self._roll(cx)
+            self._cx = cx
+        kd = self.key_depth
+        key = path[:kd] if kd is not None else (of, path)
+        self.reads += 2
+        if key in self.present:
+            return
+        self.present.add(key)
+        self.fills += 1
+        self.fill_reads += 1
+
+    def read_span(self, of: str, base: tuple, coords, lo: int, hi: int,
+                  off: int, cx: tuple) -> None:
+        """Coord reads for every position in ``[lo, hi)`` of a span.
+
+        Equivalent to calling :meth:`read` per coordinate (the traced
+        stream of a galloped-over intersection skip), with the window
+        roll hoisted — ``cx`` is constant across the span — and the
+        per-element state inlined.  An empty span is a strict no-op: no
+        events means no window roll.
+        """
+        if lo >= hi:
+            return
+        if cx is not self._cx:
+            self._roll(cx)
+            self._cx = cx
+        kd = self.key_depth
+        present = self.present
+        self.reads += hi - lo
+        fills = 0
+        for q in range(lo, hi):
+            c = coords[q]
+            if off:
+                c = c + off
+            path = base + (c,)
+            key = path[:kd] if kd is not None else (of, path)
+            if key not in present:
+                present.add(key)
+                fills += 1
+        self.fills += fills
+        self.fill_reads += fills
+
+    def write(self, of: str, path: tuple, cx: tuple) -> None:
+        if cx is not self._cx:
+            self._roll(cx)
+            self._cx = cx
+        kd = self.key_depth
+        key = path[:kd] if kd is not None else (of, path)
+        self.writes += 1
+        if key not in self.present:
+            self.present.add(key)
+            self.fills += 1
+            if key in self.ever_drained:
+                # Partial-output element returning for more reduction.
+                self.partial_output_fills += 1
+                self.fill_reads += 1
+        self.dirty.add(key)
+
+    def finish(self) -> None:
+        self._drain()
+        self.window = None
+        self._cx = None
+
+    def tallies(self) -> dict:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "fills": self.fills,
+            "drains": self.drains,
+            "partial_output_fills": self.partial_output_fills,
+            "fill_reads": self.fill_reads,
+        }
+
+
+class FusedCache:
+    """Fully-associative LRU cache state machine over precomputed keys.
+
+    Mirrors :class:`repro.model.components.CacheModel` exactly, including
+    the float-accumulated ``occupied`` bits (repeated ``+=``/``-=`` in the
+    same sequence, so capacity-edge eviction decisions are bit-identical
+    to the traced model).
+    """
+
+    __slots__ = ("key_depth", "capacity_bits", "fill_bits", "lru",
+                 "occupied", "hits", "misses", "writebacks",
+                 "writes", "fill_reads")
+
+    def __init__(self, key_depth: Optional[int], capacity_bits: float,
+                 fill_bits: float):
+        self.key_depth = key_depth
+        self.capacity_bits = capacity_bits
+        self.fill_bits = fill_bits
+        self.lru: "OrderedDict" = OrderedDict()
+        self.occupied = 0.0
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.writes = 0
+        self.fill_reads = 0  # clean misses that read DRAM
+
+    # read/write inline the LRU touch (the hot path of cached tensors):
+    # same decisions, in the same order, as CacheModel._touch.  The read
+    # tally is derived (every touch hits or misses), keeping the hot
+    # path down to the LRU bookkeeping itself.
+    def read(self, of: str, path: tuple, cx: tuple) -> None:
+        kd = self.key_depth
+        key = path[:kd] if kd is not None else (of, path)
+        lru = self.lru
+        if key in lru:
+            self.hits += 1
+            lru.move_to_end(key)
+            return
+        self.misses += 1
+        self.fill_reads += 1
+        while self.occupied + self.fill_bits > self.capacity_bits and lru:
+            _, old_dirty = lru.popitem(last=False)
+            self.occupied -= self.fill_bits
+            if old_dirty:
+                self.writebacks += 1
+        lru[key] = False
+        self.occupied += self.fill_bits
+
+    def read2(self, of: str, path: tuple, cx: tuple) -> None:
+        """Two consecutive reads of one key in one call.
+
+        Tally-identical to ``read(); read()``: a miss inserts at MRU and
+        the immediate re-read hits it, so the second ``move_to_end`` is
+        a no-op either way.
+        """
+        kd = self.key_depth
+        key = path[:kd] if kd is not None else (of, path)
+        lru = self.lru
+        if key in lru:
+            self.hits += 2
+            lru.move_to_end(key)
+            return
+        self.misses += 1
+        self.hits += 1
+        self.fill_reads += 1
+        while self.occupied + self.fill_bits > self.capacity_bits and lru:
+            _, old_dirty = lru.popitem(last=False)
+            self.occupied -= self.fill_bits
+            if old_dirty:
+                self.writebacks += 1
+        lru[key] = False
+        self.occupied += self.fill_bits
+
+    def read_span(self, of: str, base: tuple, coords, lo: int, hi: int,
+                  off: int, cx: tuple) -> None:
+        """Coord reads for every position in ``[lo, hi)`` of a span —
+        equivalent to per-coordinate :meth:`read` calls, with the LRU
+        state held in locals across the loop."""
+        kd = self.key_depth
+        lru = self.lru
+        fill = self.fill_bits
+        cap = self.capacity_bits
+        hits = misses = 0
+        for q in range(lo, hi):
+            c = coords[q]
+            if off:
+                c = c + off
+            path = base + (c,)
+            key = path[:kd] if kd is not None else (of, path)
+            if key in lru:
+                hits += 1
+                lru.move_to_end(key)
+                continue
+            misses += 1
+            while self.occupied + fill > cap and lru:
+                _, old_dirty = lru.popitem(last=False)
+                self.occupied -= fill
+                if old_dirty:
+                    self.writebacks += 1
+            lru[key] = False
+            self.occupied += fill
+        self.hits += hits
+        self.misses += misses
+        self.fill_reads += misses
+
+    def write(self, of: str, path: tuple, cx: tuple) -> None:
+        self.writes += 1
+        kd = self.key_depth
+        key = path[:kd] if kd is not None else (of, path)
+        lru = self.lru
+        if key in lru:
+            self.hits += 1
+            lru.move_to_end(key)
+            lru[key] = True
+            return
+        self.misses += 1
+        while self.occupied + self.fill_bits > self.capacity_bits and lru:
+            _, old_dirty = lru.popitem(last=False)
+            self.occupied -= self.fill_bits
+            if old_dirty:
+                self.writebacks += 1
+        lru[key] = True
+        self.occupied += self.fill_bits
+
+    def finish(self) -> None:
+        for dirty in self.lru.values():
+            if dirty:
+                self.writebacks += 1
+        self.lru.clear()
+        self.occupied = 0.0
+
+    def tallies(self) -> dict:
+        return {
+            # Every touch either hits or misses, so reads fall out.
+            "reads": self.hits + self.misses - self.writes,
+            "writes": self.writes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks,
+            "fill_reads": self.fill_reads,
+        }
+
+
+def make_touch(read, of: str, base: tuple, cx: tuple):
+    """Per-coordinate touch callback for the fused k-way co-iterators.
+
+    ``read`` is a bound ``FusedBuffet.read`` / ``FusedCache.read``.
+    """
+    def touch(c, _read=read, _of=of, _base=base, _cx=cx):
+        _read(_of, _base + (c,), _cx)
+    return touch
 
 
 def reduce_into(root: Fiber, point: tuple, value: Any, opset,
@@ -373,6 +713,30 @@ def reduce_into(root: Fiber, point: tuple, value: Any, opset,
     for coord in point[:-1]:
         node = node.get_payload_ref(coord, make=Fiber)
     leaf = point[-1] if point else 0
+    existing = node.get_payload(leaf)
+    if existing is None or overwrite:
+        node.set_payload(leaf, value)
+        return 0
+    node.set_payload(leaf, opset.add(existing, value))
+    return 1
+
+
+def out_ref(root: Fiber, prefix: tuple) -> Fiber:
+    """The output subtree fiber at ``prefix``, created on demand.
+
+    The flat kernels memoize this across consecutive leaves (the output
+    point's prefix usually only changes when an outer loop advances), so
+    reductions skip the per-leaf descent :func:`reduce_into` pays.
+    """
+    node = root
+    for coord in prefix:
+        node = node.get_payload_ref(coord, make=Fiber)
+    return node
+
+
+def reduce_leaf(node: Fiber, leaf, value: Any, opset,
+                overwrite: bool) -> int:
+    """The leaf half of :func:`reduce_into` against a memoized subtree."""
     existing = node.get_payload(leaf)
     if existing is None or overwrite:
         node.set_payload(leaf, value)

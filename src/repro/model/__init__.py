@@ -23,6 +23,7 @@ from .energy import DEFAULT_ENERGY_PJ, EnergyModel
 from .evaluate import (
     EinsumModel,
     EvaluationResult,
+    FusedMachines,
     ModelSink,
     counters_priceable,
     default_workers,
@@ -58,6 +59,7 @@ __all__ = [
     "EvaluationResult",
     "ExecutionError",
     "FootprintOracle",
+    "FusedMachines",
     "GLOBAL_COMPILE_CACHE",
     "InterpreterBackend",
     "IntersectModel",

@@ -148,6 +148,15 @@ class CompiledEinsum:
         the flat generator cannot express this Einsum)."""
         return self._get("counted")
 
+    @property
+    def fused(self) -> Callable:
+        """The model-fused arena kernel: counters plus inlined
+        buffet/cache state machines (raises CodegenError if the flat
+        generator cannot express this Einsum).  Binding-independent:
+        the machine routing arrives at call time via the ``fm``
+        argument, so one compiled kernel serves every binding."""
+        return self._get("fused")
+
     def flat_or_none(self) -> Optional[Callable]:
         """The arena-native fast kernel, or None when unsupported."""
         try:
@@ -249,6 +258,18 @@ class InterpreterBackend(Backend):
                                sink=sink, shapes=shapes, env=env)
 
 
+class _NullRoutingPlan:
+    """Routing plan that sends every touch to DRAM: a fused kernel run
+    with it behaves exactly like the counted flavor."""
+
+    @staticmethod
+    def port(tensor: str, rank: str, kind: str):
+        return None
+
+
+_NULL_ROUTING = _NullRoutingPlan()
+
+
 def _arenas_of(prepared: Dict[str, Tensor]) -> Dict[str, FlatArena]:
     """Convert prepared tensors to flat arenas, deduping shared objects."""
     converted: Dict[int, FlatArena] = {}
@@ -298,6 +319,33 @@ class CompiledBackend(Backend):
         """Warm the cache for a spec (raises CodegenError if unsupported)."""
         return self.cache.get(spec)
 
+    def _walk_cascade(self, spec, compiled, tensors, opset, opsets, sink,
+                      shapes, env, run_unit, after=None):
+        """The per-Einsum cascade walk every kernel path shares.
+
+        ``run_unit(unit, prepared, ops, shapes)`` executes one Einsum's
+        kernel and returns ``(out, extra)``; ``after(name, extra)``
+        fires between the producer-swizzle event and ``einsum_end``
+        (the pricing hook of the counted/fused paths).
+        """
+        env, all_shapes, rank_orders = cascade_context(spec, tensors,
+                                                       shapes, env)
+        for unit in compiled.units:
+            ir = unit.ir
+            ops = (opsets or {}).get(ir.name, opset)
+            if sink:
+                sink.einsum_begin(ir.name, ir)
+            prepared = self._prepare(ir, env, rank_orders, sink)
+            out, extra = run_unit(unit, prepared, ops, all_shapes)
+            if sink and ir.output.needs_producer_swizzle:
+                sink.swizzle(out.name, out.nnz, side="producer")
+            if after:
+                after(ir.name, extra)
+            env[ir.name] = out.prune_empty()
+            if sink:
+                sink.einsum_end(ir.name)
+        return env
+
     def run_cascade(self, spec, tensors, opset=ARITHMETIC, opsets=None,
                     sink=None, shapes=None, env=None):
         try:
@@ -309,29 +357,18 @@ class CompiledBackend(Backend):
                     shapes=shapes, env=env,
                 )
             raise
-        env, all_shapes, rank_orders = cascade_context(spec, tensors,
-                                                       shapes, env)
-        for unit in compiled.units:
-            ir = unit.ir
-            ops = (opsets or {}).get(ir.name, opset)
+
+        def run_unit(unit, prepared, ops, all_shapes):
             if sink:
-                sink.einsum_begin(ir.name, ir)
-            prepared = self._prepare(ir, env, rank_orders, sink)
-            if sink:
-                out = unit.traced(prepared, ops, all_shapes, sink)
-                if ir.output.needs_producer_swizzle:
-                    sink.swizzle(out.name, out.nnz, side="producer")
-            else:
-                flat = unit.flat_or_none() \
-                    if self.kernel_flavor == "flat" else None
-                if flat is not None:
-                    out = flat(_arenas_of(prepared), ops, all_shapes)
-                else:
-                    out = unit.fast(prepared, ops, all_shapes)
-            env[ir.name] = out.prune_empty()
-            if sink:
-                sink.einsum_end(ir.name)
-        return env
+                return unit.traced(prepared, ops, all_shapes, sink), None
+            flat = unit.flat_or_none() \
+                if self.kernel_flavor == "flat" else None
+            if flat is not None:
+                return flat(_arenas_of(prepared), ops, all_shapes), None
+            return unit.fast(prepared, ops, all_shapes), None
+
+        return self._walk_cascade(spec, compiled, tensors, opset, opsets,
+                                  sink, shapes, env, run_unit)
 
     def run_cascade_counted(self, spec, tensors, opset=ARITHMETIC,
                             opsets=None, sink=None, shapes=None, env=None,
@@ -350,25 +387,57 @@ class CompiledBackend(Backend):
         compiled = self.cache.get(spec)
         for unit in compiled.units:
             unit.counted  # force-compile everything up front
-        env, all_shapes, rank_orders = cascade_context(spec, tensors,
-                                                       shapes, env)
-        for unit in compiled.units:
-            ir = unit.ir
-            ops = (opsets or {}).get(ir.name, opset)
-            if sink:
-                sink.einsum_begin(ir.name, ir)
-            prepared = self._prepare(ir, env, rank_orders, sink)
+
+        def run_unit(unit, prepared, ops, all_shapes):
             counters = KernelCounters()
             out = unit.counted(_arenas_of(prepared), ops, all_shapes,
                                counters)
-            if sink and ir.output.needs_producer_swizzle:
-                sink.swizzle(out.name, out.nnz, side="producer")
+            return out, counters
+
+        def after(name, counters):
             if on_counters:
-                on_counters(ir.name, counters)
-            env[ir.name] = out.prune_empty()
-            if sink:
-                sink.einsum_end(ir.name)
-        return env
+                on_counters(name, counters)
+
+        return self._walk_cascade(spec, compiled, tensors, opset, opsets,
+                                  sink, shapes, env, run_unit, after)
+
+    def run_cascade_fused(self, spec, tensors, opset=ARITHMETIC,
+                          opsets=None, sink=None, shapes=None, env=None,
+                          make_machines=None, on_fused=None):
+        """Run the cascade through model-fused arena kernels.
+
+        Like :meth:`run_cascade_counted`, but each Einsum's kernel also
+        drives the buffet/cache state machines supplied by
+        ``make_machines(name, ir)`` (a routing plan with a
+        ``port(tensor, rank, kind)`` method — see
+        :class:`repro.model.evaluate.FusedMachines`).  Without
+        ``make_machines``, every touch routes to DRAM and the run
+        degrades to plain counter fusion.  After the kernel returns,
+        ``on_fused(name, counters, machines)`` prices both the
+        aggregate counters and the machine tallies; ``sink`` still
+        receives the per-Einsum brackets and swizzle events.
+
+        Raises :class:`CodegenError` — before any Einsum runs — when the
+        flat generator cannot express some Einsum of the cascade.
+        """
+        compiled = self.cache.get(spec)
+        for unit in compiled.units:
+            unit.fused  # force-compile everything up front
+
+        def run_unit(unit, prepared, ops, all_shapes):
+            counters = KernelCounters()
+            machines = make_machines(unit.ir.name, unit.ir) \
+                if make_machines else _NULL_ROUTING
+            out = unit.fused(_arenas_of(prepared), ops, all_shapes,
+                             counters, machines)
+            return out, (counters, machines)
+
+        def after(name, extra):
+            if on_fused:
+                on_fused(name, *extra)
+
+        return self._walk_cascade(spec, compiled, tensors, opset, opsets,
+                                  sink, shapes, env, run_unit, after)
 
     @staticmethod
     def _prepare(ir, env, rank_orders, sink) -> Dict[str, Tensor]:

@@ -28,20 +28,55 @@ from ..spec.architecture import Component
 
 @dataclass
 class Traffic:
-    """Bits moved to/from DRAM, split by tensor and direction."""
+    """Bits moved to/from DRAM, split by tensor and direction.
 
-    read_bits: Counter = field(default_factory=Counter)  # tensor -> bits
-    write_bits: Counter = field(default_factory=Counter)
+    Accumulation is an exact multiset: each transfer is recorded as a
+    ``(tensor, bits-per-access) -> count`` integer bump, and totals are
+    reduced from the multiset in a deterministic (sorted) order.  This
+    makes traffic *order-insensitive and bulk-equal by construction*:
+    ``n`` single accesses of ``b`` bits and one bulk record of ``(b, n)``
+    produce bit-identical totals even for fractional ``b`` (e.g. eager
+    subtree fills price ``total_bits / elements`` bits per element), no
+    matter how event and counter-fused pricing interleave.  The
+    differential suite relies on this to hold the traced, counted, and
+    fused metric paths to exact equality.
+    """
 
-    def read(self, tensor: str, bits: float) -> None:
-        self.read_bits[tensor] += bits
+    # (tensor, bits-per-access) -> access count
+    read_counts: Counter = field(default_factory=Counter)
+    write_counts: Counter = field(default_factory=Counter)
 
-    def write(self, tensor: str, bits: float) -> None:
-        self.write_bits[tensor] += bits
+    def read(self, tensor: str, bits: float, n: int = 1) -> None:
+        if n:
+            self.read_counts[(tensor, bits)] += n
+
+    def write(self, tensor: str, bits: float, n: int = 1) -> None:
+        if n:
+            self.write_counts[(tensor, bits)] += n
+
+    @staticmethod
+    def _reduce(counts: Counter) -> Counter:
+        out: Counter = Counter()
+        for (tensor, bits), n in sorted(counts.items(),
+                                        key=lambda kv: (kv[0][0], kv[0][1])):
+            out[tensor] += bits * n
+        return out
+
+    @property
+    def read_bits(self) -> Counter:
+        """Per-tensor read bits (reduced deterministically)."""
+        return self._reduce(self.read_counts)
+
+    @property
+    def write_bits(self) -> Counter:
+        """Per-tensor write bits (reduced deterministically)."""
+        return self._reduce(self.write_counts)
 
     @property
     def total_bits(self) -> float:
-        return sum(self.read_bits.values()) + sum(self.write_bits.values())
+        reads = self._reduce(self.read_counts)
+        writes = self._reduce(self.write_counts)
+        return sum(reads.values()) + sum(writes.values())
 
     def tensor_bits(self, tensor: str) -> float:
         return self.read_bits[tensor] + self.write_bits[tensor]
@@ -69,14 +104,15 @@ class DramModel:
         self.accesses += 1
 
     def read_bulk(self, tensor: str, bits: float, n: int) -> None:
-        """``n`` reads of ``bits`` each, priced in one pass (counter
-        fusion): identical traffic and access counts to ``n`` calls of
-        :meth:`read`."""
-        self.traffic.read(tensor, bits * n)
+        """``n`` reads of ``bits`` each, priced in one pass (counter /
+        model fusion): identical traffic and access counts to ``n`` calls
+        of :meth:`read` — exactly, since :class:`Traffic` accumulates
+        (bits, count) multisets rather than float sums."""
+        self.traffic.read(tensor, bits, n)
         self.accesses += n
 
     def write_bulk(self, tensor: str, bits: float, n: int) -> None:
-        self.traffic.write(tensor, bits * n)
+        self.traffic.write(tensor, bits, n)
         self.accesses += n
 
     def time_seconds(self) -> float:
@@ -179,6 +215,27 @@ class BuffetModel:
         self.drain()
         self.window = None
 
+    def price_actions(self, tallies) -> None:
+        """Absorb a fused state machine's action tallies in one pass.
+
+        ``tallies`` is the mapping a
+        :class:`repro.ir.codegen_runtime.FusedBuffet` produces: pure
+        integer counts of the very same decisions :meth:`access_read` /
+        :meth:`access_write` / :meth:`drain` would have taken per event,
+        so pricing them in bulk is exact.  The event-driven API stays
+        intact for the interpreter and the traced kernels.
+        """
+        self.reads += tallies["reads"]
+        self.writes += tallies["writes"]
+        self.fills += tallies["fills"]
+        self.drains += tallies["drains"]
+        self.partial_output_fills += tallies["partial_output_fills"]
+        if self.spill:
+            self.dram.read_bulk(self.binding.tensor, self.fill_bits,
+                                tallies["fill_reads"])
+            self.dram.write_bulk(self.binding.tensor, self.element_bits,
+                                 tallies["drains"])
+
     def time_seconds(self, clock_hz: float) -> float:
         bw = self.component.attr("bandwidth")
         bits = (self.reads + self.writes) * self.element_bits
@@ -266,6 +323,25 @@ class CacheModel:
                     self.dram.write(self.binding.tensor, self.element_bits)
         self.lru.clear()
         self.occupied = 0.0
+
+    def price_actions(self, tallies) -> None:
+        """Absorb a fused state machine's action tallies in one pass.
+
+        ``tallies`` comes from a
+        :class:`repro.ir.codegen_runtime.FusedCache`, which replays this
+        model's exact LRU/occupancy decisions (including the float
+        ``occupied`` accumulation sequence), so bulk pricing is exact.
+        """
+        self.reads += tallies["reads"]
+        self.writes += tallies["writes"]
+        self.hits += tallies["hits"]
+        self.misses += tallies["misses"]
+        self.writebacks += tallies["writebacks"]
+        if self.spill:
+            self.dram.read_bulk(self.binding.tensor, self.fill_bits,
+                                tallies["fill_reads"])
+            self.dram.write_bulk(self.binding.tensor, self.element_bits,
+                                 tallies["writebacks"])
 
     def time_seconds(self, clock_hz: float) -> float:
         bw = self.component.attr("bandwidth")

@@ -20,6 +20,7 @@ from ..fibertree.tensor import Tensor
 from ..spec.architecture import Component, Topology
 from ..spec.loader import AcceleratorSpec
 from ..ir.codegen import CodegenError
+from ..ir.codegen_runtime import WHOLE_CTX, FusedBuffet, FusedCache
 from .backend import CompiledBackend, canonical_key, resolve_backend
 from .components import (
     BuffetModel,
@@ -447,9 +448,29 @@ class EvaluationResult:
 # Counter-fused pricing (metrics="counters")
 # ----------------------------------------------------------------------
 #: Memo for :func:`counters_priceable`: the answer depends only on the
-#: spec layers probed (einsum names, binding, architecture), so sweeps
-#: over many workloads pay the ModelSink probe exactly once per spec.
+#: spec content the probe consults, so sweeps over many workloads pay
+#: the ModelSink probe exactly once per distinct routing.
 _PRICEABLE_CACHE: Dict[object, bool] = {}
+
+
+def _priceable_key(spec: AcceleratorSpec):
+    """Memo key over exactly the spec *content* the priceability probe
+    consults: the cascade's Einsum names, each Einsum's data bindings
+    and config, and the architecture (component classes resolve which
+    bindings become buffer models).
+
+    Content-derived on purpose — never object identity — so mutating a
+    spec's bindings or architecture in place re-keys instead of serving
+    a stale answer.  Mapping, shapes, expressions, and format are
+    excluded: they never influence whether a binding lands on a buffer,
+    so shape/mapping variants of one accelerator share the memo entry.
+    """
+    parts = []
+    for einsum in spec.einsum.cascade:
+        binding = spec.binding.for_einsum(einsum.name)
+        parts.append((einsum.name, binding.config,
+                      canonical_key(binding.data)))
+    return (tuple(parts), canonical_key(spec.architecture))
 
 
 def counters_priceable(spec: AcceleratorSpec) -> bool:
@@ -457,12 +478,14 @@ def counters_priceable(spec: AcceleratorSpec) -> bool:
 
     Exactly when no Einsum binds data to a buffer or cache: buffets and
     caches derive fills and drains from per-element keys and evict
-    windows, which aggregates cannot reconstruct.  Everything else —
-    DRAM traffic, intersection units, functional units, sequencers,
-    mergers — is a pure function of the tallies, so counter pricing is
-    *exact* (equal to the traced result), not an approximation.
+    windows, which aggregates cannot reconstruct (the *fused* metrics
+    path inlines those state machines instead — see
+    :class:`FusedMachines`).  Everything else — DRAM traffic,
+    intersection units, functional units, sequencers, mergers — is a
+    pure function of the tallies, so counter pricing is *exact* (equal
+    to the traced result), not an approximation.
     """
-    key = canonical_key((spec.einsum, spec.binding, spec.architecture))
+    key = _priceable_key(spec)
     cached = _PRICEABLE_CACHE.get(key)
     if cached is not None:
         return cached
@@ -537,6 +560,107 @@ def _evaluate_counters(spec, tensors, opset, opsets, shapes, energy_model,
     )
 
 
+# ----------------------------------------------------------------------
+# Model-fused pricing (metrics="fused")
+# ----------------------------------------------------------------------
+class FusedMachines:
+    """Routing plan + component state machines for one fused Einsum run.
+
+    The fused kernels are compiled *binding-independent* (they share the
+    lowering cache key with the other flavors); the binding arrives here
+    instead.  At kernel entry each touched ``(tensor, rank, kind)``
+    triple asks :meth:`port` for its destination: ``None`` routes to
+    DRAM (the kernel bumps its fused counter), a machine routes to the
+    inlined buffet/cache model.  Routing reuses
+    :meth:`ModelSink._route` verbatim, so the fused path can never
+    disagree with the traced path about where an event lands.
+
+    One machine is built per :class:`~repro.model.components.BuffetModel`
+    / :class:`~repro.model.components.CacheModel` instance (several
+    triples may share it, exactly as several event shapes feed one model
+    in the traced path).  :meth:`settle` finalizes the machines and
+    prices their tallies into the models in one pass.
+    """
+
+    def __init__(self, sink: ModelSink, ir):
+        self._sink = sink
+        self._loop_ranks = list(ir.loop_ranks) if ir is not None else []
+        self._machines: Dict[int, tuple] = {}  # id(model) -> (model, machine)
+
+    def port(self, tensor: str, rank: str, kind: str):
+        model = self._sink._route(tensor, rank, kind)
+        if model is None:
+            return None
+        key = id(model)
+        entry = self._machines.get(key)
+        if entry is None:
+            entry = (model, self._make(model))
+            self._machines[key] = entry
+        return entry[1]
+
+    def _make(self, model):
+        if isinstance(model, CacheModel):
+            return FusedCache(model.key_depth, model.capacity_bits,
+                              model.fill_bits)
+        evict = model.binding.evict_on
+        if evict is None:
+            cut = 0  # BuffetModel._window_of returns () without evict-on
+        elif evict in self._loop_ranks:
+            cut = self._loop_ranks.index(evict) + 1
+        else:
+            cut = WHOLE_CTX  # scan falls off the end of ctx
+        return FusedBuffet(model.key_depth, cut)
+
+    def settle(self, counters: Optional[KernelCounters] = None) -> None:
+        """Finalize every machine and price its tallies into its model."""
+        for model, machine in self._machines.values():
+            machine.finish()
+            tallies = machine.tallies()
+            model.price_actions(tallies)
+            if counters is not None:
+                counters.add_actions(model.component.name,
+                                     model.binding.tensor, tallies)
+
+
+def _evaluate_fused(spec, tensors, opset, opsets, shapes, energy_model,
+                    engine) -> Optional[EvaluationResult]:
+    """The model-fused evaluation path; None when it does not apply.
+
+    Applies to *every* spec the flat generator can express — buffered or
+    not — since unrouted events degrade to plain counter fusion.
+    """
+    if not isinstance(engine, CompiledBackend):
+        return None
+    env: Dict[str, Tensor] = {}
+    sink = ModelSink(spec, env)
+
+    def make_machines(name: str, ir) -> FusedMachines:
+        return FusedMachines(sink, ir)
+
+    def on_fused(name: str, counters: KernelCounters,
+                 fm: FusedMachines) -> None:
+        _price_counters(sink, counters)
+        fm.settle(counters)
+
+    try:
+        engine.run_cascade_fused(
+            spec, tensors, opset=opset, opsets=opsets, sink=sink,
+            shapes=shapes, env=env, make_machines=make_machines,
+            on_fused=on_fused,
+        )
+    except CodegenError:
+        return None
+    blocks = fuse_blocks(spec, sink)
+    return EvaluationResult(
+        spec=spec,
+        einsums=sink.einsums,
+        blocks=blocks,
+        env=env,
+        oracle=sink.oracle,
+        energy_model=energy_model or EnergyModel(),
+    )
+
+
 def evaluate(
     spec: AcceleratorSpec,
     tensors: Dict[str, Tensor],
@@ -545,7 +669,7 @@ def evaluate(
     shapes: Optional[Dict[str, int]] = None,
     energy_model: Optional[EnergyModel] = None,
     backend=None,
-    metrics: str = "trace",
+    metrics: str = "auto",
 ) -> EvaluationResult:
     """Run a full TeAAL evaluation: execute + model + reduce.
 
@@ -554,25 +678,50 @@ def evaluate(
     with interpreter fallback — the default), or a
     :class:`~repro.model.backend.Backend` instance.
 
-    ``metrics`` selects how component models are fed:
+    ``metrics`` selects how component models are fed.  Every mode is
+    exact — the differential conformance suite holds them bit-equal —
+    so the choice is purely about speed:
 
-    * ``"trace"`` (default) — one event per touched element streams to a
-      :class:`ModelSink`; exact for every component class.
+    * ``"auto"`` (default) — counter fusion for specs that bind no
+      buffers/caches (see :func:`counters_priceable`), model fusion for
+      buffered specs, per-event tracing only as a last-resort fallback
+      for mappings the flat generator cannot express.
+    * ``"trace"`` — one event per touched element streams to a
+      :class:`ModelSink`; the reference path, works on every backend.
     * ``"counters"`` — counter fusion: arena-native kernels accumulate
       per-rank read/write/intersection/compute tallies and the models
-      price them in one pass per Einsum.  Exact whenever the spec binds
-      no buffers/caches (see :func:`counters_priceable`); otherwise this
-      silently falls back to ``"trace"`` so results never change.
+      price them in one pass per Einsum.  Used when the spec binds no
+      buffers/caches; otherwise silently falls back to ``"trace"``.
+    * ``"fused"`` — model fusion: counter fusion plus the buffet/cache
+      state machines inlined into the generated loops
+      (:class:`FusedMachines`); applies to buffered and unbuffered
+      specs alike, falling back to ``"trace"`` only when the flat
+      generator cannot express the mapping.
     """
     engine = resolve_backend(backend)
-    if metrics == "counters":
+    if metrics == "auto":
+        if counters_priceable(spec):
+            result = _evaluate_counters(spec, tensors, opset, opsets,
+                                        shapes, energy_model, engine)
+        else:
+            result = _evaluate_fused(spec, tensors, opset, opsets, shapes,
+                                     energy_model, engine)
+        if result is not None:
+            return result
+    elif metrics == "counters":
         result = _evaluate_counters(spec, tensors, opset, opsets, shapes,
                                     energy_model, engine)
         if result is not None:
             return result
+    elif metrics == "fused":
+        result = _evaluate_fused(spec, tensors, opset, opsets, shapes,
+                                 energy_model, engine)
+        if result is not None:
+            return result
     elif metrics != "trace":
         raise ValueError(
-            f"unknown metrics mode {metrics!r}; known: 'trace', 'counters'"
+            f"unknown metrics mode {metrics!r}; known: 'auto', 'trace', "
+            "'counters', 'fused'"
         )
     env: Dict[str, Tensor] = {}
     sink = ModelSink(spec, env)
@@ -615,7 +764,7 @@ def evaluate_many(
     energy_model: Optional[EnergyModel] = None,
     backend=None,
     workers: Optional[int] = None,
-    metrics: str = "trace",
+    metrics: str = "auto",
 ) -> List[EvaluationResult]:
     """Evaluate one spec over many workloads, compiling once.
 

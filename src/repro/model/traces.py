@@ -125,16 +125,23 @@ class KernelCounters:
 
     * ``reads`` / ``writes`` — ``(tensor, rank, kind) -> count``;
     * ``isects`` — ``rank -> [visited, matched]``;
-    * ``computes`` — ``op -> [n, time-stamp set, space-stamp set]``.
+    * ``computes`` — ``op -> [n, time-stamp set, space-stamp set]``;
+    * ``actions`` — per-component action tallies from the *fused* kernel
+      flavor: ``[(component, tensor, {action: count}), ...]``, one entry
+      per buffet/cache state machine that received events.  Recorded by
+      :meth:`repro.model.evaluate.FusedMachines.settle` after the models
+      were priced, so tests and studies can inspect exactly which
+      fills/drains/hits/evictions the fused path accounted.
     """
 
-    __slots__ = ("reads", "writes", "isects", "computes")
+    __slots__ = ("reads", "writes", "isects", "computes", "actions")
 
     def __init__(self):
         self.reads = Counter()
         self.writes = Counter()
         self.isects = {}
         self.computes = {}
+        self.actions = []
 
     def add_read(self, tensor: str, rank: str, kind: str, n: int) -> None:
         if n:
@@ -156,6 +163,18 @@ class KernelCounters:
             entry[0] += n
             entry[1].update(time_stamps)
             entry[2].update(space_stamps)
+
+    def add_actions(self, component: str, tensor: str, tallies) -> None:
+        """Record one fused component machine's per-action tallies."""
+        self.actions.append((component, tensor, dict(tallies)))
+
+    def component_actions(self, component: str) -> Counter:
+        """Summed action tallies of one component (all tensors)."""
+        out: Counter = Counter()
+        for comp, _tensor, tallies in self.actions:
+            if comp == component:
+                out.update(tallies)
+        return out
 
     @property
     def total_computes(self) -> int:

@@ -21,6 +21,12 @@ Three execution paths are held together here:
   equal the aggregates of the interpreter's ordered event stream,
   read for read, intersection for intersection, stamp set for stamp
   set.
+* **fused (model-fused)** — full :func:`repro.model.evaluate.evaluate`
+  metrics (traffic, cycles, energy, action counts, per-component
+  times, outputs) must be *bit-identical* across the traced
+  interpreter, the traced compiled kernels, the fused kernels, and
+  the ``metrics="auto"`` dispatcher, for every spec — buffered
+  accelerators included.
 
 Inputs are hypothesis-generated, with a fixed profile (see
 ``tests/conftest.py``) so CI failures replay exactly.
@@ -33,7 +39,12 @@ from hypothesis import given, settings
 
 from repro.accelerators import FACTORIES, accelerator
 from repro.fibertree import tensor_from_dense
-from repro.model import CompileCache, CompiledBackend, InterpreterBackend
+from repro.model import (
+    CompileCache,
+    CompiledBackend,
+    InterpreterBackend,
+    evaluate,
+)
 from repro.model.traces import TraceSink
 from repro.spec import load_spec
 
@@ -140,6 +151,48 @@ def assert_counters_match_stream(spec, tensors, events):
             == computes, f"{name}: compute tallies diverge"
 
 
+def metrics_fingerprint(result):
+    """Every externally observable metric of an evaluation, exactly."""
+    return {
+        "read_bits": dict(result.traffic.read_bits),
+        "write_bits": dict(result.traffic.write_bits),
+        "exec_seconds": result.exec_seconds,
+        "exec_cycles": result.exec_cycles,
+        "energy_pj": result.energy_pj,
+        "actions": result.action_counts(),
+        "energy_breakdown": result.energy_breakdown_pj(),
+        "ops": result.total_ops(),
+        "utilization": result.utilization(),
+        "partial_output_fills": result.partial_output_fills(),
+        "block_times": result.block_times(),
+        "bottlenecks": result.block_bottlenecks(),
+        "outputs": {name: result.env[name].points() for name in result.env},
+        "per_einsum_actions": {
+            name: em.action_counts() for name, em in result.einsums.items()
+        },
+        "component_times": {
+            name: em.component_times() for name, em in result.einsums.items()
+        },
+    }
+
+
+def assert_metrics_paths_agree(spec, tensors):
+    """Traced-interpreter, traced-compiled, fused, and auto metrics must
+    be bit-identical (the model-fusion conformance check)."""
+    backend = CompiledBackend(cache=_CACHE)
+    reference = metrics_fingerprint(evaluate(
+        spec, {k: t.copy() for k, t in tensors.items()},
+        backend=InterpreterBackend(), metrics="trace",
+    ))
+    for metrics, engine in (("trace", backend), ("fused", backend),
+                            ("auto", backend)):
+        got = metrics_fingerprint(evaluate(
+            spec, {k: t.copy() for k, t in tensors.items()},
+            backend=engine, metrics=metrics,
+        ))
+        assert got == reference, f"metrics={metrics} diverges"
+
+
 def assert_backends_agree(spec, tensors):
     """Run every engine; outputs, event streams, and counters must agree."""
     interp_sink, compiled_sink = StreamSink(), StreamSink()
@@ -176,6 +229,7 @@ def assert_backends_agree(spec, tensors):
         assert env_i[name].points() == env_f[name].points(), name
 
     assert_counters_match_stream(spec, tensors, interp_sink.events)
+    assert_metrics_paths_agree(spec, tensors)
 
 
 def sparse_matrix(rng, rows, cols, density):

@@ -120,6 +120,72 @@ def test_unknown_metrics_mode_rejected():
         evaluate(spec, tensors(), metrics="vibes")
 
 
+ONE_BUFFER = SPLIT + """
+architecture:
+  Main:
+    clock: 1.0e9
+    subtree:
+      - name: System
+        local:
+          - name: DRAM
+            class: DRAM
+            attributes: {bandwidth: 64}
+          - name: ABuf
+            class: Buffer
+            attributes: {type: buffet, width: 64, depth: 64}
+binding:
+  Z:
+    config: Main
+    components:
+      ABuf:
+        - {tensor: A, rank: K, type: elem, style: lazy, evict-on: K1}
+"""
+
+
+def test_priceability_rekeys_after_binding_mutation():
+    """The memo must never serve a stale answer for a spec whose
+    bindings were mutated in place after a first evaluation."""
+    spec = load_spec(ONE_BUFFER, name="mutate-binding")
+    backend = CompiledBackend(cache=CompileCache())
+    assert not counters_priceable(spec)
+    before = evaluate(spec, tensors(seed=1), backend=backend,
+                      metrics="counters")  # exercises the memo + fallback
+    # Strip every data binding: the spec is now unbuffered.
+    for eb in spec.binding.einsums.values():
+        eb.data.clear()
+    assert counters_priceable(spec)
+    after = evaluate(spec, tensors(seed=1), backend=backend,
+                     metrics="counters")
+    traced_after = evaluate(spec, tensors(seed=1), backend=backend)
+    assert_results_equal(after, traced_after)
+    # The buffered evaluation really was different (the buffet changed
+    # DRAM traffic), so the two memo answers describe different specs.
+    assert before.traffic_bytes() != after.traffic_bytes()
+
+
+def test_priceability_rekeys_after_architecture_mutation():
+    """Mutating the architecture in place (Buffer -> DRAM class) flips
+    priceability; the memo must follow the content, not the object."""
+    spec = load_spec(ONE_BUFFER, name="mutate-arch")
+    assert not counters_priceable(spec)
+    spec.architecture.topologies["Main"].components["ABuf"].klass = "DRAM"
+    assert counters_priceable(spec)
+
+
+def test_priceability_key_ignores_mapping_and_shapes():
+    """Shape/mapping variants of one accelerator share the memo entry
+    (they cannot change whether a binding lands on a buffer)."""
+    from repro.model.evaluate import _priceable_key
+
+    a = load_spec(ONE_BUFFER, name="k1")
+    b = load_spec(ONE_BUFFER.replace(
+        "uniform_occupancy(A.6)", "uniform_occupancy(A.3)"), name="k2")
+    assert _priceable_key(a) == _priceable_key(b)
+    c = load_spec(ONE_BUFFER.replace("evict-on: K1", "evict-on: M"),
+                  name="k3")
+    assert _priceable_key(a) != _priceable_key(c)
+
+
 def test_evaluate_many_counters_and_workers():
     spec = load_spec(SPLIT, name="sweep")
     backend = CompiledBackend(cache=CompileCache())
