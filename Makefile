@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 export HYPOTHESIS_PROFILE ?= repro
 
-.PHONY: test test-differential coverage bench-backend bench-smoke benchmarks example
+.PHONY: test test-differential coverage bench-backend bench-nnz bench-smoke benchmarks example
 
 # Tier-1: unit + integration + the codegen differential suite, with the
 # fixed hypothesis profile for reproducibility.
@@ -21,10 +21,16 @@ coverage:
 	$(PYTHON) -m pytest tests -q --cov=repro --cov-report=term \
 	    --cov-fail-under=80
 
-# Every engine (interpreter / traced / counters / object / flat) on a
-# 24-workload sweep; appends to benchmarks/BENCH_backend.json.
+# Every engine (interpreter / traced / counters / vector / object /
+# flat / fused) on 24-workload sweeps; appends to
+# benchmarks/BENCH_backend.json.
 bench-backend:
 	$(PYTHON) benchmarks/bench_backend.py
+
+# Counted-vs-vector scaling curve, 1e4 -> 1e6 nonzeros; appends the
+# nnz_sweep series to benchmarks/BENCH_backend.json.
+bench-nnz:
+	$(PYTHON) benchmarks/bench_backend.py --nnz-sweep
 
 # Tiny sweep, no trajectory write: the CI smoke gate.
 bench-smoke:

@@ -1,7 +1,7 @@
-"""Compiled-simulation fast paths vs. the interpreter on a workload sweep.
+"""Compiled-simulation fast paths vs. the interpreter on workload sweeps.
 
-Three claims under test, on a design-space-study-shaped sweep (one spec,
-many input matrices — the scenario the compile cache and the batched API
+Claims under test, on design-space-study-shaped sweeps (one spec, many
+input matrices — the scenario the compile cache and the batched API
 target):
 
 1. **Traced**: ``evaluate_many`` with a warm compile cache beats per-call
@@ -14,16 +14,28 @@ target):
 3. **Counters**: counter-fused metrics (``metrics="counters"``) price
    component models from aggregate tallies and land between the two.
 4. **Fused**: on a *buffered* spec (buffet + LRU cache + output buffet —
-   the accelerators TeAAL exists to model), model-fused metrics
-   (``metrics="fused"``, what ``metrics="auto"`` picks for such specs)
-   inline the component state machines into the arena kernels and must
-   beat the per-event traced path by a wide margin with bit-identical
-   results.
+   the accelerators TeAAL exists to model), model-fused metrics inline
+   the component state machines into the arena kernels and must beat the
+   per-event traced path by a wide margin with bit-identical results;
+   the vector kernels must at least match them there (tiny spans all
+   take the scalar fallback).
+5. **Vector**: on the long-span sweep (a contraction rank thousands of
+   coordinates deep — the regime real large-nnz tensors live in), the
+   rank-batched vector kernels (``metrics="vector"``, what
+   ``metrics="auto"`` now picks) must beat the counter-fused scalar
+   loops by >=3x, bit-identically.
+
+An ``--nnz-sweep`` mode grows one synthetic SpMSpM from 1e4 to 1e6
+nonzeros and records counted-vs-vector per size — the gap widens with
+span length, which is the scaling argument for numpy-native buffers.
+``--flavor`` restricts a run to a comma-separated subset of engines.
 
 Every run appends a record to ``benchmarks/BENCH_backend.json`` (wall
 times, speedups, commit hash) so performance history accrues across PRs.
 
 Run:  python benchmarks/bench_backend.py [--workloads N] [--no-json]
+                                         [--flavor a,b,...]
+  or: python benchmarks/bench_backend.py --nnz-sweep [--nnz-sizes ...]
   or: pytest benchmarks/bench_backend.py  (pytest-benchmark)
 """
 
@@ -55,6 +67,9 @@ try:
 except ImportError:  # running as a plain script
     from _common import print_series
 
+#: The historical sweep spec (occupancy-split contraction): every PR's
+#: interpreter/compiled/untraced rows measure this same shape, so the
+#: perf-trajectory file stays comparable across the project's history.
 SPEC = """
 einsum:
   declaration:
@@ -74,8 +89,7 @@ mapping:
 #: The buffered variant: same Einsum/mapping, plus an architecture and
 #: binding that route A through a buffet, B through an LRU FiberCache,
 #: and the Z output through an evict-on buffet — the spec shape every
-#: registered accelerator has, which PR-2's counter fusion could not
-#: price and therefore ran on the per-event traced path.
+#: registered accelerator has.
 SPEC_BUFFERED = SPEC + """
 architecture:
   Buffered:
@@ -112,9 +126,35 @@ binding:
         - op: mul
 """
 
+#: The vector sweep spec: storage orders match the loop order (no
+#: per-workload swizzle masking kernel time) and the contraction rank
+#: is innermost and *long* — K-fibers of ~500 coordinates, the span
+#: regime the rank-batched numpy leaves target.
+SPEC_VECTOR = """
+einsum:
+  declaration:
+    A: [M, K]
+    B: [N, K]
+    Z: [M, N]
+  expressions:
+    - Z[m, n] = A[m, k] * B[n, k]
+mapping:
+  loop-order:
+    Z: [M, N, K]
+"""
+
+#: Vector-sweep workload geometry: ~12k nonzeros per tensor, K-spans of
+#: ~490 coordinates.
+VEC_K, VEC_M, VEC_N, VEC_DENSITY = 8192, 24, 24, 0.06
+
 N_WORKLOADS = 24
 N_BUFFERED_WORKLOADS = 8
+#: Default nonzero counts of the --nnz-sweep scaling curve.
+NNZ_SIZES = (10_000, 100_000, 1_000_000)
 TRAJECTORY = os.path.join(os.path.dirname(__file__), "BENCH_backend.json")
+
+ALL_FLAVORS = ("interpreter", "compiled", "counters", "vector",
+               "untraced", "buffered", "executor")
 
 
 def _workloads(n: int = N_WORKLOADS):
@@ -144,134 +184,308 @@ def _buffered_workloads(n: int = N_BUFFERED_WORKLOADS):
     return out
 
 
-def run_comparison(n: int = N_WORKLOADS):
-    """Time the sweep through every engine; returns the timings.
+def _vector_workloads(n: int = N_WORKLOADS):
+    out = []
+    for i in range(n):
+        out.append({
+            "A": uniform_random("A", ["M", "K"], (VEC_M, VEC_K),
+                                VEC_DENSITY, seed=2 * i),
+            "B": uniform_random("B", ["N", "K"], (VEC_N, VEC_K),
+                                VEC_DENSITY, seed=2 * i + 1),
+        })
+    return out
+
+
+def run_comparison(n: int = N_WORKLOADS, flavors=None):
+    """Time the sweeps through the selected engines; returns the timings.
 
     ``timings`` maps engine names to sweep seconds:
 
-    * ``interpreter`` / ``compiled`` — traced evaluations (full metrics);
-    * ``counters`` — counter-fused metrics through the counted kernels;
+    * ``interpreter`` / ``compiled`` / ``counters`` — traced and
+      counter-fused metric evaluations on the historical sweep;
     * ``untraced_interpreter`` / ``untraced_object`` / ``untraced_flat``
-      — outputs only, no sink (the pure-computation path).
+      — outputs only, no sink (the pure-computation path);
+    * ``vspan_counters`` / ``vspan_vector`` — the long-span vector
+      sweep through the counted and vector kernels (the >=3x claim);
+    * ``buffered_*`` — the buffered spec through the traced, fused, and
+      vector engines;
+    * ``executor_thread`` / ``executor_process`` — the long-span sweep
+      through both ``evaluate_many`` pool types (the measurement behind
+      the thread default).
     """
+    flavors = set(ALL_FLAVORS if flavors is None else flavors)
     spec = load_spec(SPEC, name="backend-sweep")
     workloads = _workloads(n)
     timings = {}
 
     interp = InterpreterBackend()
-    t0 = time.perf_counter()
-    interp_results = [
-        evaluate(spec, dict(w), backend=interp, metrics="trace")
-        for w in workloads
-    ]
-    timings["interpreter"] = time.perf_counter() - t0
-
-    # Warm every kernel flavor up front: sweeps pay lowering and kernel
-    # compilation exactly once, outside the timed regions, for every
-    # engine alike.
     compiled = CompiledBackend(cache=CompileCache())
     for unit in compiled.compile(spec).units:
         _ = unit.traced
         _ = unit.counted
         unit.flat_or_none()
 
+    interp_results = compiled_results = counter_results = None
+
+    if "interpreter" in flavors:
+        t0 = time.perf_counter()
+        interp_results = [
+            evaluate(spec, dict(w), backend=interp, metrics="trace")
+            for w in workloads
+        ]
+        timings["interpreter"] = time.perf_counter() - t0
+
     # metrics="trace" pins the historical meaning of this row (the
     # traced compiled kernels); the default is now metrics="auto".
-    t0 = time.perf_counter()
-    compiled_results = evaluate_many(spec, [dict(w) for w in workloads],
-                                     backend=compiled, metrics="trace")
-    timings["compiled"] = time.perf_counter() - t0
+    if "compiled" in flavors:
+        t0 = time.perf_counter()
+        compiled_results = evaluate_many(spec, [dict(w) for w in workloads],
+                                         backend=compiled, metrics="trace")
+        timings["compiled"] = time.perf_counter() - t0
 
-    t0 = time.perf_counter()
-    counter_results = evaluate_many(spec, [dict(w) for w in workloads],
-                                    backend=compiled, metrics="counters")
-    timings["counters"] = time.perf_counter() - t0
-
-    object_backend = CompiledBackend(cache=compiled.cache,
-                                     kernel_flavor="object")
-    flat_backend = CompiledBackend(cache=compiled.cache,
-                                   kernel_flavor="flat")
-
-    t0 = time.perf_counter()
-    untraced_interp = [
-        interp.run_cascade(spec, dict(w)) for w in workloads
-    ]
-    timings["untraced_interpreter"] = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    untraced_object = [
-        object_backend.run_cascade(spec, dict(w)) for w in workloads
-    ]
-    timings["untraced_object"] = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    untraced_flat = [
-        flat_backend.run_cascade(spec, dict(w)) for w in workloads
-    ]
-    timings["untraced_flat"] = time.perf_counter() - t0
+    if "counters" in flavors:
+        t0 = time.perf_counter()
+        counter_results = evaluate_many(spec, [dict(w) for w in workloads],
+                                        backend=compiled,
+                                        metrics="counters")
+        timings["counters"] = time.perf_counter() - t0
 
     # The unbuffered engines must agree before their times are
     # comparable; checked here so their results can be freed before the
-    # buffered section (a large retained heap taxes every allocation
+    # next sections (a large retained heap taxes every allocation
     # through the garbage collector and would skew the next ratios).
-    for a, b, c in zip(interp_results, compiled_results, counter_results):
-        assert a.env["Z"].points() == b.env["Z"].points()
-        assert a.traffic_bytes() == b.traffic_bytes() == c.traffic_bytes()
-        assert a.exec_seconds == b.exec_seconds == c.exec_seconds
-    for ei, eo, ef in zip(untraced_interp, untraced_object, untraced_flat):
-        assert ei["Z"].points() == eo["Z"].points() == ef["Z"].points()
-    del interp_results, compiled_results, counter_results
-    del untraced_interp, untraced_object, untraced_flat
+    present = [r for r in (interp_results, compiled_results,
+                           counter_results) if r is not None]
+    for group in zip(*present):
+        first = group[0]
+        for other in group[1:]:
+            assert first.env["Z"].points() == other.env["Z"].points()
+            assert first.traffic_bytes() == other.traffic_bytes()
+            assert first.exec_seconds == other.exec_seconds
+    del interp_results, compiled_results, counter_results, present
     gc.collect()
 
-    # ---- buffered spec: model fusion vs. the traced path -------------
+    if "untraced" in flavors:
+        object_backend = CompiledBackend(cache=compiled.cache,
+                                         kernel_flavor="object")
+        flat_backend = CompiledBackend(cache=compiled.cache,
+                                       kernel_flavor="flat")
+
+        t0 = time.perf_counter()
+        untraced_interp = [
+            interp.run_cascade(spec, dict(w)) for w in workloads
+        ]
+        timings["untraced_interpreter"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        untraced_object = [
+            object_backend.run_cascade(spec, dict(w)) for w in workloads
+        ]
+        timings["untraced_object"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        untraced_flat = [
+            flat_backend.run_cascade(spec, dict(w)) for w in workloads
+        ]
+        timings["untraced_flat"] = time.perf_counter() - t0
+
+        for ei, eo, ef in zip(untraced_interp, untraced_object,
+                              untraced_flat):
+            assert ei["Z"].points() == eo["Z"].points() == ef["Z"].points()
+        del untraced_interp, untraced_object, untraced_flat
+        gc.collect()
+
+    if "vector" in flavors or "executor" in flavors:
+        timings.update(_run_vector_sweep(n, flavors))
+    if "buffered" in flavors:
+        timings.update(_run_buffered(n, interp))
+    return timings
+
+
+def _run_vector_sweep(n: int, flavors) -> dict:
+    """The long-span sweep: counted vs vector kernels (the >=3x claim),
+    plus the evaluate_many pool-type measurement."""
+    spec = load_spec(SPEC_VECTOR, name="vector-sweep")
+    workloads = _vector_workloads(n)
+    backend = CompiledBackend(cache=CompileCache())
+    for unit in backend.compile(spec).units:
+        _ = unit.counted
+        _ = unit.vector
+    timings = {}
+
+    counter_results = vector_results = None
+    if "vector" in flavors:
+        gc.collect()
+        t0 = time.perf_counter()
+        counter_results = evaluate_many(spec, [dict(w) for w in workloads],
+                                        backend=backend,
+                                        metrics="counters")
+        timings["vspan_counters"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        vector_results = evaluate_many(spec, [dict(w) for w in workloads],
+                                       backend=backend, metrics="vector")
+        timings["vspan_vector"] = time.perf_counter() - t0
+
+        for a, b in zip(counter_results, vector_results):
+            assert a.env["Z"].points() == b.env["Z"].points()
+            assert a.traffic_bytes() == b.traffic_bytes()
+            assert a.exec_seconds == b.exec_seconds
+            assert a.energy_pj == b.energy_pj
+            assert a.action_counts() == b.action_counts()
+        del counter_results, vector_results
+        gc.collect()
+
+    if "executor" in flavors:
+        # Thread-vs-process measurement behind default_executor()'s
+        # thread default (recorded in the JSON trajectory).
+        t0 = time.perf_counter()
+        evaluate_many(spec, [dict(w) for w in workloads],
+                      metrics="vector", executor="thread")
+        timings["executor_thread"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        evaluate_many(spec, [dict(w) for w in workloads],
+                      metrics="vector", executor="process")
+        timings["executor_process"] = time.perf_counter() - t0
+    return timings
+
+
+def _timed_sweep(spec, workloads, metrics, engine):
+    """One timed sweep with the collector paused (the standard
+    benchmarking hygiene pyperf applies): collections would charge
+    whichever engine happens to trigger them."""
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        out = [
+            evaluate(spec, dict(w), backend=engine, metrics=metrics)
+            for w in workloads
+        ]
+        return time.perf_counter() - t0, out
+    finally:
+        gc.enable()
+
+
+def _run_buffered(n: int, interp) -> dict:
+    """The buffered spec: model fusion (and vector parity) vs. the
+    traced path."""
     buf_spec = load_spec(SPEC_BUFFERED, name="buffered-sweep")
     buf_workloads = _buffered_workloads(_n_buffered(n))
     buf_backend = CompiledBackend(cache=CompileCache())
     for unit in buf_backend.compile(buf_spec).units:
         _ = unit.traced
         _ = unit.fused
-
-    def timed_sweep(metrics, engine):
-        """One timed sweep with the collector paused (the standard
-        benchmarking hygiene pyperf applies): collections would charge
-        whichever engine happens to trigger them."""
-        gc.collect()
-        gc.disable()
-        try:
-            t0 = time.perf_counter()
-            out = [
-                evaluate(buf_spec, dict(w), backend=engine, metrics=metrics)
-                for w in buf_workloads
-            ]
-            return time.perf_counter() - t0, out
-        finally:
-            gc.enable()
+        _ = unit.vector
 
     # Interleaved best-of-3: noisy shared hosts drift between sweeps,
     # so each round measures the engines back to back and every engine
     # keeps its best round.
-    buf_times = {"buffered_fused": [], "buffered_traced": [],
-                 "buffered_interpreter": []}
-    buf_fused = buf_traced = buf_interp = None
+    rows = (("buffered_fused", "fused", buf_backend),
+            ("buffered_vector", "vector", buf_backend),
+            ("buffered_traced", "trace", buf_backend),
+            ("buffered_interpreter", "trace", interp))
+    times = {key: [] for key, _, _ in rows}
+    results = {}
     for _ in range(3):
-        dt, buf_fused = timed_sweep("fused", buf_backend)
-        buf_times["buffered_fused"].append(dt)
-        dt, buf_traced = timed_sweep("trace", buf_backend)
-        buf_times["buffered_traced"].append(dt)
-        dt, buf_interp = timed_sweep("trace", interp)
-        buf_times["buffered_interpreter"].append(dt)
-    for key, values in buf_times.items():
-        timings[key] = min(values)
+        for key, metrics, engine in rows:
+            dt, results[key] = _timed_sweep(buf_spec, buf_workloads,
+                                            metrics, engine)
+            times[key].append(dt)
+    timings = {key: min(values) for key, values in times.items()}
 
     # The buffered engines must agree before their times are comparable.
-    for a, b, c in zip(buf_interp, buf_traced, buf_fused):
-        assert a.env["Z"].points() == c.env["Z"].points()
-        assert a.traffic_bytes() == b.traffic_bytes() == c.traffic_bytes()
-        assert a.exec_seconds == b.exec_seconds == c.exec_seconds
-        assert a.energy_pj == b.energy_pj == c.energy_pj
-        assert a.action_counts() == b.action_counts() == c.action_counts()
+    for a, b, c, d in zip(results["buffered_interpreter"],
+                          results["buffered_traced"],
+                          results["buffered_fused"],
+                          results["buffered_vector"]):
+        assert a.env["Z"].points() == c.env["Z"].points() \
+            == d.env["Z"].points()
+        assert a.traffic_bytes() == b.traffic_bytes() \
+            == c.traffic_bytes() == d.traffic_bytes()
+        assert a.exec_seconds == b.exec_seconds == c.exec_seconds \
+            == d.exec_seconds
+        assert a.energy_pj == b.energy_pj == c.energy_pj == d.energy_pj
+        assert a.action_counts() == b.action_counts() \
+            == c.action_counts() == d.action_counts()
     return timings
+
+
+# ----------------------------------------------------------------------
+# nnz-scaling sweep (counted vs vector as spans grow)
+# ----------------------------------------------------------------------
+def _nnz_workload(nnz: int):
+    """One synthetic SpMSpM sized to ~``nnz`` nonzeros per input.
+
+    Density falls with size (``d ~ nnz^-1/4``, the way real sparse
+    matrices get sparser as they grow) while the contraction depth
+    grows super-linearly: fibers lengthen *and* the match rate drops,
+    so the scalar engines pay ever more visited coordinates per
+    effectual compute — the regime the vector kernels target.
+    """
+    m = n = 32
+    density = 0.1 * (10_000 / max(nnz, 1)) ** 0.25
+    k = max(32, int(round(nnz / (m * density))))
+    return {
+        "A": uniform_random("A", ["M", "K"], (m, k), density, seed=11),
+        "B": uniform_random("B", ["N", "K"], (n, k), density, seed=13),
+    }
+
+
+def _metrics_fingerprint(result):
+    return (
+        sorted(result.traffic.read_bits.items()),
+        sorted(result.traffic.write_bits.items()),
+        result.exec_seconds,
+        result.energy_pj,
+        sorted(result.action_counts().items()),
+        result.total_ops(),
+    )
+
+
+def run_nnz_sweep(sizes=NNZ_SIZES):
+    """Counted-vs-vector timings per nonzero count.
+
+    Returns ``[{"nnz": target, "actual_nnz": ..., "counters": s,
+    "vector": s, "speedup": x}, ...]``.  Asserts, per size, that the
+    two engines produce bit-identical metrics fingerprints — this is
+    the differential gate the CI scaling-smoke job runs at reduced
+    size.
+    """
+    spec = load_spec(SPEC_VECTOR, name="nnz-sweep")
+    backend = CompiledBackend(cache=CompileCache())
+    for unit in backend.compile(spec).units:
+        _ = unit.counted
+        _ = unit.vector
+    series = []
+    for nnz in sizes:
+        w = _nnz_workload(nnz)
+        actual = w["A"].nnz
+        evaluate(spec, dict(w), backend=backend, metrics="vector")  # warm
+        row = {"nnz": int(nnz), "actual_nnz": int(actual),
+               "m": int(w["A"].shape[0]), "k": int(w["A"].shape[1])}
+        prints = {}
+        for metrics in ("counters", "vector"):
+            gc.collect()
+            gc.disable()
+            try:
+                t0 = time.perf_counter()
+                result = evaluate(spec, dict(w), backend=backend,
+                                  metrics=metrics)
+                row[metrics] = round(time.perf_counter() - t0, 6)
+            finally:
+                gc.enable()
+            prints[metrics] = _metrics_fingerprint(result)
+        assert prints["counters"] == prints["vector"], (
+            f"nnz={nnz}: vector metrics diverge from counted"
+        )
+        row["speedup"] = round(row["counters"] / max(row["vector"], 1e-12),
+                               3)
+        series.append(row)
+        print(f"nnz={row['actual_nnz']:>9d}  counters={row['counters']:8.3f}s"
+              f"  vector={row['vector']:8.3f}s"
+              f"  speedup={row['speedup']:.2f}x")
+    return series
 
 
 def _commit_hash():
@@ -285,35 +499,57 @@ def _commit_hash():
         return None
 
 
-def record_trajectory(timings: dict, n: int, path: str = TRAJECTORY) -> dict:
+def record_trajectory(timings: dict, n: int, path: str = TRAJECTORY,
+                      nnz_series=None) -> dict:
     """Append one run to the perf-trajectory file and return the record."""
+
+    def ratio(num, den):
+        if num not in timings or den not in timings:
+            return None
+        return round(timings[num] / max(timings[den], 1e-12), 3)
+
+    speedups = {
+        "compiled_vs_interpreter": ratio("interpreter", "compiled"),
+        "counters_vs_interpreter": ratio("interpreter", "counters"),
+        "vector_vs_counters": ratio("vspan_counters", "vspan_vector"),
+        "flat_vs_object_untraced": ratio("untraced_object",
+                                         "untraced_flat"),
+        "flat_vs_interpreter_untraced": ratio("untraced_interpreter",
+                                              "untraced_flat"),
+        "fused_vs_traced_buffered": ratio("buffered_traced",
+                                          "buffered_fused"),
+        "fused_vs_interpreter_buffered": ratio("buffered_interpreter",
+                                               "buffered_fused"),
+        "vector_vs_traced_buffered": ratio("buffered_traced",
+                                           "buffered_vector"),
+    }
     record = {
         "timestamp": datetime.now(timezone.utc).isoformat(),
         "commit": _commit_hash(),
         "python": platform.python_version(),
-        "n_workloads": n,
-        "seconds": {k: round(v, 6) for k, v in timings.items()},
-        "speedups": {
-            "compiled_vs_interpreter":
-                round(timings["interpreter"] / max(timings["compiled"],
-                                                   1e-12), 3),
-            "counters_vs_interpreter":
-                round(timings["interpreter"] / max(timings["counters"],
-                                                   1e-12), 3),
-            "flat_vs_object_untraced":
-                round(timings["untraced_object"]
-                      / max(timings["untraced_flat"], 1e-12), 3),
-            "flat_vs_interpreter_untraced":
-                round(timings["untraced_interpreter"]
-                      / max(timings["untraced_flat"], 1e-12), 3),
-            "fused_vs_traced_buffered":
-                round(timings["buffered_traced"]
-                      / max(timings["buffered_fused"], 1e-12), 3),
-            "fused_vs_interpreter_buffered":
-                round(timings["buffered_interpreter"]
-                      / max(timings["buffered_fused"], 1e-12), 3),
-        },
     }
+    if timings:
+        record["n_workloads"] = n
+        if "vspan_counters" in timings or "vspan_vector" in timings:
+            record["vector_sweep"] = {"K": VEC_K, "M": VEC_M, "N": VEC_N,
+                                      "density": VEC_DENSITY}
+        record["seconds"] = {k: round(v, 6) for k, v in timings.items()}
+        record["speedups"] = {k: v for k, v in speedups.items()
+                              if v is not None}
+    if "executor_thread" in timings and "executor_process" in timings:
+        record["executor"] = {
+            "thread_seconds": round(timings["executor_thread"], 6),
+            "process_seconds": round(timings["executor_process"], 6),
+            "default": "thread"
+            if timings["executor_thread"] <= timings["executor_process"]
+            else "process",
+        }
+    if nnz_series:
+        # A pure scaling-curve record: the per-row m/k geometry lives in
+        # the series itself (density falls with size there, so the
+        # workload-sweep geometry above would be wrong to claim).
+        record["kind"] = "nnz_sweep" if not timings else "sweep+nnz"
+        record["nnz_sweep"] = nnz_series
     history = {"schema": 1, "runs": []}
     if os.path.exists(path):
         try:
@@ -329,42 +565,53 @@ def record_trajectory(timings: dict, n: int, path: str = TRAJECTORY) -> dict:
 
 
 def _print_report(timings: dict, n: int) -> None:
-    rows = []
-    base = timings["interpreter"]
-    for name in ("interpreter", "compiled", "counters"):
-        t = timings[name]
-        rows.append((name, t, t / n, base / max(t, 1e-12)))
-    print_series(
+    def series(title, names, base_name, strip=""):
+        present = [name for name in names if name in timings]
+        if not present or base_name not in timings:
+            return
+        base = timings[base_name]
+        rows = []
+        for name in present:
+            t = timings[name]
+            rows.append((name.replace(strip, ""), t, t / n,
+                         base / max(t, 1e-12)))
+        print_series(title, ["seconds", "per workload", "speedup"], rows)
+
+    series(
         f"Traced/metrics sweeps vs interpreter ({n} workloads)",
-        ["seconds", "per workload", "speedup"], rows,
+        ["interpreter", "compiled", "counters"], "interpreter",
     )
-    rows = []
-    base = timings["untraced_object"]
-    for name in ("untraced_interpreter", "untraced_object", "untraced_flat"):
-        t = timings[name]
-        rows.append((name.replace("untraced_", ""), t, t / n,
-                     base / max(t, 1e-12)))
-    print_series(
-        f"Untraced sweeps, speedup vs PR-1 object kernels ({n} workloads)",
-        ["seconds", "per workload", "speedup"], rows,
+    series(
+        f"Untraced sweeps, speedup vs object kernels ({n} workloads)",
+        ["untraced_interpreter", "untraced_object", "untraced_flat"],
+        "untraced_object", strip="untraced_",
     )
-    rows = []
-    base = timings["buffered_traced"]
+    series(
+        f"Long-span sweep (K={VEC_K}, d={VEC_DENSITY}), speedup vs "
+        f"counter-fused kernels ({n} workloads)",
+        ["vspan_counters", "vspan_vector"], "vspan_counters",
+        strip="vspan_",
+    )
     nb = _n_buffered(n)
-    for name in ("buffered_interpreter", "buffered_traced", "buffered_fused"):
-        t = timings[name]
-        rows.append((name.replace("buffered_", ""), t, t / nb,
-                     base / max(t, 1e-12)))
-    print_series(
+    series(
         f"Buffered spec (buffet+cache+output buffet), full metrics, "
         f"speedup vs traced kernels ({nb} workloads)",
-        ["seconds", "per workload", "speedup"], rows,
+        ["buffered_interpreter", "buffered_traced", "buffered_fused",
+         "buffered_vector"], "buffered_traced", strip="buffered_",
+    )
+    series(
+        f"evaluate_many pool types, long-span sweep ({n} workloads)",
+        ["executor_thread", "executor_process"], "executor_thread",
+        strip="executor_",
     )
 
 
 @pytest.mark.benchmark(group="backend")
 def test_backend_sweep_speedup(benchmark):
-    timings = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    flavors = [f for f in ALL_FLAVORS if f != "executor"]
+    timings = benchmark.pedantic(run_comparison, args=(N_WORKLOADS,),
+                                 kwargs={"flavors": flavors},
+                                 rounds=1, iterations=1)
     _print_report(timings, N_WORKLOADS)
     # Plain test runs must not dirty the tracked perf-history file; the
     # canonical records come from `make bench-backend` (or exporting
@@ -385,6 +632,12 @@ def test_backend_sweep_speedup(benchmark):
         f"flat untraced sweep ({timings['untraced_flat']:.3f}s) should "
         f"beat object kernels ({timings['untraced_object']:.3f}s) clearly"
     )
+    # The vector kernels land >3x over the counter-fused scalar loops on
+    # the long-span sweep on an idle machine; 2x leaves room for noise.
+    assert timings["vspan_vector"] * 2.0 < timings["vspan_counters"], (
+        f"vector sweep ({timings['vspan_vector']:.3f}s) should beat the "
+        f"counter-fused path ({timings['vspan_counters']:.3f}s) clearly"
+    )
     # Model fusion lands ~5x over the traced kernels on buffered specs
     # on an idle machine; 2x leaves room for CI noise while catching a
     # real regression of the fused fast path.
@@ -392,19 +645,55 @@ def test_backend_sweep_speedup(benchmark):
         f"fused buffered sweep ({timings['buffered_fused']:.3f}s) should "
         f"beat the traced path ({timings['buffered_traced']:.3f}s) clearly"
     )
+    # Tiny spans all take the vector kernels' scalar fallback, so
+    # vector must stay in the same league as fused on the buffered
+    # sweep (no numpy overhead without a win to pay for it).
+    assert timings["buffered_vector"] < timings["buffered_fused"] * 1.5, (
+        f"vector buffered sweep ({timings['buffered_vector']:.3f}s) "
+        f"should track the fused path "
+        f"({timings['buffered_fused']:.3f}s)"
+    )
 
 
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workloads", type=int, default=N_WORKLOADS,
                         help="sweep size (default %(default)s)")
+    parser.add_argument("--flavor", default=None,
+                        help="comma-separated engine subset "
+                             f"(choices: {', '.join(ALL_FLAVORS)})")
+    parser.add_argument("--nnz-sweep", action="store_true",
+                        help="run the counted-vs-vector nnz scaling "
+                             "curve instead of the workload sweep")
+    parser.add_argument("--nnz-sizes", default=None,
+                        help="comma-separated nonzero counts for "
+                             "--nnz-sweep (default "
+                             f"{','.join(str(s) for s in NNZ_SIZES)})")
     parser.add_argument("--json", default=TRAJECTORY,
                         help="trajectory file (default %(default)s)")
     parser.add_argument("--no-json", action="store_true",
                         help="skip writing the trajectory file")
     args = parser.parse_args()
-    timings = run_comparison(args.workloads)
-    _print_report(timings, args.workloads)
-    if not args.no_json:
-        record = record_trajectory(timings, args.workloads, args.json)
-        print(f"\nrecorded to {args.json}: {record['speedups']}")
+
+    flavors = None
+    if args.flavor:
+        flavors = [f.strip() for f in args.flavor.split(",") if f.strip()]
+        unknown = set(flavors) - set(ALL_FLAVORS)
+        if unknown:
+            parser.error(f"unknown flavors {sorted(unknown)}; "
+                         f"choices: {', '.join(ALL_FLAVORS)}")
+
+    if args.nnz_sweep:
+        sizes = NNZ_SIZES
+        if args.nnz_sizes:
+            sizes = tuple(int(s) for s in args.nnz_sizes.split(","))
+        series = run_nnz_sweep(sizes)
+        if not args.no_json:
+            record_trajectory({}, 0, args.json, nnz_series=series)
+            print(f"\nrecorded to {args.json}")
+    else:
+        timings = run_comparison(args.workloads, flavors)
+        _print_report(timings, args.workloads)
+        if not args.no_json:
+            record = record_trajectory(timings, args.workloads, args.json)
+            print(f"\nrecorded to {args.json}: {record['speedups']}")

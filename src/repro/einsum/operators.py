@@ -26,12 +26,17 @@ class OpSet:
     sub: Callable[[Any, Any], Any] = lambda a, b: a - b
     # Identity of `add`, used to seed reductions.
     zero: Any = 0
+    # Whether `mul` is numpy-elementwise and `add` is IEEE `+`, so the
+    # vector kernel flavor may evaluate whole leaf spans with batched
+    # numpy ops (and reduce them with np.add.accumulate) bit-identically
+    # to the scalar loop.  Off by default: a custom OpSet must opt in.
+    vector_ok: bool = False
 
     def reduce_into(self, acc: Any, value: Any) -> Any:
         return self.add(acc, value) if acc is not None else value
 
 
-ARITHMETIC = OpSet()
+ARITHMETIC = OpSet(vector_ok=True)
 
 # Tropical / min-plus algebra: x = +, + = min.  SSSP relaxation (section 8).
 MIN_PLUS = OpSet(

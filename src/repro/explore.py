@@ -43,23 +43,44 @@ class ExplorationResult:
         default_factory=list
     )
 
-    def ranked(self, metric: str = "exec_seconds"):
-        def key(pair):
-            cand, res = pair
-            if metric == "exec_seconds":
-                return res.exec_seconds
-            if metric == "traffic":
-                return res.traffic_bytes()
-            if metric == "energy":
-                return res.energy_pj
-            raise ValueError(f"unknown metric {metric!r}")
+    def _metric(self, res: EvaluationResult, metric: str) -> float:
+        if metric == "exec_seconds":
+            return res.exec_seconds
+        if metric == "traffic":
+            return res.traffic_bytes()
+        if metric == "energy":
+            return res.energy_pj
+        raise ValueError(f"unknown metric {metric!r}")
 
-        return sorted(self.candidates, key=key)
+    def ranked(self, metric: str = "exec_seconds"):
+        return sorted(self.candidates,
+                      key=lambda pair: self._metric(pair[1], metric))
 
     def best(self, metric: str = "exec_seconds"):
         if not self.candidates:
             raise ValueError("no candidates evaluated")
         return self.ranked(metric)[0]
+
+    def to_table(self, metric: str = "exec_seconds",
+                 top: Optional[int] = None) -> str:
+        """A quick ranking dump: one row per candidate, best first.
+
+        Columns: rank, the sort metric, cycles, DRAM traffic (bytes),
+        energy (pJ), and the candidate's mapping description.
+        """
+        rows = self.ranked(metric)
+        if top is not None:
+            rows = rows[:top]
+        header = (f"{'#':>3}  {metric:>14}  {'cycles':>12}  "
+                  f"{'traffic_B':>12}  {'energy_pJ':>14}  mapping")
+        lines = [header, "-" * len(header)]
+        for k, (cand, res) in enumerate(rows, 1):
+            lines.append(
+                f"{k:>3}  {self._metric(res, metric):>14.6g}  "
+                f"{res.exec_cycles:>12.6g}  {res.traffic_bytes():>12.6g}  "
+                f"{res.energy_pj:>14.6g}  {cand.describe()}"
+            )
+        return "\n".join(lines)
 
 
 def enumerate_candidates(
@@ -135,6 +156,7 @@ def explore(
     max_loop_orders: Optional[int] = None,
     opset: OpSet = ARITHMETIC,
     backend=None,
+    metrics: str = "auto",
 ) -> ExplorationResult:
     """Sweep mappings of one Einsum and evaluate each on real tensors.
 
@@ -142,11 +164,18 @@ def explore(
     is the open problem the paper's future-work section names).
 
     Each candidate runs through the selected execution ``backend``
-    (compiled generated-Python kernels by default); candidates that share
-    a mapping across sweeps hit the process-wide compile cache, so
-    re-exploring after a workload change pays no lowering cost.
+    (compiled generated-Python kernels by default) with the given
+    ``metrics`` mode (``"auto"`` — the vector kernels with trace
+    fallback — by default); candidates that share a mapping across
+    sweeps hit the process-wide compile cache, so re-exploring after a
+    workload change pays no lowering cost.  One
+    :class:`~repro.model.backend.PrepCache` spans the whole sweep:
+    candidates sharing a tensor's storage order and prep steps (loop
+    orders agreeing on that tensor's ranks, same tiling) reuse one
+    prepared tensor and one flat arena instead of re-swizzling and
+    re-flattening per candidate.
     """
-    from .model.backend import resolve_backend
+    from .model.backend import PrepCache, resolve_backend
 
     if einsum is None:
         if len(spec.einsum.cascade) != 1:
@@ -154,11 +183,13 @@ def explore(
         einsum = spec.einsum.cascade.produced[0]
     ranks = [rank_of_var(v) for v in spec.einsum.cascade[einsum].all_vars]
     engine = resolve_backend(backend)
+    prep_cache = PrepCache()
     result = ExplorationResult()
     for candidate in enumerate_candidates(ranks, tile_sizes,
                                           max_loop_orders):
         cand_spec = apply_candidate(spec, einsum, candidate)
-        res = evaluate(cand_spec, {k: t.copy() for k, t in tensors.items()},
-                       opset=opset, backend=engine)
+        res = evaluate(cand_spec, dict(tensors), opset=opset,
+                       backend=engine, metrics=metrics,
+                       prep_cache=prep_cache)
         result.candidates.append((candidate, res))
     return result

@@ -6,13 +6,12 @@ references) and by workload loaders (to ingest scipy sparse matrices).
 
 from __future__ import annotations
 
-from array import array
 from typing import Optional, Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
-from .arena import FlatArena
+from .arena import COORD_DTYPE, VALUE_DTYPE, FlatArena
 from .tensor import Tensor
 
 
@@ -87,18 +86,18 @@ def arena_from_scipy(matrix) -> FlatArena:
     csr = sp.csr_matrix(matrix)
     csr.sum_duplicates()
     csr.eliminate_zeros()
-    indptr = csr.indptr
-    row_coords = array("q")
-    segs1 = array("q", [0])
-    for r in range(csr.shape[0]):
-        if indptr[r + 1] > indptr[r]:
-            row_coords.append(r)
-            segs1.append(int(indptr[r + 1]))
+    indptr = np.asarray(csr.indptr, dtype=COORD_DTYPE)
+    occupied = np.nonzero(indptr[1:] > indptr[:-1])[0]
+    row_coords = occupied.astype(COORD_DTYPE)
+    segs1 = np.empty(len(row_coords) + 1, dtype=COORD_DTYPE)
+    segs1[0] = 0
+    segs1[1:] = indptr[occupied + 1]
     arena = FlatArena(
         depth=2,
-        coords=[row_coords, array("q", (int(c) for c in csr.indices))],
-        segs=[array("q", [0, len(row_coords)]), segs1],
-        vals=[float(v) for v in csr.data],
+        coords=[row_coords,
+                np.asarray(csr.indices, dtype=COORD_DTYPE).copy()],
+        segs=[np.array([0, len(row_coords)], dtype=COORD_DTYPE), segs1],
+        vals=np.asarray(csr.data, dtype=VALUE_DTYPE).copy(),
         ranges=[[None], [None] * len(row_coords)],
     )
     arena.validate()
@@ -109,19 +108,17 @@ def arena_to_scipy(arena: FlatArena, shape: Optional[Sequence[int]] = None):
     """Materialize a 2-level arena as a scipy CSR matrix."""
     if arena.depth != 2:
         raise ValueError("only 2-level arenas convert to scipy matrices")
-    rows = []
-    row_coords = arena.coords[0]
-    segs1 = arena.segs[1]
-    for f in range(len(row_coords)):
-        rows.extend([row_coords[f]] * (segs1[f + 1] - segs1[f]))
-    cols = list(arena.coords[1])
+    row_coords = np.asarray(arena.coords[0], dtype=COORD_DTYPE)
+    segs1 = np.asarray(arena.segs[1], dtype=COORD_DTYPE)
+    rows = np.repeat(row_coords, np.diff(segs1))
+    cols = np.asarray(arena.coords[1], dtype=COORD_DTYPE)
     if shape is None:
         shape = (
-            (max(rows) + 1) if rows else 0,
-            (max(cols) + 1) if cols else 0,
+            (int(rows.max()) + 1) if rows.size else 0,
+            (int(cols.max()) + 1) if cols.size else 0,
         )
-    return sp.csr_matrix((list(arena.vals), (rows, cols)),
-                         shape=tuple(shape))
+    vals = np.asarray(arena.vals, dtype=VALUE_DTYPE)
+    return sp.csr_matrix((vals, (rows, cols)), shape=tuple(shape))
 
 
 def tensor_to_scipy(tensor: Tensor) -> sp.csr_matrix:

@@ -670,7 +670,7 @@ def generate_module(irs, name: str = "generated") -> str:
 #: fibers; arena-native kernels ("flat"/"counted"/"fused") walk FlatArena
 #: spans (see :mod:`repro.ir.codegen_flat`).  "fused" inlines the
 #: buffet/cache component state machines into the arena loops.
-KERNEL_FLAVORS = ("fast", "traced", "flat", "counted", "fused")
+KERNEL_FLAVORS = ("fast", "traced", "flat", "counted", "fused", "vector")
 
 
 def compile_ir(ir: LoopNestIR, func_name: str = "kernel",
@@ -685,12 +685,13 @@ def compile_ir(ir: LoopNestIR, func_name: str = "kernel",
         flavor = "traced" if traced else "fast"
     if flavor in ("fast", "traced"):
         body = generate_source(ir, func_name, traced=(flavor == "traced"))
-    elif flavor in ("flat", "counted", "fused"):
+    elif flavor in ("flat", "counted", "fused", "vector"):
         from .codegen_flat import generate_flat_source
 
         body = generate_flat_source(ir, func_name,
                                     counted=(flavor == "counted"),
-                                    fused=(flavor == "fused"))
+                                    fused=(flavor == "fused"),
+                                    vector=(flavor == "vector"))
     else:
         raise ValueError(
             f"unknown kernel flavor {flavor!r}; known: {KERNEL_FLAVORS}"

@@ -66,13 +66,15 @@ from .codegen import (
 
 
 class _FlatGenerator:
-    """Emits one arena-native kernel (flat, counted, or fused) for one
-    Einsum."""
+    """Emits one arena-native kernel (flat, counted, fused, or vector)
+    for one Einsum."""
 
     def __init__(self, ir: LoopNestIR, func_name: str, counted: bool,
-                 fused: bool = False):
+                 fused: bool = False, vector: bool = False):
         self.ir = ir
         self.func_name = func_name
+        self.vector = vector
+        fused = fused or vector
         self.counted = counted or fused
         self.fused = fused
         counted = self.counted
@@ -104,6 +106,10 @@ class _FlatGenerator:
         # both the coord and the payload port of one (tensor, rank) —
         # the back-to-back event pair every present element emits.
         self.pairs: Dict[Tuple[str, str], str] = {}
+        # Numpy leaf buffers the vector branches consume (populated
+        # during body generation; the head binds them afterwards).
+        self.vec_coords: Set[Tuple[int, int]] = set()
+        self.vec_vals: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Cursor helpers
@@ -317,22 +323,37 @@ class _FlatGenerator:
             args = "arenas, opset, shapes"
         head.emit(f"def {self.func_name}({args}):")
         head.indent += 1
-        flavor = "fused" if self.fused else (
-            "counted" if self.counted else "flat")
+        flavor = "vector" if self.vector else (
+            "fused" if self.fused else (
+                "counted" if self.counted else "flat"))
         head.emit(f'"""Generated ({flavor}, arena-native) from: {ir.einsum}"""')
         for i, plan in enumerate(ir.accesses):
             n = self.n_phys[i]
             head.emit(f"_a{i} = arenas[{plan.tensor!r}]")
+            # Scalar loops bind the memoized Python-list views: CPython
+            # indexes lists faster than any array type, and list items
+            # are exactly the Python ints/floats the traced path sees.
+            head.emit(f"_ac{i}, _as{i}, _av{i} = _a{i}.scalar_buffers()")
             for L in range(n):
-                head.emit(f"t{i}_c{L} = _a{i}.coords[{L}]")
+                head.emit(f"t{i}_c{L} = _ac{i}[{L}]")
             for L in range(1, n):
-                head.emit(f"t{i}_s{L} = _a{i}.segs[{L}]")
+                head.emit(f"t{i}_s{L} = _as{i}[{L}]")
                 head.emit(f"t{i}_r{L} = _a{i}.ranges[{L}]")
-            head.emit(f"t{i}_v = _a{i}.vals")
+            head.emit(f"t{i}_v = _av{i}")
+            # Vector leaves read the numpy buffers directly (None when a
+            # level fell back to list storage — the generated guard then
+            # keeps that leaf on the scalar path).
+            for (j, L) in sorted(self.vec_coords):
+                if j == i:
+                    head.emit(f"t{i}_cn{L} = _a{i}.np_coords({L})")
+            if i in self.vec_vals:
+                head.emit(f"t{i}_vn = _a{i}.np_vals()")
             head.emit(f"n{i}_0a = 0")
             head.emit(f"n{i}_0b = len(t{i}_c0)")
             if self.fused:
                 head.emit(f"h{i}_0 = ()")
+        if self.vector:
+            head.emit("_vk = rt.vec_ok(opset)")
         head.emit("out = Fiber()")
         head.emit("_on = out")
         head.emit("_op = None")
@@ -473,6 +494,13 @@ class _FlatGenerator:
         if stamped:
             em.emit(f"po_{rank} = -1")
 
+        vec = self._vector_leaf_plan(rank, level, mode, specs, virtual,
+                                     binds, new_depths)
+        if vec is not None:
+            self._emit_vector_leaf(rank, level, vec)
+            em.emit("else:")
+            em.indent += 1
+
         if len(specs) == 1:
             opened = self._open_single(rank, level, specs[0])
         elif (
@@ -550,6 +578,8 @@ class _FlatGenerator:
         self._rank(level + 1, new_depths, wins2, guarded)
         self._propagate_wrote(level, rank)
         self._close_loop(rank, level, opened, specs)
+        if vec is not None:
+            em.indent -= 1
         em.indent -= close
 
     # ------------------------------------------------------------------
@@ -746,6 +776,390 @@ class _FlatGenerator:
                         em.indent -= 1
                     else:
                         self._bump_read(i, of, "coord", f"sx_{rank}[{j}]")
+
+    # ------------------------------------------------------------------
+    # Vector leaves (the "vector" flavor): price an entire innermost-rank
+    # span with batched numpy ops.  Eligibility is decided statically per
+    # loop; the generated branch still guards on runtime facts (numpy
+    # buffers present, elementwise opset, span large enough) and falls
+    # through to the inline scalar loop otherwise, so outputs and tallies
+    # never depend on which path ran.
+    # ------------------------------------------------------------------
+    def _leaf_lookups_advance(self, level: int,
+                              depths: Dict[int, int]) -> bool:
+        """Would the in-loop :meth:`_lookups` pass advance any cursor at
+        the innermost rank?  (A dry-run of its break conditions: a leaf
+        that performs per-element lookups emits per-element events and
+        must stay scalar.)"""
+        ir = self.ir
+        bound_vars = set()
+        for r in ir.loop_ranks[: level + 1]:
+            bound_vars.update(ir.binds.get(r, ()))
+        for i, plan in enumerate(ir.accesses):
+            d = depths[i]
+            if d >= len(plan.levels):
+                continue
+            lvl = plan.levels[d]
+            if lvl.kind == VIRTUAL:
+                continue
+            later_rank = lvl.rank in ir.loop_ranks[level + 1:]
+            if lvl.kind in (UPPER, FLAT_UPPER):
+                below = _physical_below(plan, d, lvl.of)
+                if below is None or any(
+                    set(e.vars) - bound_vars for e in below.exprs
+                ) or later_rank and _drivable(
+                    lvl, ir.binds.get(lvl.rank, ())
+                ):
+                    continue
+                return True
+            if any(set(e.vars) - bound_vars for e in lvl.exprs):
+                continue
+            if later_rank and _drivable(lvl, ir.binds.get(lvl.rank, ())):
+                continue
+            return True
+        return False
+
+    def _vec_value_plan(self, depths: Dict[int, int],
+                        driver_map: Dict[int, str]):
+        """(value code, scalar refs, mul count) of a batched leaf value.
+
+        Only pure products vectorize (arbitrary nesting of ``Mul`` over
+        ``Access``, folded in exactly the scalar emitters' association
+        order — elementwise multiplication is IEEE-exact under any
+        operand shapes, but the grouping must match).  ``None`` means
+        the expression keeps the scalar path (Add/Take leaves).
+        """
+        scalars: List[str] = []
+        counter = [0]
+        muls = [0]
+
+        def walk(e):
+            if isinstance(e, Access):
+                i = counter[0]
+                counter[0] += 1
+                code = driver_map.get(i)
+                if code is None:
+                    code = self._scalar_ref(i, depths[i])
+                    scalars.append(code)
+                return code
+            if isinstance(e, Mul):
+                parts = [walk(f) for f in e.factors]
+                if any(p is None for p in parts):
+                    return None
+                folded = parts[0]
+                for p in parts[1:]:
+                    muls[0] += 1
+                    folded = f"opset.mul({folded}, {p})"
+                return folded
+            return None
+
+        code = walk(self.ir.einsum.expr)
+        if code is None:
+            return None
+        if not all(v in code for v in driver_map.values()):
+            return None  # a driver's values never reach the product
+        return code, scalars, muls[0]
+
+    def _stamp_desc(self, rank: str, ranks: List[str]) -> dict:
+        """How one stamp tuple set behaves across an innermost span:
+        constant (the rank is absent) or varying in exactly one slot."""
+        if rank in ranks:
+            k = ranks.index(rank)
+            pre = "(" + "".join(f"st_{r}, " for r in ranks[:k]) + ")"
+            post = "(" + "".join(f"st_{r}, " for r in ranks[k + 1:]) + ")"
+            return {"varies": True, "pre": pre, "post": post, "const": None}
+        const = "(" + "".join(f"st_{r}, " for r in ranks) + ")"
+        return {"varies": False, "pre": None, "post": None, "const": const}
+
+    def _vector_leaf_plan(self, rank: str, level: int, mode: str, specs,
+                          virtual, binds, new_depths: Dict[int, int]):
+        """Static eligibility of a vectorized leaf for this rank, or
+        ``None``.  The conditions mirror exactly what the batched
+        primitives can reproduce bit-identically: one or two PLAIN
+        drivers descending straight to leaf scalars, an intersect (not
+        union) merge, a pure-product expression, reduction into a single
+        output element (no inner var in the output point), no take()
+        short-circuits, no per-element lookups, and no tensor whose
+        component machine would see interleaved per-element event orders
+        (self-intersections, read-modify-write outputs)."""
+        if not self.vector or level != self.n_ranks - 1:
+            return None
+        ir = self.ir
+        if self.existential or virtual or len(binds) > 1:
+            return None
+        if len(specs) not in (1, 2):
+            return None
+        if ir.einsum.is_take:
+            return None
+        for i, lvl, L, d, a, b, off in specs:
+            if lvl.kind != PLAIN:
+                return None
+            if self._al(i, d) + 1 != self.n_phys[i]:
+                return None
+        if len(specs) == 2:
+            if mode == "union":
+                return None
+            if not all(ir.accesses[i].conjunctive for i, *_ in specs):
+                return None
+            if ir.accesses[specs[0][0]].tensor == \
+                    ir.accesses[specs[1][0]].tensor:
+                return None
+        if any(p.tensor == ir.output.tensor for p in ir.accesses):
+            return None
+        if self._leaf_lookups_advance(level, dict(new_depths)):
+            return None
+        v = binds[0] if binds else None
+        out_idx = ir.output.indices
+        if v is not None and any(v in e.vars for e in out_idx):
+            return None  # scatter-into-output leaves stay scalar
+        drivers = []
+        driver_map: Dict[int, str] = {}
+        for j, (i, lvl, L, d, a, b, off) in enumerate(specs):
+            plan = ir.accesses[i]
+            drivers.append({
+                "j": j, "i": i, "L": L, "d": d, "a": a, "b": b,
+                "off": off or "0", "of": lvl.of or lvl.rank,
+                "tensor": plan.tensor, "conj": plan.conjunctive,
+            })
+            driver_map[i] = f"vc_w{j}"
+        value = self._vec_value_plan(new_depths, driver_map)
+        if value is None:
+            return None
+        value_code, scalars, k_mul = value
+        return {
+            "drivers": drivers,
+            "merge": len(specs) == 2,
+            "value": value_code,
+            "scalars": list(dict.fromkeys(scalars)),
+            "k_mul": k_mul,
+            "prefix": _point_code(out_idx[:-1]),
+            "leaf": _expr_code(out_idx[-1]) if out_idx else "0",
+            "point": _point_code(out_idx),
+            "out_tensor": ir.output.tensor,
+            "out_rank": (ir.output.storage_ranks[-1]
+                         if ir.output.storage_ranks else "root"),
+            "ts": self._stamp_desc(rank, list(ir.time_ranks)),
+            "ss": self._stamp_desc(rank, list(ir.space_ranks)),
+            "style": ir.time_styles.get(rank, "pos"),
+        }
+
+    def _emit_vector_leaf(self, rank: str, level: int, vec: dict) -> None:
+        """The batched branch: ``if <runtime guards>:`` plus its body.
+        The caller emits the matching ``else:`` with the scalar loop."""
+        em = self.em
+        drivers = vec["drivers"]
+        merge = vec["merge"]
+        conds = ["_vk"]
+        sizes = []
+        for drv in drivers:
+            if not drv["conj"]:
+                conds.append(f"{drv['a']} is not None")
+            sizes.append(f"({drv['b']} - {drv['a']})")
+            self.vec_coords.add((drv["i"], drv["L"]))
+            self.vec_vals.add(drv["i"])
+            conds.append(f"t{drv['i']}_cn{drv['L']} is not None")
+            conds.append(f"t{drv['i']}_vn is not None")
+        conds.append(f"{' + '.join(sizes)} >= rt.VLEAF_MIN")
+        em.emit(f"if {' and '.join(conds)}:")
+        em.indent += 1
+        if merge:
+            d0, d1 = drivers
+            em.emit(
+                f"vc_q0, vc_q1, vc_n0, vc_n1 = rt.visect2("
+                f"t{d0['i']}_cn{d0['L']}, {d0['a']}, {d0['b']}, "
+                f"{d0['off']}, "
+                f"t{d1['i']}_cn{d1['L']}, {d1['a']}, {d1['b']}, "
+                f"{d1['off']})"
+            )
+            em.emit("vc_m = len(vc_q0)")
+            if rank not in self.isect_ranks:
+                self.isect_ranks.append(rank)
+            em.emit(f"iv_{rank} += vc_n0 + vc_n1")
+            em.emit(f"im_{rank} += vc_m")
+        else:
+            d0 = drivers[0]
+            em.emit(f"vc_m = {d0['b']} - {d0['a']}")
+        # The loop coordinates of the span's effectual elements (the
+        # shifted matched coordinates — identical through either merge
+        # driver), materialized at most once per span on first need:
+        # stamp tuples, payload-port reads, and output writes share it.
+        em.emit("vc_c = None")
+        for drv in drivers:
+            self._emit_vector_reads(level, drv, merge, d0)
+        self._emit_vector_effectual(rank, level, vec)
+        em.indent -= 1
+
+    def _emit_vc_coords(self, d0: dict, merge: bool) -> None:
+        """Lazily bind ``vc_c`` (see :meth:`_emit_vector_leaf`)."""
+        em = self.em
+        em.emit("if vc_c is None:")
+        em.indent += 1
+        if merge:
+            em.emit(f"vc_c = rt.vtake(t{d0['i']}_cn{d0['L']}, vc_q0, "
+                    f"{d0['off']})")
+        else:
+            em.emit(f"vc_c = rt.vslice(t{d0['i']}_cn{d0['L']}, {d0['a']}, "
+                    f"{d0['b']}, {d0['off']})")
+        em.indent -= 1
+
+    def _emit_vector_reads(self, level: int, drv: dict,
+                           merge: bool, d0: dict) -> None:
+        """One driver's coord+payload event accounting for a whole span.
+
+        Per machine, the traced order within the span is: one coord read
+        per *visited* coordinate ascending (matched and galloped-over
+        alike), plus one payload read per *matched* coordinate — so a
+        machine owning both ports batches as ``read_span`` over the
+        visited prefix plus a :meth:`~repro.ir.codegen_runtime.FusedBuffet.pair_extra`
+        bump for the matched subset, and split ports batch each side
+        independently.  DRAM-routed sides are pure counter adds.
+        """
+        em = self.em
+        i, j, L, d = drv["i"], drv["j"], drv["L"], drv["d"]
+        of, tensor, off = drv["of"], drv["tensor"], drv["off"]
+        a, b = drv["a"], drv["b"]
+        pc = self._port(tensor, of, "coord")
+        pp = self._port(tensor, of, "payload")
+        crc = self._rctr(tensor, of, "coord")
+        crp = self._rctr(tensor, of, "payload")
+        vis = f"vc_n{j}" if merge else "vc_m"
+        hi = f"{a} + vc_n{j}" if merge else b
+        span = (f"{pc}.read_span({of!r}, h{i}_{d}, t{i}_c{L}, {a}, {hi}, "
+                f"{off}, cx{level})")
+        em.emit(f"if {pc} is not None and {pc} is {pp}:")
+        em.indent += 1
+        em.emit(span)
+        em.emit(f"{pc}.pair_extra(vc_m)")
+        em.indent -= 1
+        em.emit("else:")
+        em.indent += 1
+        em.emit(f"if {pc} is None:")
+        em.indent += 1
+        em.emit(f"{crc} += {vis}")
+        em.indent -= 1
+        em.emit("else:")
+        em.indent += 1
+        em.emit(span)
+        em.indent -= 1
+        em.emit(f"if {pp} is None:")
+        em.indent += 1
+        em.emit(f"{crp} += vc_m")
+        em.indent -= 1
+        em.emit("else:")
+        em.indent += 1
+        if merge:
+            self._emit_vc_coords(d0, merge)
+            em.emit(f"{pp}.read_span({of!r}, h{i}_{d}, vc_c, 0, vc_m, 0, "
+                    f"cx{level})")
+        else:
+            em.emit(f"{pp}.read_span({of!r}, h{i}_{d}, t{i}_c{L}, {a}, "
+                    f"{b}, {off}, cx{level})")
+        em.indent -= 2
+
+    def _emit_vector_effectual(self, rank: str, level: int,
+                               vec: dict) -> None:
+        """Batched compute counting, stamp sets, reduction, and output
+        writes of a span — bit-equal to the scalar leaf run ``vc_m``
+        times (the first element of a freshly absent output point is the
+        copy/no-add element, exactly as ``reduce_leaf`` prices it)."""
+        em = self.em
+        drivers = vec["drivers"]
+        merge = vec["merge"]
+        d0 = drivers[0]
+        em.emit("if vc_m:")
+        em.indent += 1
+        guard = 0
+        if vec["scalars"]:
+            cond = " or ".join(f"{s} is None" for s in vec["scalars"])
+            em.emit(f"if not ({cond}):")
+            em.indent += 1
+            guard = 1
+        for drv in drivers:
+            if merge:
+                em.emit(f"vc_w{drv['j']} = t{drv['i']}_vn[vc_q{drv['j']}]")
+            else:
+                em.emit(f"vc_w{drv['j']} = "
+                        f"t{drv['i']}_vn[{drv['a']}:{drv['b']}]")
+        em.emit(f"vc_val = {vec['value']}")
+        ts, ss = vec["ts"], vec["ss"]
+        if vec["style"] == "coord" and (ts["varies"] or ss["varies"]):
+            self._emit_vc_coords(d0, merge)
+            inner = "vc_c"
+        else:
+            inner = "range(vc_m)"
+        if ts["varies"]:
+            em.emit(f"vc_ts = rt.vstamps({ts['pre']}, {ts['post']}, "
+                    f"{inner})")
+        else:
+            em.emit(f"vc_t = {ts['const']}")
+        if ss["varies"]:
+            em.emit(f"vc_ss = rt.vstamps({ss['pre']}, {ss['post']}, "
+                    f"{inner})")
+        else:
+            em.emit(f"vc_s = {ss['const']}")
+
+        def ts_code(op, sel):
+            if ts["varies"]:
+                return {"all": f"cs_{op}.update(vc_ts)",
+                        "first": f"cs_{op}.add(vc_ts[0])",
+                        "rest": f"cs_{op}.update(vc_ts[1:])"}[sel]
+            return f"cs_{op}.add(vc_t)"
+
+        def ss_code(op, sel):
+            if ss["varies"]:
+                return {"all": f"cl_{op}.update(vc_ss)",
+                        "first": f"cl_{op}.add(vc_ss[0])",
+                        "rest": f"cl_{op}.update(vc_ss[1:])"}[sel]
+            return f"cl_{op}.add(vc_s)"
+
+        k_mul = vec["k_mul"]
+        if k_mul:
+            em.emit(f"cn_mul += {k_mul} * vc_m")
+            em.emit(ts_code("mul", "all"))
+            em.emit(ss_code("mul", "all"))
+        em.emit(f"_pp = {vec['prefix']}")
+        em.emit("if _pp != _op:")
+        em.indent += 1
+        em.emit("_on = rt.out_ref(out, _pp)")
+        em.emit("_op = _pp")
+        em.indent -= 1
+        em.emit(f"vc_old = _on.get_payload({vec['leaf']})")
+        em.emit(f"_on.set_payload({vec['leaf']}, "
+                f"rt.vreduce(vc_old, vc_val))")
+        em.emit("if vc_old is None:")
+        em.indent += 1
+        if not k_mul:
+            em.emit("cn_copy += 1")
+            em.emit(ts_code("copy", "first"))
+            em.emit(ss_code("copy", "first"))
+        em.emit("cn_add += vc_m - 1")
+        em.emit("if vc_m > 1:")
+        em.indent += 1
+        em.emit(ts_code("add", "rest"))
+        em.emit(ss_code("add", "rest"))
+        em.indent -= 1
+        em.indent -= 1
+        em.emit("else:")
+        em.indent += 1
+        em.emit("cn_add += vc_m")
+        em.emit(ts_code("add", "all"))
+        em.emit(ss_code("add", "all"))
+        em.indent -= 1
+        out_t, out_r = vec["out_tensor"], vec["out_rank"]
+        pw = self._port(out_t, out_r, "elem")
+        wctr = self._wctr(out_t, out_r, "elem")
+        em.emit(f"if {pw} is None:")
+        em.indent += 1
+        em.emit(f"{wctr} += vc_m")
+        em.indent -= 1
+        em.emit("else:")
+        em.indent += 1
+        self._emit_vc_coords(d0, merge)
+        em.emit(f"{pw}.write_seq({out_r!r}, {vec['point']}, {rank!r}, "
+                f"vc_c, cx{level})")
+        em.indent -= 1
+        em.indent -= guard
+        em.indent -= 1
 
     # ------------------------------------------------------------------
     def _propagate_wrote(self, level: int, rank: str) -> None:
@@ -1089,10 +1503,15 @@ class _FlatGenerator:
 
 
 def generate_flat_source(ir: LoopNestIR, func_name: str = "kernel",
-                         counted: bool = False, fused: bool = False) -> str:
+                         counted: bool = False, fused: bool = False,
+                         vector: bool = False) -> str:
     """Generate arena-native Python source for one lowered Einsum.
 
     ``counted`` adds fused counters; ``fused`` additionally inlines the
-    buffet/cache component state machines (implies counters).
+    buffet/cache component state machines (implies counters); ``vector``
+    additionally batches eligible innermost-rank spans through numpy
+    primitives (implies fused — with a null routing plan the machines
+    degrade to counters, so one vector kernel serves both sink-less and
+    buffered specs).
     """
-    return _FlatGenerator(ir, func_name, counted, fused).generate()
+    return _FlatGenerator(ir, func_name, counted, fused, vector).generate()

@@ -21,6 +21,8 @@ import bisect
 from collections import OrderedDict
 from typing import Any, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from ..fibertree.fiber import Fiber
 
 
@@ -389,6 +391,119 @@ def flat_union(specs, stats, touches=None) -> Iterator[Tuple[Any, List[int]]]:
 
 
 # ----------------------------------------------------------------------
+# Vector-span primitives (used by the "vector" kernel flavor)
+# ----------------------------------------------------------------------
+# The vector kernels price an entire innermost-rank span with batched
+# numpy ops instead of one Python iteration per element.  Exactness is
+# the contract: every helper here reproduces, bit for bit, what the
+# scalar counted/fused loop over the same span would have produced —
+# including float accumulation order (``np.add.accumulate`` is a
+# sequential left fold, unlike ``np.sum``'s pairwise reduction) and the
+# galloping co-iterator's partial visit counts.
+
+#: Minimum combined span size before a leaf takes the numpy path; below
+#: it the generated kernel falls through to its inline scalar loop
+#: (numpy per-call overhead beats the win on tiny fibers — measured
+#: break-even sits near ~100 combined coordinates).  Tests pin this to
+#: 0 to force the vector path onto small inputs.
+VLEAF_MIN = 96
+
+
+def vec_ok(opset) -> bool:
+    """Is this opset safe for elementwise numpy evaluation?
+
+    True only when the opset declares it (``OpSet.vector_ok``): ``mul``
+    must be numpy-elementwise and ``add`` must be IEEE ``+`` so that
+    ``np.add.accumulate`` reproduces the scalar reduction bitwise.
+    """
+    return getattr(opset, "vector_ok", False)
+
+
+def visect2(c0, a0: int, b0: int, off0: int,
+            c1, a1: int, b1: int, off1: int):
+    """Two-way intersection of flat spans, batched.
+
+    Returns ``(q0, q1, v0, v1)``: the matched *absolute* positions in
+    each buffer (ascending), and the per-input visited-coordinate counts
+    of the galloping merge — exactly the tallies the scalar merge2 loop
+    accumulates, including its early termination: the merge stops when
+    either input exhausts, so trailing coordinates of the longer input
+    past the shorter one's maximum are never visited.
+    """
+    s0 = c0[a0:b0]
+    s1 = c1[a1:b1]
+    if not (s0.size and s1.size):
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty, 0, 0
+    if off0 == off1:
+        h0, h1 = s0, s1  # equal shifts cancel in every comparison
+        last0 = int(s0[-1])
+        last1 = int(s1[-1])
+    else:
+        h0 = s0 + off0 if off0 else s0
+        h1 = s1 + off1 if off1 else s1
+        last0 = int(s0[-1]) + off0
+        last1 = int(s1[-1]) + off1
+    # Membership by binary search (cheaper than np.intersect1d, which
+    # sorts the concatenation): for each h0 coordinate, the insertion
+    # point in h1 either holds an equal coordinate (a match) or not.
+    pos = np.searchsorted(h1, h0)
+    hit = pos < h1.size
+    np.bitwise_and(hit, h1[np.minimum(pos, h1.size - 1)] == h0, out=hit)
+    q0 = np.nonzero(hit)[0]
+    q1 = pos[hit]
+    v0 = int(s0.size) if last0 <= last1 else \
+        int(np.searchsorted(h0, last1, side="right"))
+    v1 = int(s1.size) if last1 <= last0 else \
+        int(np.searchsorted(h1, last0, side="right"))
+    return q0 + a0, q1 + a1, v0, v1
+
+
+def vtake(coords, positions, off: int) -> list:
+    """Coordinates at ``positions`` (+``off``), as Python ints."""
+    sel = coords[positions]
+    if off:
+        sel = sel + off
+    return sel.tolist()
+
+
+def vslice(coords, lo: int, hi: int, off: int) -> list:
+    """Coordinates of ``[lo, hi)`` (+``off``), as Python ints."""
+    sel = coords[lo:hi]
+    if off:
+        sel = sel + off
+    return sel.tolist()
+
+
+def vstamps(pre: tuple, post: tuple, inner) -> list:
+    """Per-element spacetime stamp tuples: the innermost slot varies
+    over ``inner`` (loop positions or coordinates), the rest is fixed.
+    The innermost loop rank is usually last in stamp order, so the
+    empty-``post`` form skips one tuple concatenation per element."""
+    if post:
+        return [pre + (s,) + post for s in inner]
+    return [pre + (s,) for s in inner]
+
+
+def vreduce(existing, values) -> float:
+    """Left-fold reduction of a value vector into an existing payload.
+
+    Bitwise equal to the scalar loop ``acc = v if acc is None else
+    acc + v`` over ``values`` in order: ``np.add.accumulate`` is a
+    sequential (not pairwise) accumulation, so intermediate roundings
+    match IEEE ``+`` applied left to right.
+    """
+    if existing is None:
+        if values.size == 1:
+            return float(values[0])
+        return float(np.add.accumulate(values)[-1])
+    buf = np.empty(values.size + 1, dtype=np.float64)
+    buf[0] = existing
+    buf[1:] = values
+    return float(np.add.accumulate(buf)[-1])
+
+
+# ----------------------------------------------------------------------
 # Fused component state machines (used by the "fused" kernel flavor)
 # ----------------------------------------------------------------------
 # These inline the buffet/cache models of repro.model.components into the
@@ -518,6 +633,16 @@ class FusedBuffet:
         self.fills += fills
         self.fill_reads += fills
 
+    def pair_extra(self, n: int) -> None:
+        """Upgrade ``n`` span reads to coord+payload pairs.
+
+        A matched element fires :meth:`read2` where a galloped-over one
+        fires :meth:`read`; the two differ only in the read tally (state
+        transitions are identical), so a whole visited span batches as
+        one :meth:`read_span` plus this bump for the matched subset.
+        """
+        self.reads += n
+
     def write(self, of: str, path: tuple, cx: tuple) -> None:
         if cx is not self._cx:
             self._roll(cx)
@@ -533,6 +658,16 @@ class FusedBuffet:
                 self.partial_output_fills += 1
                 self.fill_reads += 1
         self.dirty.add(key)
+
+    def write_seq(self, of: str, path: tuple, rank: str, coords,
+                  cx: tuple) -> None:
+        """One :meth:`write` per coordinate, with the full leaf loop
+        context reconstructed per element (``cx + ((rank, c),)``) —
+        the exact sequence the scalar leaf emits for a reduction span.
+        """
+        write = self.write
+        for c in coords:
+            write(of, path, cx + ((rank, c),))
 
     def finish(self) -> None:
         self._drain()
@@ -655,6 +790,15 @@ class FusedCache:
         self.misses += misses
         self.fill_reads += misses
 
+    def pair_extra(self, n: int) -> None:
+        """Upgrade ``n`` span reads to coord+payload pairs.
+
+        :meth:`read2`'s second read always hits the just-touched MRU key
+        and its ``move_to_end`` is a no-op, so relative to per-element
+        :meth:`read` calls a matched element adds exactly one hit.
+        """
+        self.hits += n
+
     def write(self, of: str, path: tuple, cx: tuple) -> None:
         self.writes += 1
         kd = self.key_depth
@@ -673,6 +817,15 @@ class FusedCache:
                 self.writebacks += 1
         lru[key] = True
         self.occupied += self.fill_bits
+
+    def write_seq(self, of: str, path: tuple, rank: str, coords,
+                  cx: tuple) -> None:
+        """One :meth:`write` per coordinate (the cache ignores loop
+        context, so only the count and ordering matter — both identical
+        to the scalar leaf's per-element writes)."""
+        write = self.write
+        for c in coords:
+            write(of, path, cx)
 
     def finish(self) -> None:
         for dirty in self.lru.values():

@@ -16,6 +16,7 @@ from .backend import (
     CompiledBackend,
     GLOBAL_COMPILE_CACHE,
     InterpreterBackend,
+    PrepCache,
     resolve_backend,
     spec_cache_key,
 )
@@ -26,6 +27,7 @@ from .evaluate import (
     FusedMachines,
     ModelSink,
     counters_priceable,
+    default_executor,
     default_workers,
     evaluate,
     evaluate_many,
@@ -66,11 +68,13 @@ __all__ = [
     "KernelCounters",
     "MergerModel",
     "ModelSink",
+    "PrepCache",
     "SequencerModel",
     "TraceSink",
     "Traffic",
     "algorithmic_minimum_bits",
     "counters_priceable",
+    "default_executor",
     "default_workers",
     "evaluate",
     "evaluate_many",

@@ -157,6 +157,15 @@ class CompiledEinsum:
         argument, so one compiled kernel serves every binding."""
         return self._get("fused")
 
+    @property
+    def vector(self) -> Callable:
+        """The vector arena kernel: the fused kernel with eligible
+        innermost-rank spans priced through batched numpy primitives
+        (same signature, same binding independence; per-span runtime
+        guards fall back to the inline scalar loop, so results never
+        depend on which path ran)."""
+        return self._get("vector")
+
     def flat_or_none(self) -> Optional[Callable]:
         """The arena-native fast kernel, or None when unsupported."""
         try:
@@ -270,7 +279,73 @@ class _NullRoutingPlan:
 _NULL_ROUTING = _NullRoutingPlan()
 
 
-def _arenas_of(prepared: Dict[str, Tensor]) -> Dict[str, FlatArena]:
+class PrepCache:
+    """Memoizes tensor preparation and arena conversion across
+    evaluations that share input tensor objects.
+
+    A mapping sweep (:func:`repro.explore.explore`) evaluates many
+    candidate specs over the *same* input tensors; without a shared
+    cache every candidate re-swizzles, re-partitions, and re-flattens
+    each input from scratch.  One ``PrepCache`` per sweep memoizes both
+    the prepared tensor (keyed by source-object identity, rank order,
+    and the exact prep-step sequence — candidates that share a storage
+    order share the work) and its :class:`~repro.fibertree.arena.FlatArena`
+    conversion (keyed by prepared-object identity).
+
+    Entries pin their source objects so ``id()`` keys can never be
+    recycled.  The cache is *not* thread-safe per instance by design:
+    ``evaluate_many`` workers each evaluate whole workloads, so a sweep
+    either shares one cache across a sequential candidate loop (explore)
+    or gives each workload its own tensors (no sharing to cache).
+    """
+
+    __slots__ = ("_prepared", "_arenas", "_owned", "hits", "misses")
+
+    def __init__(self):
+        # (id(src), rank_order, prep) -> (src pin, prepared tensor)
+        self._prepared: Dict[tuple, tuple] = {}
+        # id(prepared) -> (prepared pin, arena)
+        self._arenas: Dict[int, tuple] = {}
+        # ids of tensors this cache produced (the only ones worth — and
+        # safe — memoizing arenas for: per-run intermediates would pin
+        # every evaluation's outputs for the life of the sweep).
+        self._owned: set = set()
+        self.hits = 0
+        self.misses = 0
+
+    def prepared(self, src: Tensor, rank_order, prep, build) -> Tensor:
+        key = (id(src), tuple(rank_order), tuple(prep))
+        entry = self._prepared.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        t = build()
+        self._prepared[key] = (src, t)
+        self._owned.add(id(t))
+        return t
+
+    def arena(self, prepared: Tensor) -> FlatArena:
+        key = id(prepared)
+        entry = self._arenas.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry[1]
+        if key not in self._owned:
+            # A tensor this cache never prepared (an intermediate, or a
+            # caller mixing tensors in): convert without memoizing —
+            # the id can never recur meaningfully, and pinning it would
+            # leak one tensor + arena per evaluation.
+            return arena_from_tensor(prepared)
+        self.misses += 1
+        arena = arena_from_tensor(prepared)
+        self._arenas[key] = (prepared, arena)
+        return arena
+
+
+def _arenas_of(prepared: Dict[str, Tensor],
+               prep_cache: Optional[PrepCache] = None
+               ) -> Dict[str, FlatArena]:
     """Convert prepared tensors to flat arenas, deduping shared objects."""
     converted: Dict[int, FlatArena] = {}
     out: Dict[str, FlatArena] = {}
@@ -278,7 +353,11 @@ def _arenas_of(prepared: Dict[str, Tensor]) -> Dict[str, FlatArena]:
         key = id(t)
         arena = converted.get(key)
         if arena is None:
-            arena = converted[key] = arena_from_tensor(t)
+            if prep_cache is not None:
+                arena = prep_cache.arena(t)
+            else:
+                arena = arena_from_tensor(t)
+            converted[key] = arena
         out[name] = arena
     return out
 
@@ -320,7 +399,7 @@ class CompiledBackend(Backend):
         return self.cache.get(spec)
 
     def _walk_cascade(self, spec, compiled, tensors, opset, opsets, sink,
-                      shapes, env, run_unit, after=None):
+                      shapes, env, run_unit, after=None, prep_cache=None):
         """The per-Einsum cascade walk every kernel path shares.
 
         ``run_unit(unit, prepared, ops, shapes)`` executes one Einsum's
@@ -335,7 +414,8 @@ class CompiledBackend(Backend):
             ops = (opsets or {}).get(ir.name, opset)
             if sink:
                 sink.einsum_begin(ir.name, ir)
-            prepared = self._prepare(ir, env, rank_orders, sink)
+            prepared = self._prepare(ir, env, rank_orders, sink,
+                                     prep_cache)
             out, extra = run_unit(unit, prepared, ops, all_shapes)
             if sink and ir.output.needs_producer_swizzle:
                 sink.swizzle(out.name, out.nnz, side="producer")
@@ -347,7 +427,7 @@ class CompiledBackend(Backend):
         return env
 
     def run_cascade(self, spec, tensors, opset=ARITHMETIC, opsets=None,
-                    sink=None, shapes=None, env=None):
+                    sink=None, shapes=None, env=None, prep_cache=None):
         try:
             compiled = self.cache.get(spec)
         except CodegenError:
@@ -364,15 +444,17 @@ class CompiledBackend(Backend):
             flat = unit.flat_or_none() \
                 if self.kernel_flavor == "flat" else None
             if flat is not None:
-                return flat(_arenas_of(prepared), ops, all_shapes), None
+                return flat(_arenas_of(prepared, prep_cache), ops,
+                            all_shapes), None
             return unit.fast(prepared, ops, all_shapes), None
 
         return self._walk_cascade(spec, compiled, tensors, opset, opsets,
-                                  sink, shapes, env, run_unit)
+                                  sink, shapes, env, run_unit,
+                                  prep_cache=prep_cache)
 
     def run_cascade_counted(self, spec, tensors, opset=ARITHMETIC,
                             opsets=None, sink=None, shapes=None, env=None,
-                            on_counters=None):
+                            on_counters=None, prep_cache=None):
         """Run the cascade through counter-fused arena kernels.
 
         No per-element trace events are emitted; instead each Einsum's
@@ -390,8 +472,8 @@ class CompiledBackend(Backend):
 
         def run_unit(unit, prepared, ops, all_shapes):
             counters = KernelCounters()
-            out = unit.counted(_arenas_of(prepared), ops, all_shapes,
-                               counters)
+            out = unit.counted(_arenas_of(prepared, prep_cache), ops,
+                               all_shapes, counters)
             return out, counters
 
         def after(name, counters):
@@ -399,11 +481,13 @@ class CompiledBackend(Backend):
                 on_counters(name, counters)
 
         return self._walk_cascade(spec, compiled, tensors, opset, opsets,
-                                  sink, shapes, env, run_unit, after)
+                                  sink, shapes, env, run_unit, after,
+                                  prep_cache=prep_cache)
 
     def run_cascade_fused(self, spec, tensors, opset=ARITHMETIC,
                           opsets=None, sink=None, shapes=None, env=None,
-                          make_machines=None, on_fused=None):
+                          make_machines=None, on_fused=None,
+                          flavor: str = "fused", prep_cache=None):
         """Run the cascade through model-fused arena kernels.
 
         Like :meth:`run_cascade_counted`, but each Einsum's kernel also
@@ -417,19 +501,28 @@ class CompiledBackend(Backend):
         aggregate counters and the machine tallies; ``sink`` still
         receives the per-Einsum brackets and swizzle events.
 
+        ``flavor`` selects between the scalar ``"fused"`` kernels and
+        the ``"vector"`` kernels (identical semantics; eligible leaf
+        spans priced with batched numpy primitives).
+
         Raises :class:`CodegenError` — before any Einsum runs — when the
         flat generator cannot express some Einsum of the cascade.
         """
+        if flavor not in ("fused", "vector"):
+            raise ValueError(
+                f"flavor must be 'fused' or 'vector', got {flavor!r}"
+            )
         compiled = self.cache.get(spec)
         for unit in compiled.units:
-            unit.fused  # force-compile everything up front
+            unit.vector if flavor == "vector" else unit.fused  # compile now
 
         def run_unit(unit, prepared, ops, all_shapes):
             counters = KernelCounters()
             machines = make_machines(unit.ir.name, unit.ir) \
                 if make_machines else _NULL_ROUTING
-            out = unit.fused(_arenas_of(prepared), ops, all_shapes,
-                             counters, machines)
+            kern = unit.vector if flavor == "vector" else unit.fused
+            out = kern(_arenas_of(prepared, prep_cache), ops, all_shapes,
+                       counters, machines)
             return out, (counters, machines)
 
         def after(name, extra):
@@ -437,14 +530,21 @@ class CompiledBackend(Backend):
                 on_fused(name, *extra)
 
         return self._walk_cascade(spec, compiled, tensors, opset, opsets,
-                                  sink, shapes, env, run_unit, after)
+                                  sink, shapes, env, run_unit, after,
+                                  prep_cache=prep_cache)
 
     @staticmethod
-    def _prepare(ir, env, rank_orders, sink) -> Dict[str, Tensor]:
+    def _prepare(ir, env, rank_orders, sink,
+                 prep_cache: Optional[PrepCache] = None
+                 ) -> Dict[str, Tensor]:
         """Prepared inputs for one Einsum, with consumer-swizzle events.
 
         Mirrors the interpreter's per-(tensor, prep) dedup so swizzle
-        events on intermediates are emitted exactly once.
+        events on intermediates are emitted exactly once.  With a
+        ``prep_cache``, non-intermediate inputs memoize across
+        evaluations that share the source tensor objects (intermediates
+        are per-run and never cached — caching them would pin every
+        candidate's outputs for the life of a sweep).
         """
         prepared: Dict[str, Tensor] = {}
         seen: Dict[tuple, Tensor] = {}
@@ -456,9 +556,15 @@ class CompiledBackend(Backend):
                         f"missing input tensor {plan.tensor!r} for Einsum "
                         f"{ir.name}"
                     )
-                seen[key] = prepare_tensor(
-                    env[plan.tensor], rank_orders[plan.tensor], plan.prep
-                )
+                src = env[plan.tensor]
+                order = rank_orders[plan.tensor]
+                if prep_cache is not None and not plan.is_intermediate:
+                    seen[key] = prep_cache.prepared(
+                        src, order, plan.prep,
+                        lambda: prepare_tensor(src, order, plan.prep),
+                    )
+                else:
+                    seen[key] = prepare_tensor(src, order, plan.prep)
                 if sink and plan.is_intermediate:
                     for step in plan.prep:
                         if step.kind == "swizzle":

@@ -11,11 +11,11 @@ from __future__ import annotations
 
 import os
 from collections import Counter
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..einsum.operators import ARITHMETIC, OpSet
+from ..einsum.operators import ARITHMETIC, NAMED_OPSETS, OpSet
 from ..fibertree.tensor import Tensor
 from ..spec.architecture import Component, Topology
 from ..spec.loader import AcceleratorSpec
@@ -530,7 +530,7 @@ def _price_counters(sink: ModelSink, counters: KernelCounters) -> None:
 
 
 def _evaluate_counters(spec, tensors, opset, opsets, shapes, energy_model,
-                       engine) -> Optional[EvaluationResult]:
+                       engine, prep_cache=None) -> Optional[EvaluationResult]:
     """The counter-fused evaluation path; None when it does not apply."""
     if not isinstance(engine, CompiledBackend):
         return None
@@ -546,6 +546,7 @@ def _evaluate_counters(spec, tensors, opset, opsets, shapes, energy_model,
         engine.run_cascade_counted(
             spec, tensors, opset=opset, opsets=opsets, sink=sink,
             shapes=shapes, env=env, on_counters=on_counters,
+            prep_cache=prep_cache,
         )
     except CodegenError:
         return None
@@ -623,11 +624,14 @@ class FusedMachines:
 
 
 def _evaluate_fused(spec, tensors, opset, opsets, shapes, energy_model,
-                    engine) -> Optional[EvaluationResult]:
+                    engine, flavor: str = "fused",
+                    prep_cache=None) -> Optional[EvaluationResult]:
     """The model-fused evaluation path; None when it does not apply.
 
     Applies to *every* spec the flat generator can express — buffered or
     not — since unrouted events degrade to plain counter fusion.
+    ``flavor`` picks the scalar ``"fused"`` kernels or the numpy-span
+    ``"vector"`` kernels (identical results either way).
     """
     if not isinstance(engine, CompiledBackend):
         return None
@@ -646,7 +650,7 @@ def _evaluate_fused(spec, tensors, opset, opsets, shapes, energy_model,
         engine.run_cascade_fused(
             spec, tensors, opset=opset, opsets=opsets, sink=sink,
             shapes=shapes, env=env, make_machines=make_machines,
-            on_fused=on_fused,
+            on_fused=on_fused, flavor=flavor, prep_cache=prep_cache,
         )
     except CodegenError:
         return None
@@ -670,6 +674,7 @@ def evaluate(
     energy_model: Optional[EnergyModel] = None,
     backend=None,
     metrics: str = "auto",
+    prep_cache=None,
 ) -> EvaluationResult:
     """Run a full TeAAL evaluation: execute + model + reduce.
 
@@ -682,10 +687,11 @@ def evaluate(
     exact — the differential conformance suite holds them bit-equal —
     so the choice is purely about speed:
 
-    * ``"auto"`` (default) — counter fusion for specs that bind no
-      buffers/caches (see :func:`counters_priceable`), model fusion for
-      buffered specs, per-event tracing only as a last-resort fallback
-      for mappings the flat generator cannot express.
+    * ``"auto"`` (default) — the vector kernels for every spec the flat
+      generator can express, sink-less and buffered alike (unrouted
+      events degrade to counter fusion, so nothing is lost on specs
+      without buffers); per-event tracing only as a last-resort
+      fallback for mappings the flat generator cannot express.
     * ``"trace"`` — one event per touched element streams to a
       :class:`ModelSink`; the reference path, works on every backend.
     * ``"counters"`` — counter fusion: arena-native kernels accumulate
@@ -697,31 +703,40 @@ def evaluate(
       (:class:`FusedMachines`); applies to buffered and unbuffered
       specs alike, falling back to ``"trace"`` only when the flat
       generator cannot express the mapping.
+    * ``"vector"`` — the fused kernels with eligible innermost-rank
+      spans priced through batched numpy primitives
+      (``np.searchsorted``-style intersection, bulk tallies, sequential
+      ``np.add.accumulate`` reductions); per-span runtime guards fall
+      back to the scalar loop, so results are bit-identical by
+      construction.
+
+    ``prep_cache`` (a :class:`~repro.model.backend.PrepCache`) memoizes
+    tensor preparation and arena conversion across evaluations sharing
+    input objects — mapping sweeps pass one cache for the whole sweep.
     """
     engine = resolve_backend(backend)
-    if metrics == "auto":
-        if counters_priceable(spec):
-            result = _evaluate_counters(spec, tensors, opset, opsets,
-                                        shapes, energy_model, engine)
-        else:
-            result = _evaluate_fused(spec, tensors, opset, opsets, shapes,
-                                     energy_model, engine)
+    if metrics in ("auto", "vector"):
+        result = _evaluate_fused(spec, tensors, opset, opsets, shapes,
+                                 energy_model, engine, flavor="vector",
+                                 prep_cache=prep_cache)
         if result is not None:
             return result
     elif metrics == "counters":
         result = _evaluate_counters(spec, tensors, opset, opsets, shapes,
-                                    energy_model, engine)
+                                    energy_model, engine,
+                                    prep_cache=prep_cache)
         if result is not None:
             return result
     elif metrics == "fused":
         result = _evaluate_fused(spec, tensors, opset, opsets, shapes,
-                                 energy_model, engine)
+                                 energy_model, engine,
+                                 prep_cache=prep_cache)
         if result is not None:
             return result
     elif metrics != "trace":
         raise ValueError(
             f"unknown metrics mode {metrics!r}; known: 'auto', 'trace', "
-            "'counters', 'fused'"
+            "'counters', 'fused', 'vector'"
         )
     env: Dict[str, Tensor] = {}
     sink = ModelSink(spec, env)
@@ -755,6 +770,46 @@ def default_workers() -> int:
     return max(1, min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS))
 
 
+def default_executor() -> str:
+    """The pool type :func:`evaluate_many` fans out with.
+
+    ``"thread"`` (the default) or ``"process"``, overridden by the
+    ``REPRO_EVALUATE_EXECUTOR`` environment variable.  Threads share the
+    compile cache but serialize kernel execution on the GIL — the pool
+    only overlaps the numpy portions of vector kernels and any blocking
+    I/O.  Processes sidestep the GIL entirely (arenas and specs pickle
+    compactly now that buffers are numpy arrays) at the cost of one
+    spec compile per worker plus per-workload pickling; measurements on
+    the benchmark sweep (see ``benchmarks/BENCH_backend.json``, the
+    ``executor`` field) show threads winning below roughly a second of
+    per-workload work, which is why ``"thread"`` stays the default.
+    """
+    env = os.environ.get("REPRO_EVALUATE_EXECUTOR")
+    if env in ("thread", "process"):
+        return env
+    return "thread"
+
+
+def _opset_token(ops: OpSet):
+    """A picklable token for a named opset, or None."""
+    for name, known in NAMED_OPSETS.items():
+        if ops is known:
+            return name
+    return None
+
+
+def _process_one(payload) -> EvaluationResult:
+    """Process-pool worker: rebuild the engine in-process and evaluate.
+
+    The child's compile cache is cold on the first workload and warm for
+    the rest of that worker's share; specs, tensors, and results cross
+    the process boundary by pickle.
+    """
+    spec, tensors, opset_name, shapes, metrics = payload
+    return evaluate(spec, tensors, opset=NAMED_OPSETS[opset_name],
+                    shapes=shapes, metrics=metrics)
+
+
 def evaluate_many(
     spec: AcceleratorSpec,
     workloads: Sequence[Dict[str, Tensor]],
@@ -765,21 +820,34 @@ def evaluate_many(
     backend=None,
     workers: Optional[int] = None,
     metrics: str = "auto",
+    executor: Optional[str] = None,
 ) -> List[EvaluationResult]:
     """Evaluate one spec over many workloads, compiling once.
 
     The spec is lowered and compiled a single time (warming the backend's
     compile cache), then every workload — a ``{tensor: Tensor}`` dict —
     is evaluated against the cached kernels.  ``workers`` fans the
-    evaluations out over a thread pool (kernels and component models are
+    evaluations out over a pool (kernels and component models are
     independent per workload); it defaults to :func:`default_workers`
     (``os.cpu_count()`` capped at :data:`MAX_DEFAULT_WORKERS`, overridden
     by the ``REPRO_EVALUATE_WORKERS`` environment variable — set it to
     ``1`` to force sequential evaluation).  ``metrics`` is forwarded to
     :func:`evaluate` per workload.
 
+    ``executor`` picks the pool type: ``"thread"`` (default — see
+    :func:`default_executor` for the GIL trade-off and the measurement
+    behind the default) or ``"process"`` (opt in per call or via
+    ``REPRO_EVALUATE_EXECUTOR=process``).  The process pool requires
+    picklable arguments, so it only engages for named opsets with no
+    per-Einsum overrides, no custom energy model, and the default
+    backend; anything else silently uses threads.
+
     Returns one :class:`EvaluationResult` per workload, in order.
     """
+    if executor is not None and executor not in ("thread", "process"):
+        raise ValueError(
+            f"unknown executor {executor!r}; known: 'thread', 'process'"
+        )
     engine = resolve_backend(backend)
     if isinstance(engine, CompiledBackend):
         try:
@@ -797,6 +865,15 @@ def evaluate_many(
     if workers is None:
         workers = default_workers()
     if workers > 1 and len(workloads) > 1:
+        mode = executor if executor is not None else default_executor()
+        opset_name = _opset_token(opset)
+        if (mode == "process" and opset_name is not None
+                and not opsets and energy_model is None
+                and backend in (None, "auto")):
+            payloads = [(spec, w, opset_name, shapes, metrics)
+                        for w in workloads]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_process_one, payloads))
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(one, workloads))
     return [one(w) for w in workloads]

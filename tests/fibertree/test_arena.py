@@ -208,3 +208,129 @@ def test_scipy_rejects_non_matrix_arena():
     t = tensor_from_dense("A", ["K"], np.ones(3))
     with pytest.raises(ValueError):
         arena_to_scipy(arena_from_tensor(t))
+
+
+# ----------------------------------------------------------------------
+# NumPy-native buffers
+# ----------------------------------------------------------------------
+@settings(max_examples=40)
+@given(t=tensors())
+def test_numpy_buffers_and_scalar_views_agree(t):
+    """Array-backed storage and the memoized list views are the same
+    data: identical coordinates (as Python ints), segments, and values,
+    and to_fiber()/to_tensor() rebuild the exact boxed tree."""
+    arena = arena_from_tensor(t)
+    coords_l, segs_l, vals_l = arena.scalar_buffers()
+    for d in range(arena.depth):
+        assert [int(c) for c in arena.coords[d]] == coords_l[d]
+        assert [int(s) for s in arena.segs[d]] == segs_l[d]
+        assert all(type(c) is int for c in coords_l[d])
+        np_level = arena.np_coords(d)
+        if np_level is not None:
+            assert np_level.dtype == np.int64
+            assert np_level.tolist() == coords_l[d]
+    assert list(arena.vals) == vals_l
+    if arena.np_vals() is not None:
+        assert arena.np_vals().dtype == np.float64
+        assert all(type(v) is float for v in vals_l)
+    assert arena.scalar_buffers() is arena.scalar_buffers()  # memoized
+    back = tensor_from_arena(arena, t.name, t.rank_ids, t.shape)
+    assert back.points() == t.points()
+
+
+@settings(max_examples=30)
+@given(t=tensors(max_depth=2))
+def test_list_backed_and_array_backed_arenas_run_identical_kernels(t):
+    """A hand-built list-backed arena and the numpy-backed arena must
+    produce identical to_fiber() trees and identical kernel counters
+    through the counted arena kernels."""
+    from repro.model import CompiledBackend, CompileCache
+    from repro.spec import load_spec
+
+    if t.num_ranks != 2:
+        return
+    numpy_arena = arena_from_tensor(t)
+    list_arena = FlatArena(
+        depth=numpy_arena.depth,
+        coords=[list(c) if not isinstance(c, list) else c
+                for c in (numpy_arena.scalar_buffers()[0])],
+        segs=[list(s) for s in numpy_arena.scalar_buffers()[1]],
+        vals=list(numpy_arena.scalar_buffers()[2]),
+        ranges=numpy_arena.ranges,
+    )
+    assert list_arena.np_coords(0) is None and list_arena.np_vals() is None
+    assert list_arena.to_fiber() == numpy_arena.to_fiber()
+
+    spec = load_spec("""
+einsum:
+  declaration:
+    A: [I, J]
+    Z: [I]
+  expressions:
+    - Z[i] = A[i, j]
+mapping:
+  loop-order:
+    Z: [I, J]
+""", name="arena-eq")
+    backend = CompiledBackend(cache=CompileCache())
+    unit = backend.compile(spec).units[0]
+    from repro.einsum.operators import ARITHMETIC
+    from repro.model.traces import KernelCounters
+    shapes = {"I": 8, "J": 8}
+    results = []
+    for arena in (numpy_arena, list_arena):
+        kc = KernelCounters()
+        out = unit.counted({"A": arena}, ARITHMETIC, shapes, kc)
+        results.append((out.points(),
+                        dict(kc.reads), dict(kc.writes), kc.isects,
+                        {k: [n, ts, ss]
+                         for k, (n, ts, ss) in kc.computes.items()}))
+    assert results[0] == results[1]
+
+
+def test_non_integer_coordinates_fall_back_to_lists():
+    """Tuple coordinates (flattened ranks) keep list storage; numpy
+    views report None and the vector guard keeps such leaves scalar."""
+    f = Fiber([(0, 1), (2, 3)], [1.0, 2.0])
+    arena = arena_from_fiber(f, 1)
+    assert arena.np_coords(0) is None
+    assert isinstance(arena.coords[0], list)
+    assert arena.to_fiber() == f
+
+
+def test_integer_payloads_fall_back_to_lists():
+    """Int payloads must stay Python ints (int64 arrays would wrap on
+    overflow where Python ints never do)."""
+    f = Fiber([0, 1], [2**70, 3])
+    arena = arena_from_fiber(f, 1)
+    assert arena.np_vals() is None
+    assert arena.to_fiber().payloads == [2**70, 3]
+
+
+def test_bool_coordinates_are_not_coerced_to_ints():
+    f = Fiber([False, True], [1.0, 2.0])
+    arena = arena_from_fiber(f, 1)
+    assert arena.np_coords(0) is None
+    assert arena.to_fiber().coords == [False, True]
+
+
+def test_huge_coordinates_fall_back_without_overflow():
+    f = Fiber([1, 2**70], [1.0, 2.0])
+    arena = arena_from_fiber(f, 1)
+    assert arena.np_coords(0) is None
+    assert arena.to_fiber().coords == [1, 2**70]
+
+
+@settings(max_examples=20)
+@given(t=tensors())
+def test_arena_pickles_without_scalar_view_cache(t):
+    import pickle
+
+    arena = arena_from_tensor(t)
+    arena.scalar_buffers()  # populate the memo that must not pickle
+    clone = pickle.loads(pickle.dumps(arena))
+    assert clone._scalar is None
+    assert clone.to_fiber() == arena.to_fiber()
+    assert [list(c) for c in clone.coords] == \
+        [list(c) for c in arena.coords]
+    assert list(clone.vals) == list(arena.vals)

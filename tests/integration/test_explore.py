@@ -115,3 +115,86 @@ einsum:
 """)
         with pytest.raises(ValueError):
             explore(spec, tensors)
+
+
+class TestSweepPreparationReuse:
+    def test_sweep_prepares_each_distinct_form_once(self, tensors,
+                                                    monkeypatch):
+        """A full-loop-order sweep must prepare each (tensor, storage
+        order, prep) combination exactly once, not once per candidate:
+        6 loop orders over 3 ranks need at most 2 swizzle orders per
+        2-rank input, so preparation count stays far below the
+        candidate count."""
+        import repro.model.backend as backend_mod
+
+        calls = []
+        real = backend_mod.prepare_tensor
+
+        def counting(tensor, rank_order, prep_steps):
+            calls.append((tensor.name, tuple(rank_order),
+                          tuple(prep_steps)))
+            return real(tensor, rank_order, prep_steps)
+
+        monkeypatch.setattr(backend_mod, "prepare_tensor", counting)
+        result = explore(load_spec(BASE), tensors)
+        n_candidates = len(result.candidates)
+        assert n_candidates == 6
+        # Every preparation that ran was for a distinct form ...
+        assert len(calls) == len(set(calls))
+        # ... and far fewer ran than candidates x inputs.
+        assert len(calls) < 2 * n_candidates
+        assert len(calls) <= 4  # 2 inputs x at most 2 storage orders
+
+    def test_sweep_reuses_arenas_across_candidates(self, tensors,
+                                                   monkeypatch):
+        import repro.model.backend as backend_mod
+
+        builds = []
+        real = backend_mod.arena_from_tensor
+
+        def counting(t):
+            builds.append(t.name)
+            return real(t)
+
+        monkeypatch.setattr(backend_mod, "arena_from_tensor", counting)
+        explore(load_spec(BASE), tensors)
+        # One arena per distinct prepared input form (<= 2 per input),
+        # plus nothing per-candidate beyond that.
+        input_builds = [n for n in builds if n in ("A", "B")]
+        assert len(input_builds) <= 4
+
+
+class TestToTable:
+    def test_to_table_ranks_and_formats(self, tensors):
+        result = explore(load_spec(BASE), tensors, max_loop_orders=3)
+        table = result.to_table()
+        lines = table.splitlines()
+        assert len(lines) == 2 + len(result.candidates)
+        assert "exec_seconds" in lines[0]
+        best_cand, _ = result.best()
+        assert best_cand.describe() in lines[2]
+
+    def test_to_table_top_truncates(self, tensors):
+        result = explore(load_spec(BASE), tensors, max_loop_orders=3)
+        table = result.to_table(metric="traffic", top=2)
+        assert len(table.splitlines()) == 4
+
+
+class TestExploreMetricsModes:
+    def test_metrics_modes_agree(self, tensors):
+        """auto (vector), counters, and trace sweeps rank identically
+        with identical numbers."""
+        base = load_spec(BASE)
+        results = {
+            m: explore(base, tensors, max_loop_orders=2, metrics=m)
+            for m in ("auto", "counters", "trace")
+        }
+        ref = results["trace"]
+        for mode in ("auto", "counters"):
+            got = results[mode]
+            for (c1, r1), (c2, r2) in zip(ref.candidates, got.candidates):
+                assert c1 == c2
+                assert r1.exec_seconds == r2.exec_seconds
+                assert r1.traffic_bytes() == r2.traffic_bytes()
+                assert r1.energy_pj == r2.energy_pj
+                assert r1.env["Z"].points() == r2.env["Z"].points()

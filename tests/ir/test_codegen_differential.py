@@ -21,12 +21,14 @@ Three execution paths are held together here:
   equal the aggregates of the interpreter's ordered event stream,
   read for read, intersection for intersection, stamp set for stamp
   set.
-* **fused (model-fused)** — full :func:`repro.model.evaluate.evaluate`
-  metrics (traffic, cycles, energy, action counts, per-component
-  times, outputs) must be *bit-identical* across the traced
-  interpreter, the traced compiled kernels, the fused kernels, and
-  the ``metrics="auto"`` dispatcher, for every spec — buffered
-  accelerators included.
+* **fused (model-fused) and vector** — full
+  :func:`repro.model.evaluate.evaluate` metrics (traffic, cycles,
+  energy, action counts, per-component times, outputs) must be
+  *bit-identical* across the traced interpreter, the traced compiled
+  kernels, the fused kernels, the vector kernels (with
+  ``VLEAF_MIN`` pinned to 0 so the batched numpy spans engage even on
+  these small hypothesis inputs), and the ``metrics="auto"``
+  dispatcher, for every spec — buffered accelerators included.
 
 Inputs are hypothesis-generated, with a fixed profile (see
 ``tests/conftest.py``) so CI failures replay exactly.
@@ -37,6 +39,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 
+import repro.ir.codegen_runtime as rt
 from repro.accelerators import FACTORIES, accelerator
 from repro.fibertree import tensor_from_dense
 from repro.model import (
@@ -51,6 +54,15 @@ from repro.spec import load_spec
 # One cache for the whole module: repeated hypothesis examples of the same
 # spec compile exactly once.
 _CACHE = CompileCache()
+
+
+@pytest.fixture(autouse=True)
+def force_vector_spans(monkeypatch):
+    """Pin the vector-span threshold to 0 so every eligible leaf takes
+    the batched numpy path — hypothesis inputs are far below the
+    production threshold, and an always-scalar fallback would make the
+    vector assertions vacuous."""
+    monkeypatch.setattr(rt, "VLEAF_MIN", 0)
 
 
 class StreamSink(TraceSink):
@@ -177,18 +189,19 @@ def metrics_fingerprint(result):
 
 
 def assert_metrics_paths_agree(spec, tensors):
-    """Traced-interpreter, traced-compiled, fused, and auto metrics must
-    be bit-identical (the model-fusion conformance check)."""
+    """Traced-interpreter, traced-compiled, counter-fused, model-fused,
+    vector, and auto metrics must be bit-identical (the 4-way kernel
+    conformance check: interpreter / counted / fused / vector, plus the
+    dispatcher)."""
     backend = CompiledBackend(cache=_CACHE)
     reference = metrics_fingerprint(evaluate(
         spec, {k: t.copy() for k, t in tensors.items()},
         backend=InterpreterBackend(), metrics="trace",
     ))
-    for metrics, engine in (("trace", backend), ("fused", backend),
-                            ("auto", backend)):
+    for metrics in ("trace", "counters", "fused", "vector", "auto"):
         got = metrics_fingerprint(evaluate(
             spec, {k: t.copy() for k, t in tensors.items()},
-            backend=engine, metrics=metrics,
+            backend=backend, metrics=metrics,
         ))
         assert got == reference, f"metrics={metrics} diverges"
 

@@ -264,3 +264,61 @@ class TestEvaluateMany:
         for a, b in zip(serial, threaded):
             assert a.env["Z"].points() == b.env["Z"].points()
             assert a.traffic_bytes() == b.traffic_bytes()
+
+
+class TestPrepCache:
+    CASCADE = """
+einsum:
+  declaration:
+    A: [K, M]
+    T: [M, K]
+    Z: [M]
+  expressions:
+    - T[m, k] = A[k, m]
+    - Z[m] = T[m, k]
+mapping:
+  loop-order:
+    T: [M, K]
+    Z: [M, K]
+"""
+
+    def _tensors(self):
+        rng = np.random.default_rng(4)
+        dense = (rng.random((10, 8)) < 0.4) * rng.integers(
+            1, 9, (10, 8)
+        ).astype(float)
+        return {"A": tensor_from_dense("A", ["K", "M"], dense)}
+
+    def test_inputs_memoize_and_intermediates_do_not_accumulate(self):
+        """Shared-cache evaluations must reuse input preparations but
+        never pin per-run intermediates (that would leak one tensor +
+        arena per candidate over a sweep)."""
+        from repro.model import PrepCache, evaluate
+
+        spec = load_spec(self.CASCADE, name="prep-cascade")
+        tensors = self._tensors()
+        cache = PrepCache()
+        first = evaluate(spec, dict(tensors), prep_cache=cache)
+        prepared_after_one = len(cache._prepared)
+        arenas_after_one = len(cache._arenas)
+        for _ in range(3):
+            again = evaluate(spec, dict(tensors), prep_cache=cache)
+            assert again.env["Z"].points() == first.env["Z"].points()
+        # Inputs: no new preparations or arenas beyond the first run.
+        assert len(cache._prepared) == prepared_after_one
+        assert len(cache._arenas) == arenas_after_one
+        # The per-run T intermediates were converted but never pinned.
+        assert all(id(entry[1]) in cache._owned
+                   for entry in cache._prepared.values())
+        assert cache.hits > 0
+
+    def test_cached_results_match_uncached(self):
+        from repro.model import PrepCache, evaluate
+
+        spec = load_spec(self.CASCADE, name="prep-eq")
+        tensors = self._tensors()
+        plain = evaluate(spec, dict(tensors))
+        cached = evaluate(spec, dict(tensors), prep_cache=PrepCache())
+        assert plain.env["Z"].points() == cached.env["Z"].points()
+        assert plain.traffic_bytes() == cached.traffic_bytes()
+        assert plain.exec_seconds == cached.exec_seconds

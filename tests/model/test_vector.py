@@ -1,0 +1,371 @@
+"""Conformance tests for the vector kernel flavor.
+
+The vector kernels price whole innermost-rank spans with batched numpy
+primitives.  Their contract is *bit-identity* with the scalar
+counted/fused kernels (and therefore with the traced interpreter): same
+outputs, same counters, same component-machine tallies, same metrics —
+whichever per-span path (batched or scalar fallback) ran.  These tests
+pin ``VLEAF_MIN`` to 0 so the batched path engages on small inputs, and
+separately confirm that the batched path *actually* runs (a silent
+always-fallback would make every other assertion vacuous).
+"""
+
+import os
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+import repro.ir.codegen_runtime as rt
+from repro.einsum.operators import ARITHMETIC, MIN_PLUS
+from repro.fibertree import tensor_from_dense
+from repro.model import (
+    CompileCache,
+    CompiledBackend,
+    InterpreterBackend,
+    evaluate,
+    evaluate_many,
+)
+from repro.spec import load_spec
+from repro.workloads import uniform_random
+
+_CACHE = CompileCache()
+
+#: Contraction innermost (the vectorized reduction case), no prep.
+SPMSPM = """
+einsum:
+  declaration:
+    A: [M, K]
+    B: [N, K]
+    Z: [M, N]
+  expressions:
+    - Z[m, n] = A[m, k] * B[n, k]
+mapping:
+  loop-order:
+    Z: [M, N, K]
+"""
+
+#: The same Einsum with buffers bound, so the batched span paths drive
+#: the fused buffet/cache machines (read_span + pair_extra + write_seq).
+SPMSPM_BUFFERED = SPMSPM + """
+architecture:
+  Buffered:
+    clock: 1.0e9
+    subtree:
+      - name: System
+        local:
+          - name: DRAM
+            class: DRAM
+            attributes: {bandwidth: 128}
+          - name: ABuf
+            class: Buffer
+            attributes: {type: buffet, width: 64, depth: 256}
+          - name: BCache
+            class: Buffer
+            attributes: {type: cache, width: 64, depth: 2048}
+          - name: ZBuf
+            class: Buffer
+            attributes: {type: buffet, width: 64, depth: 1024}
+          - name: ALU
+            class: Compute
+            attributes: {type: mul}
+binding:
+  Z:
+    config: Buffered
+    components:
+      ABuf:
+        - {tensor: A, rank: K, type: elem, style: lazy, evict-on: M}
+      BCache:
+        - {tensor: B, rank: K, type: elem, style: lazy}
+      ZBuf:
+        - {tensor: Z, rank: N, type: elem, style: lazy, evict-on: M}
+      ALU:
+        - op: mul
+"""
+
+#: Single-driver reduction innermost (row sums).
+ROWSUM = """
+einsum:
+  declaration:
+    A: [M, K]
+    Z: [M]
+  expressions:
+    - Z[m] = A[m, k]
+mapping:
+  loop-order:
+    Z: [M, K]
+"""
+
+#: Affine projection on the innermost rank (shifted intersection).
+PROJECTED = """
+einsum:
+  declaration:
+    A: [M, K]
+    B: [K]
+    Z: [M]
+  expressions:
+    - Z[m] = A[m, k] * B[k + 1]
+mapping:
+  loop-order:
+    Z: [M, K]
+"""
+
+
+@pytest.fixture(autouse=True)
+def force_vector_spans(monkeypatch):
+    monkeypatch.setattr(rt, "VLEAF_MIN", 0)
+
+
+def matrix(rng, rows, cols, density):
+    return (rng.random((rows, cols)) < density) * rng.integers(
+        1, 9, (rows, cols)
+    ).astype(float)
+
+
+def fingerprint(result):
+    return {
+        "read_bits": dict(result.traffic.read_bits),
+        "write_bits": dict(result.traffic.write_bits),
+        "exec_seconds": result.exec_seconds,
+        "energy_pj": result.energy_pj,
+        "actions": result.action_counts(),
+        "ops": result.total_ops(),
+        "utilization": result.utilization(),
+        "outputs": {name: result.env[name].points()
+                    for name in result.env},
+    }
+
+
+def assert_vector_matches_reference(spec, tensors):
+    backend = CompiledBackend(cache=_CACHE)
+    reference = fingerprint(evaluate(
+        spec, {k: t.copy() for k, t in tensors.items()},
+        backend=InterpreterBackend(), metrics="trace",
+    ))
+    for metrics in ("fused", "vector", "auto"):
+        got = fingerprint(evaluate(
+            spec, {k: t.copy() for k, t in tensors.items()},
+            backend=backend, metrics=metrics,
+        ))
+        assert got == reference, f"metrics={metrics} diverges"
+
+
+# ----------------------------------------------------------------------
+# Differential conformance
+# ----------------------------------------------------------------------
+@settings(max_examples=15)
+@given(data=st.data())
+def test_spmspm_vector_exact(data):
+    seed = data.draw(st.integers(0, 2**16), label="seed")
+    k = data.draw(st.integers(1, 40), label="K")
+    m = data.draw(st.integers(1, 12), label="M")
+    n = data.draw(st.integers(1, 12), label="N")
+    density = data.draw(st.sampled_from([0.05, 0.3, 0.7]), label="density")
+    rng = np.random.default_rng(seed)
+    tensors = {
+        "A": tensor_from_dense("A", ["M", "K"], matrix(rng, m, k, density)),
+        "B": tensor_from_dense("B", ["N", "K"], matrix(rng, n, k, density)),
+    }
+    assert_vector_matches_reference(load_spec(SPMSPM, name="vec-spmspm"),
+                                    tensors)
+
+
+@settings(max_examples=15)
+@given(data=st.data())
+def test_buffered_vector_exact(data):
+    """Batched machine paths (read_span/pair_extra/write_seq) must leave
+    buffets and caches in tally-identical states."""
+    seed = data.draw(st.integers(0, 2**16), label="seed")
+    k = data.draw(st.integers(1, 48), label="K")
+    density = data.draw(st.sampled_from([0.1, 0.4]), label="density")
+    rng = np.random.default_rng(seed)
+    tensors = {
+        "A": tensor_from_dense("A", ["M", "K"], matrix(rng, 8, k, density)),
+        "B": tensor_from_dense("B", ["N", "K"], matrix(rng, 8, k, density)),
+    }
+    assert_vector_matches_reference(
+        load_spec(SPMSPM_BUFFERED, name="vec-buffered"), tensors
+    )
+
+
+@settings(max_examples=10)
+@given(data=st.data())
+def test_single_driver_reduction_vector_exact(data):
+    seed = data.draw(st.integers(0, 2**16), label="seed")
+    rng = np.random.default_rng(seed)
+    tensors = {
+        "A": tensor_from_dense("A", ["M", "K"], matrix(rng, 10, 30, 0.3)),
+    }
+    assert_vector_matches_reference(load_spec(ROWSUM, name="vec-rowsum"),
+                                    tensors)
+
+
+@settings(max_examples=10)
+@given(data=st.data())
+def test_projected_intersection_vector_exact(data):
+    seed = data.draw(st.integers(0, 2**16), label="seed")
+    rng = np.random.default_rng(seed)
+    a = matrix(rng, 6, 40, 0.4)
+    b = (rng.random(44) < 0.4) * rng.integers(1, 9, 44).astype(float)
+    tensors = {
+        "A": tensor_from_dense("A", ["M", "K"], a),
+        "B": tensor_from_dense("B", ["K"], b),
+    }
+    assert_vector_matches_reference(
+        load_spec(PROJECTED, name="vec-projected"), tensors
+    )
+
+
+def test_empty_and_disjoint_spans():
+    spec = load_spec(SPMSPM, name="vec-empty")
+    a = np.zeros((4, 20))
+    b = np.zeros((4, 20))
+    a[0, :10] = 1.0  # A occupies the low half of K ...
+    b[0, 10:] = 2.0  # ... B the high half: visits but zero matches
+    tensors = {
+        "A": tensor_from_dense("A", ["M", "K"], a),
+        "B": tensor_from_dense("B", ["N", "K"], b),
+    }
+    assert_vector_matches_reference(spec, tensors)
+    # Fully empty inputs as well.
+    empty = {
+        "A": tensor_from_dense("A", ["M", "K"], np.zeros((4, 20))),
+        "B": tensor_from_dense("B", ["N", "K"], np.zeros((4, 20))),
+    }
+    assert_vector_matches_reference(spec, empty)
+
+
+def test_float_accumulation_is_bitwise_sequential():
+    """The reduction over K must round exactly like the scalar left
+    fold — adversarial magnitudes where pairwise summation differs."""
+    rng = np.random.default_rng(0)
+    k = 64
+    a = np.zeros((1, k))
+    b = np.zeros((1, k))
+    a[0] = rng.random(k) * np.logspace(-12, 12, k)
+    b[0] = rng.random(k) + 1.0
+    tensors = {
+        "A": tensor_from_dense("A", ["M", "K"], a),
+        "B": tensor_from_dense("B", ["N", "K"], b),
+    }
+    spec = load_spec(SPMSPM, name="vec-fp")
+    backend = CompiledBackend(cache=_CACHE)
+    ref = evaluate(spec, {k_: t.copy() for k_, t in tensors.items()},
+                   backend=InterpreterBackend(), metrics="trace")
+    got = evaluate(spec, {k_: t.copy() for k_, t in tensors.items()},
+                   backend=backend, metrics="vector")
+    assert got.env["Z"].points() == ref.env["Z"].points()
+
+
+# ----------------------------------------------------------------------
+# Engagement and gating
+# ----------------------------------------------------------------------
+def test_batched_path_actually_runs(monkeypatch):
+    """Guard against a silently always-scalar vector flavor."""
+    calls = {"n": 0}
+    real = rt.visect2
+
+    def counting(*args):
+        calls["n"] += 1
+        return real(*args)
+
+    monkeypatch.setattr(rt, "visect2", counting)
+    rng = np.random.default_rng(1)
+    tensors = {
+        "A": tensor_from_dense("A", ["M", "K"], matrix(rng, 4, 30, 0.5)),
+        "B": tensor_from_dense("B", ["N", "K"], matrix(rng, 4, 30, 0.5)),
+    }
+    evaluate(load_spec(SPMSPM, name="vec-engage"), tensors,
+             backend=CompiledBackend(cache=_CACHE), metrics="vector")
+    assert calls["n"] > 0
+
+
+def test_span_threshold_keeps_small_leaves_scalar(monkeypatch):
+    monkeypatch.setattr(rt, "VLEAF_MIN", 10**9)
+    calls = {"n": 0}
+    real = rt.visect2
+
+    def counting(*args):
+        calls["n"] += 1
+        return real(*args)
+
+    monkeypatch.setattr(rt, "visect2", counting)
+    rng = np.random.default_rng(2)
+    tensors = {
+        "A": tensor_from_dense("A", ["M", "K"], matrix(rng, 4, 30, 0.5)),
+        "B": tensor_from_dense("B", ["N", "K"], matrix(rng, 4, 30, 0.5)),
+    }
+    spec = load_spec(SPMSPM, name="vec-threshold")
+    backend = CompiledBackend(cache=_CACHE)
+    got = evaluate(spec, {k: t.copy() for k, t in tensors.items()},
+                   backend=backend, metrics="vector")
+    assert calls["n"] == 0  # every leaf took the scalar fallback
+    ref = evaluate(spec, {k: t.copy() for k, t in tensors.items()},
+                   backend=InterpreterBackend(), metrics="trace")
+    assert fingerprint(got) == fingerprint(ref)
+
+
+def test_non_elementwise_opsets_stay_scalar_and_exact():
+    """MIN_PLUS does not declare vector_ok; the vector kernels must not
+    batch it (min() is not elementwise on arrays) yet stay exact."""
+    assert not rt.vec_ok(MIN_PLUS)
+    assert rt.vec_ok(ARITHMETIC)
+    rng = np.random.default_rng(3)
+    tensors = {
+        "A": tensor_from_dense("A", ["M", "K"], matrix(rng, 6, 24, 0.4)),
+        "B": tensor_from_dense("B", ["N", "K"], matrix(rng, 6, 24, 0.4)),
+    }
+    spec = load_spec(SPMSPM, name="vec-minplus")
+    backend = CompiledBackend(cache=_CACHE)
+    ref = evaluate(spec, {k: t.copy() for k, t in tensors.items()},
+                   backend=InterpreterBackend(), metrics="trace",
+                   opset=MIN_PLUS)
+    got = evaluate(spec, {k: t.copy() for k, t in tensors.items()},
+                   backend=backend, metrics="vector", opset=MIN_PLUS)
+    assert fingerprint(got) == fingerprint(ref)
+
+
+# ----------------------------------------------------------------------
+# evaluate_many executors
+# ----------------------------------------------------------------------
+def _sweep_workloads(n=3):
+    out = []
+    for i in range(n):
+        out.append({
+            "A": uniform_random("A", ["M", "K"], (6, 40), 0.3, seed=2 * i),
+            "B": uniform_random("B", ["N", "K"], (6, 40), 0.3,
+                                seed=2 * i + 1),
+        })
+    return out
+
+
+def test_evaluate_many_process_executor_matches_threads():
+    spec = load_spec(SPMSPM, name="vec-pool")
+    workloads = _sweep_workloads()
+    threads = evaluate_many(spec, [dict(w) for w in workloads],
+                            workers=2, executor="thread")
+    procs = evaluate_many(spec, [dict(w) for w in workloads],
+                          workers=2, executor="process")
+    for a, b in zip(threads, procs):
+        assert a.env["Z"].points() == b.env["Z"].points()
+        assert a.traffic_bytes() == b.traffic_bytes()
+        assert a.exec_seconds == b.exec_seconds
+        assert a.energy_pj == b.energy_pj
+
+
+def test_evaluate_many_executor_env_override(monkeypatch):
+    from repro.model.evaluate import default_executor
+
+    monkeypatch.delenv("REPRO_EVALUATE_EXECUTOR", raising=False)
+    assert default_executor() == "thread"
+    monkeypatch.setenv("REPRO_EVALUATE_EXECUTOR", "process")
+    assert default_executor() == "process"
+    monkeypatch.setenv("REPRO_EVALUATE_EXECUTOR", "bogus")
+    assert default_executor() == "thread"
+
+
+def test_evaluate_many_rejects_unknown_executor():
+    spec = load_spec(SPMSPM, name="vec-pool-bad")
+    with pytest.raises(ValueError, match="unknown executor"):
+        evaluate_many(spec, _sweep_workloads(2), executor="Processes")
