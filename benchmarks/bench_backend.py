@@ -24,6 +24,12 @@ target):
    rank-batched vector kernels (``metrics="vector"``, what
    ``metrics="auto"`` now picks) must beat the counter-fused scalar
    loops by >=3x, bit-identically.
+6. **Search**: on a buffered spec's full candidate space (every loop
+   order x K-tile choice), the parallel two-phase-pruned mapping search
+   (``repro.search.search`` — vector scoring for everyone, traced
+   re-pricing for the top-k) must beat the serial exhaustive sweep at
+   full traced fidelity by >=2x while choosing the *identical* best
+   candidate with bit-identical metrics.
 
 An ``--nnz-sweep`` mode grows one synthetic SpMSpM from 1e4 to 1e6
 nonzeros and records counted-vs-vector per size — the gap widens with
@@ -147,6 +153,64 @@ mapping:
 #: ~490 coordinates.
 VEC_K, VEC_M, VEC_N, VEC_DENSITY = 8192, 24, 24, 0.06
 
+#: The search-sweep spec: the buffered architecture again, but with
+#: evict-on ranks (M) that exist in *every* candidate mapping — the
+#: sweep tiles only K, so bindings stay meaningful across the space.
+SPEC_SEARCH = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    Z: [M, N]
+  expressions:
+    - Z[m, n] = A[k, m] * B[k, n]
+architecture:
+  Buffered:
+    clock: 1.0e9
+    subtree:
+      - name: System
+        local:
+          - name: DRAM
+            class: DRAM
+            attributes: {bandwidth: 128}
+          - name: ABuf
+            class: Buffer
+            attributes: {type: buffet, width: 64, depth: 256}
+          - name: BCache
+            class: Buffer
+            attributes: {type: cache, width: 64, depth: 16384}
+          - name: ZBuf
+            class: Buffer
+            attributes: {type: buffet, width: 64, depth: 1024}
+          - name: ALU
+            class: Compute
+            attributes: {type: mul}
+binding:
+  Z:
+    config: Buffered
+    components:
+      ABuf:
+        - {tensor: A, rank: K, type: elem, style: lazy, evict-on: M}
+      BCache:
+        - {tensor: B, rank: K, type: elem, style: lazy}
+      ZBuf:
+        - {tensor: Z, rank: N, type: elem, style: lazy, evict-on: M}
+      ALU:
+        - op: mul
+"""
+
+#: Search-sweep candidate space: all loop orders of the three iteration
+#: ranks x (untiled, K:8, K:16); the pruned run re-prices only the top 4.
+SEARCH_RANKS = ("M", "N", "K")
+SEARCH_TILE_SIZES = {"K": (8, 16)}
+SEARCH_PRUNE_TO = 4
+
+
+def _search_n_candidates() -> int:
+    from repro.search import MappingSpace
+
+    return MappingSpace.of(SEARCH_RANKS, SEARCH_TILE_SIZES).size()
+
 N_WORKLOADS = 24
 N_BUFFERED_WORKLOADS = 8
 #: Default nonzero counts of the --nnz-sweep scaling curve.
@@ -154,7 +218,7 @@ NNZ_SIZES = (10_000, 100_000, 1_000_000)
 TRAJECTORY = os.path.join(os.path.dirname(__file__), "BENCH_backend.json")
 
 ALL_FLAVORS = ("interpreter", "compiled", "counters", "vector",
-               "untraced", "buffered", "executor")
+               "untraced", "buffered", "executor", "search")
 
 
 def _workloads(n: int = N_WORKLOADS):
@@ -299,6 +363,8 @@ def run_comparison(n: int = N_WORKLOADS, flavors=None):
         timings.update(_run_vector_sweep(n, flavors))
     if "buffered" in flavors:
         timings.update(_run_buffered(n, interp))
+    if "search" in flavors:
+        timings.update(_run_search())
     return timings
 
 
@@ -409,6 +475,56 @@ def _run_buffered(n: int, interp) -> dict:
         assert a.action_counts() == b.action_counts() \
             == c.action_counts() == d.action_counts()
     return timings
+
+
+def _run_search() -> dict:
+    """The mapping-search sweep: serial exhaustive at full traced
+    fidelity vs. the parallel two-phase-pruned search, same candidate
+    space, identical best candidate required (the >=2x claim)."""
+    from repro.search import search
+
+    spec = load_spec(SPEC_SEARCH, name="search-sweep")
+    tensors = {
+        "A": uniform_random("A", ["K", "M"], (96, 48), 0.15, seed=5),
+        "B": uniform_random("B", ["K", "N"], (96, 40), 0.15, seed=7),
+    }
+    # Warm the compile cache for *both* kernel flavors the timed runs
+    # use (traced for the serial sweep, vector for the pruned phase 1 —
+    # kernels compile lazily per flavor), so neither timed region pays
+    # lowering and the comparison measures evaluation only.
+    search(spec, tensors, tile_sizes=SEARCH_TILE_SIZES, workers=1,
+           metrics="auto")
+    search(spec, tensors, tile_sizes=SEARCH_TILE_SIZES, workers=1,
+           metrics="trace")
+
+    gc.collect()
+    t0 = time.perf_counter()
+    serial = search(spec, tensors, tile_sizes=SEARCH_TILE_SIZES,
+                    workers=1, metrics="trace")
+    t_serial = time.perf_counter() - t0
+
+    gc.collect()
+    t0 = time.perf_counter()
+    pruned = search(spec, tensors, tile_sizes=SEARCH_TILE_SIZES,
+                    prune_to=SEARCH_PRUNE_TO)
+    t_pruned = time.perf_counter() - t0
+
+    # The pruned search must find the *same* best mapping with
+    # bit-identical full metrics (vector scoring is trace-exact, so the
+    # winner provably survives pruning).
+    (cand_s, res_s), (cand_p, res_p) = serial.best(), pruned.best()
+    assert cand_s == cand_p, (
+        f"pruned search best {cand_p.describe()} diverged from the "
+        f"exhaustive best {cand_s.describe()}"
+    )
+    assert res_s.exec_seconds == res_p.exec_seconds
+    assert res_s.traffic_bytes() == res_p.traffic_bytes()
+    assert res_s.energy_pj == res_p.energy_pj
+    assert res_s.action_counts() == res_p.action_counts()
+    assert pruned.n_scored == len(serial.candidates) \
+        == _search_n_candidates()
+    return {"search_serial_exhaustive": t_serial,
+            "search_parallel_pruned": t_pruned}
 
 
 # ----------------------------------------------------------------------
@@ -522,6 +638,8 @@ def record_trajectory(timings: dict, n: int, path: str = TRAJECTORY,
                                                "buffered_fused"),
         "vector_vs_traced_buffered": ratio("buffered_traced",
                                            "buffered_vector"),
+        "pruned_search_vs_serial_exhaustive": ratio(
+            "search_serial_exhaustive", "search_parallel_pruned"),
     }
     record = {
         "timestamp": datetime.now(timezone.utc).isoformat(),
@@ -536,6 +654,18 @@ def record_trajectory(timings: dict, n: int, path: str = TRAJECTORY,
         record["seconds"] = {k: round(v, 6) for k, v in timings.items()}
         record["speedups"] = {k: v for k, v in speedups.items()
                               if v is not None}
+    if "search_serial_exhaustive" in timings:
+        # _run_search asserted identical-best before returning timings.
+        record["search"] = {
+            "n_candidates": _search_n_candidates(),
+            "tile_sizes": {r: list(s) for r, s in SEARCH_TILE_SIZES.items()},
+            "prune_to": SEARCH_PRUNE_TO,
+            "identical_best": True,
+            "serial_exhaustive_seconds": round(
+                timings["search_serial_exhaustive"], 6),
+            "parallel_pruned_seconds": round(
+                timings["search_parallel_pruned"], 6),
+        }
     if "executor_thread" in timings and "executor_process" in timings:
         record["executor"] = {
             "thread_seconds": round(timings["executor_thread"], 6),
@@ -565,17 +695,19 @@ def record_trajectory(timings: dict, n: int, path: str = TRAJECTORY,
 
 
 def _print_report(timings: dict, n: int) -> None:
-    def series(title, names, base_name, strip=""):
+    def series(title, names, base_name, strip="", per=None,
+               per_label="per workload"):
         present = [name for name in names if name in timings]
         if not present or base_name not in timings:
             return
         base = timings[base_name]
+        divisor = per if per is not None else n
         rows = []
         for name in present:
             t = timings[name]
-            rows.append((name.replace(strip, ""), t, t / n,
+            rows.append((name.replace(strip, ""), t, t / divisor,
                          base / max(t, 1e-12)))
-        print_series(title, ["seconds", "per workload", "speedup"], rows)
+        print_series(title, ["seconds", per_label, "speedup"], rows)
 
     series(
         f"Traced/metrics sweeps vs interpreter ({n} workloads)",
@@ -603,6 +735,13 @@ def _print_report(timings: dict, n: int) -> None:
         f"evaluate_many pool types, long-span sweep ({n} workloads)",
         ["executor_thread", "executor_process"], "executor_thread",
         strip="executor_",
+    )
+    series(
+        f"Mapping search ({_search_n_candidates()} candidates, buffered "
+        "spec), speedup vs serial exhaustive traced sweep",
+        ["search_serial_exhaustive", "search_parallel_pruned"],
+        "search_serial_exhaustive", strip="search_",
+        per=_search_n_candidates(), per_label="per candidate",
     )
 
 
@@ -652,6 +791,15 @@ def test_backend_sweep_speedup(benchmark):
         f"vector buffered sweep ({timings['buffered_vector']:.3f}s) "
         f"should track the fused path "
         f"({timings['buffered_fused']:.3f}s)"
+    )
+    # The parallel pruned search lands >=2x over the serial exhaustive
+    # traced sweep on an idle machine (identical best candidate asserted
+    # inside _run_search); 1.5x leaves room for CI noise.
+    assert timings["search_parallel_pruned"] * 1.5 \
+        < timings["search_serial_exhaustive"], (
+        f"pruned search ({timings['search_parallel_pruned']:.3f}s) should "
+        f"beat the serial exhaustive sweep "
+        f"({timings['search_serial_exhaustive']:.3f}s) clearly"
     )
 
 

@@ -1,195 +1,36 @@
-"""Mapping-space exploration on top of the TeAAL model.
+"""Compatibility shim over :mod:`repro.search`.
 
-The paper's future-work section sketches using TeAAL inside a hierarchical
-design-space-exploration flow.  This module provides the straightforward
-first rung: enumerate candidate mappings (loop orders, shape-partitioning
-tile sizes) for a single-Einsum spec, evaluate each candidate on real data
-with the full trace-driven model, and rank the results.
-
-The search is deliberately exhaustive-over-small-spaces — the point of the
-paper's middle-fidelity position is that each candidate evaluation is cheap
-enough to afford real-data fidelity, not that the search is clever.
+Mapping-space exploration grew from this module's serial exhaustive
+sweep into the full search subsystem under ``repro/search/`` (pluggable
+strategies, parallel candidate evaluation, two-phase pruning, cascade
+sweeps).  Every historical name — :class:`Candidate`,
+:func:`enumerate_candidates`, :func:`apply_candidate`,
+:class:`ExplorationResult`, :func:`explore` — re-exports from there with
+unchanged behavior; new code should import from ``repro.search``
+directly (which also offers :func:`repro.search.search` and
+:func:`repro.search.explore_cascade`).
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from .search import (
+    Candidate,
+    ExplorationResult,
+    SearchResult,
+    apply_candidate,
+    enumerate_candidates,
+    explore,
+    explore_cascade,
+    search,
+)
 
-from .einsum.operators import ARITHMETIC, OpSet
-from .fibertree.rankid import rank_of_var
-from .model.evaluate import EvaluationResult, evaluate
-from .spec.loader import AcceleratorSpec
-
-
-@dataclass(frozen=True)
-class Candidate:
-    """One point in the mapping space."""
-
-    loop_order: Tuple[str, ...]
-    tiles: Tuple[Tuple[str, int], ...] = ()  # (rank, uniform_shape size)
-
-    def describe(self) -> str:
-        tiles = ", ".join(f"{r}:{s}" for r, s in self.tiles) or "none"
-        return f"loop=[{', '.join(self.loop_order)}] tiles={tiles}"
-
-
-@dataclass
-class ExplorationResult:
-    """Ranked outcomes of a mapping sweep."""
-
-    candidates: List[Tuple[Candidate, EvaluationResult]] = field(
-        default_factory=list
-    )
-
-    def _metric(self, res: EvaluationResult, metric: str) -> float:
-        if metric == "exec_seconds":
-            return res.exec_seconds
-        if metric == "traffic":
-            return res.traffic_bytes()
-        if metric == "energy":
-            return res.energy_pj
-        raise ValueError(f"unknown metric {metric!r}")
-
-    def ranked(self, metric: str = "exec_seconds"):
-        return sorted(self.candidates,
-                      key=lambda pair: self._metric(pair[1], metric))
-
-    def best(self, metric: str = "exec_seconds"):
-        if not self.candidates:
-            raise ValueError("no candidates evaluated")
-        return self.ranked(metric)[0]
-
-    def to_table(self, metric: str = "exec_seconds",
-                 top: Optional[int] = None) -> str:
-        """A quick ranking dump: one row per candidate, best first.
-
-        Columns: rank, the sort metric, cycles, DRAM traffic (bytes),
-        energy (pJ), and the candidate's mapping description.
-        """
-        rows = self.ranked(metric)
-        if top is not None:
-            rows = rows[:top]
-        header = (f"{'#':>3}  {metric:>14}  {'cycles':>12}  "
-                  f"{'traffic_B':>12}  {'energy_pJ':>14}  mapping")
-        lines = [header, "-" * len(header)]
-        for k, (cand, res) in enumerate(rows, 1):
-            lines.append(
-                f"{k:>3}  {self._metric(res, metric):>14.6g}  "
-                f"{res.exec_cycles:>12.6g}  {res.traffic_bytes():>12.6g}  "
-                f"{res.energy_pj:>14.6g}  {cand.describe()}"
-            )
-        return "\n".join(lines)
-
-
-def enumerate_candidates(
-    ranks: Sequence[str],
-    tile_sizes: Optional[Dict[str, Sequence[int]]] = None,
-    max_loop_orders: Optional[int] = None,
-) -> List[Candidate]:
-    """All loop orders x tile choices for the given iteration ranks.
-
-    ``tile_sizes`` maps a rank to candidate ``uniform_shape`` sizes (always
-    including the untiled option).  Tiled ranks split into R1/R0 with R1
-    placed outermost and R0 in the original position.
-    """
-    tile_sizes = tile_sizes or {}
-    orders = list(itertools.permutations(ranks))
-    if max_loop_orders is not None:
-        orders = orders[:max_loop_orders]
-    tile_options: List[Tuple[Tuple[str, int], ...]] = [()]
-    for rank, sizes in tile_sizes.items():
-        tile_options = [
-            existing + extra
-            for existing in tile_options
-            for extra in [()] + [((rank, s),) for s in sizes]
-        ]
-    out = []
-    for order in orders:
-        for tiles in tile_options:
-            tiled = dict(tiles)
-            loop: List[str] = []
-            for r in order:
-                if r in tiled:
-                    loop.append(f"{r}1")
-            for r in order:
-                loop.append(f"{r}0" if r in tiled else r)
-            out.append(Candidate(tuple(loop), tiles))
-    return out
-
-
-def apply_candidate(spec: AcceleratorSpec, einsum: str,
-                    candidate: Candidate) -> AcceleratorSpec:
-    """A copy of ``spec`` with the candidate's mapping for one Einsum."""
-    from .spec.mapping import EinsumMapping, PartitionDirective
-
-    mapping = spec.mapping
-    new_einsum_mapping = EinsumMapping(
-        name=einsum,
-        loop_order=list(candidate.loop_order),
-        partitioning=[
-            ((rank,), [PartitionDirective("uniform_shape", size)])
-            for rank, size in candidate.tiles
-        ],
-    )
-    new_mapping = type(mapping)(
-        rank_order=dict(mapping.rank_order),
-        einsums={**mapping.einsums, einsum: new_einsum_mapping},
-    )
-    return AcceleratorSpec(
-        einsum=spec.einsum,
-        mapping=new_mapping,
-        format=spec.format,
-        architecture=spec.architecture,
-        binding=spec.binding,
-        params=dict(spec.params),
-        name=f"{spec.name}+{candidate.describe()}",
-    )
-
-
-def explore(
-    spec: AcceleratorSpec,
-    tensors,
-    einsum: Optional[str] = None,
-    tile_sizes: Optional[Dict[str, Sequence[int]]] = None,
-    max_loop_orders: Optional[int] = None,
-    opset: OpSet = ARITHMETIC,
-    backend=None,
-    metrics: str = "auto",
-) -> ExplorationResult:
-    """Sweep mappings of one Einsum and evaluate each on real tensors.
-
-    Only single-Einsum exploration is supported (exploring whole cascades
-    is the open problem the paper's future-work section names).
-
-    Each candidate runs through the selected execution ``backend``
-    (compiled generated-Python kernels by default) with the given
-    ``metrics`` mode (``"auto"`` — the vector kernels with trace
-    fallback — by default); candidates that share a mapping across
-    sweeps hit the process-wide compile cache, so re-exploring after a
-    workload change pays no lowering cost.  One
-    :class:`~repro.model.backend.PrepCache` spans the whole sweep:
-    candidates sharing a tensor's storage order and prep steps (loop
-    orders agreeing on that tensor's ranks, same tiling) reuse one
-    prepared tensor and one flat arena instead of re-swizzling and
-    re-flattening per candidate.
-    """
-    from .model.backend import PrepCache, resolve_backend
-
-    if einsum is None:
-        if len(spec.einsum.cascade) != 1:
-            raise ValueError("name the Einsum to explore in a cascade")
-        einsum = spec.einsum.cascade.produced[0]
-    ranks = [rank_of_var(v) for v in spec.einsum.cascade[einsum].all_vars]
-    engine = resolve_backend(backend)
-    prep_cache = PrepCache()
-    result = ExplorationResult()
-    for candidate in enumerate_candidates(ranks, tile_sizes,
-                                          max_loop_orders):
-        cand_spec = apply_candidate(spec, einsum, candidate)
-        res = evaluate(cand_spec, dict(tensors), opset=opset,
-                       backend=engine, metrics=metrics,
-                       prep_cache=prep_cache)
-        result.candidates.append((candidate, res))
-    return result
+__all__ = [
+    "Candidate",
+    "ExplorationResult",
+    "SearchResult",
+    "apply_candidate",
+    "enumerate_candidates",
+    "explore",
+    "explore_cascade",
+    "search",
+]

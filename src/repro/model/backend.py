@@ -293,13 +293,17 @@ class PrepCache:
     conversion (keyed by prepared-object identity).
 
     Entries pin their source objects so ``id()`` keys can never be
-    recycled.  The cache is *not* thread-safe per instance by design:
-    ``evaluate_many`` workers each evaluate whole workloads, so a sweep
-    either shares one cache across a sequential candidate loop (explore)
-    or gives each workload its own tensors (no sharing to cache).
+    recycled.  The cache is thread-safe: a parallel mapping search
+    (:mod:`repro.search`) shares one instance across every worker thread
+    of a sweep, so lookups and inserts synchronize on an internal lock.
+    Builds run *outside* the lock (preparation can be slow); when two
+    threads race to prepare the same form, one build is discarded and
+    both threads share the first-inserted object — keeping the
+    ``id()``-keyed arena memo coherent.
     """
 
-    __slots__ = ("_prepared", "_arenas", "_owned", "hits", "misses")
+    __slots__ = ("_prepared", "_arenas", "_owned", "_lock", "hits",
+                 "misses")
 
     def __init__(self):
         # (id(src), rank_order, prep) -> (src pin, prepared tensor)
@@ -310,37 +314,53 @@ class PrepCache:
         # safe — memoizing arenas for: per-run intermediates would pin
         # every evaluation's outputs for the life of the sweep).
         self._owned: set = set()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def prepared(self, src: Tensor, rank_order, prep, build) -> Tensor:
         key = (id(src), tuple(rank_order), tuple(prep))
-        entry = self._prepared.get(key)
-        if entry is not None:
-            self.hits += 1
-            return entry[1]
-        self.misses += 1
+        with self._lock:
+            entry = self._prepared.get(key)
+            if entry is not None:
+                self.hits += 1
+                return entry[1]
         t = build()
-        self._prepared[key] = (src, t)
-        self._owned.add(id(t))
-        return t
+        with self._lock:
+            entry = self._prepared.get(key)
+            if entry is not None:
+                # Lost a build race: adopt the winner so the id()-keyed
+                # arena memo sees one object per form.
+                self.hits += 1
+                return entry[1]
+            self.misses += 1
+            self._prepared[key] = (src, t)
+            self._owned.add(id(t))
+            return t
 
     def arena(self, prepared: Tensor) -> FlatArena:
         key = id(prepared)
-        entry = self._arenas.get(key)
-        if entry is not None:
-            self.hits += 1
-            return entry[1]
-        if key not in self._owned:
+        with self._lock:
+            entry = self._arenas.get(key)
+            if entry is not None:
+                self.hits += 1
+                return entry[1]
+            owned = key in self._owned
+        if not owned:
             # A tensor this cache never prepared (an intermediate, or a
             # caller mixing tensors in): convert without memoizing —
             # the id can never recur meaningfully, and pinning it would
             # leak one tensor + arena per evaluation.
             return arena_from_tensor(prepared)
-        self.misses += 1
         arena = arena_from_tensor(prepared)
-        self._arenas[key] = (prepared, arena)
-        return arena
+        with self._lock:
+            entry = self._arenas.get(key)
+            if entry is not None:
+                self.hits += 1
+                return entry[1]
+            self.misses += 1
+            self._arenas[key] = (prepared, arena)
+            return arena
 
 
 def _arenas_of(prepared: Dict[str, Tensor],

@@ -42,6 +42,27 @@ _DEFAULT_COMPUTE = Component(name="ALU", klass="Compute",
                              attributes={"type": "mul"})
 
 
+class EnvVarError(ValueError):
+    """A ``REPRO_*`` environment variable holds an invalid value.
+
+    Raised (naming the variable and the offending value) instead of the
+    opaque ``ValueError`` an unguarded ``int()`` would produce, or the
+    silent fallback an unknown enum value used to get.
+    """
+
+
+class ProcessExecutorError(ValueError):
+    """An explicit ``executor="process"`` request cannot be honored.
+
+    The process pool ships work by pickle, so it only supports named
+    opsets with no per-Einsum overrides, the default energy model, and
+    the default backend.  When the *caller* asked for processes by
+    argument, hitting an unsupported combination raises this error
+    (naming every offending argument) rather than silently running on
+    threads; only the env-var/default path may downgrade silently.
+    """
+
+
 @dataclass
 class EinsumModel:
     """All component models active for one Einsum."""
@@ -530,11 +551,21 @@ def _price_counters(sink: ModelSink, counters: KernelCounters) -> None:
 
 
 def _evaluate_counters(spec, tensors, opset, opsets, shapes, energy_model,
-                       engine, prep_cache=None) -> Optional[EvaluationResult]:
-    """The counter-fused evaluation path; None when it does not apply."""
+                       engine, prep_cache=None,
+                       check_priceable: bool = True
+                       ) -> Optional[EvaluationResult]:
+    """The counter-fused evaluation path; None when it does not apply.
+
+    With ``check_priceable=False`` the priceability gate is skipped: every
+    event is priced as DRAM traffic even when the spec binds buffers or
+    caches.  That is *approximate* for buffered specs (buffet fills and
+    cache hits are not modeled) — it exists as the cheap phase-1 surrogate
+    of the search subsystem's two-phase pruning
+    (``metrics="counters-only"``), never as an exact mode.
+    """
     if not isinstance(engine, CompiledBackend):
         return None
-    if not counters_priceable(spec):
+    if check_priceable and not counters_priceable(spec):
         return None
     env: Dict[str, Tensor] = {}
     sink = ModelSink(spec, env)
@@ -698,6 +729,13 @@ def evaluate(
       per-rank read/write/intersection/compute tallies and the models
       price them in one pass per Einsum.  Used when the spec binds no
       buffers/caches; otherwise silently falls back to ``"trace"``.
+    * ``"counters-only"`` — the counter-fused kernels with the
+      priceability gate *skipped*: every data event is priced as DRAM
+      traffic even when the spec binds buffers or caches.  The one
+      exception to "every mode is exact": on buffered specs this is a
+      cheap, deliberately approximate surrogate (the phase-1 score of
+      :mod:`repro.search`'s two-phase pruning); on sink-less specs it
+      coincides with ``"counters"``.
     * ``"fused"`` — model fusion: counter fusion plus the buffet/cache
       state machines inlined into the generated loops
       (:class:`FusedMachines`); applies to buffered and unbuffered
@@ -721,10 +759,12 @@ def evaluate(
                                  prep_cache=prep_cache)
         if result is not None:
             return result
-    elif metrics == "counters":
-        result = _evaluate_counters(spec, tensors, opset, opsets, shapes,
-                                    energy_model, engine,
-                                    prep_cache=prep_cache)
+    elif metrics in ("counters", "counters-only"):
+        result = _evaluate_counters(
+            spec, tensors, opset, opsets, shapes, energy_model, engine,
+            prep_cache=prep_cache,
+            check_priceable=(metrics == "counters"),
+        )
         if result is not None:
             return result
     elif metrics == "fused":
@@ -736,7 +776,7 @@ def evaluate(
     elif metrics != "trace":
         raise ValueError(
             f"unknown metrics mode {metrics!r}; known: 'auto', 'trace', "
-            "'counters', 'fused', 'vector'"
+            "'counters', 'counters-only', 'fused', 'vector'"
         )
     env: Dict[str, Tensor] = {}
     sink = ModelSink(spec, env)
@@ -766,7 +806,15 @@ def default_workers() -> int:
     """
     env = os.environ.get("REPRO_EVALUATE_WORKERS")
     if env:
-        return max(1, int(env))
+        try:
+            workers = int(env)
+        except ValueError:
+            raise EnvVarError(
+                f"REPRO_EVALUATE_WORKERS={env!r} is not a valid worker "
+                "count; set it to a positive integer (1 forces sequential "
+                "evaluation) or unset it for the cpu-count default"
+            ) from None
+        return max(1, workers)
     return max(1, min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS))
 
 
@@ -785,9 +833,15 @@ def default_executor() -> str:
     per-workload work, which is why ``"thread"`` stays the default.
     """
     env = os.environ.get("REPRO_EVALUATE_EXECUTOR")
+    if env is None or env == "":
+        return "thread"
     if env in ("thread", "process"):
         return env
-    return "thread"
+    raise EnvVarError(
+        f"REPRO_EVALUATE_EXECUTOR={env!r} is not a valid pool type; "
+        "set it to 'thread' or 'process', or unset it for the thread "
+        "default"
+    )
 
 
 def _opset_token(ops: OpSet):
@@ -796,6 +850,62 @@ def _opset_token(ops: OpSet):
         if ops is known:
             return name
     return None
+
+
+def process_incompatibilities(opset, opsets, energy_model, backend) -> List[str]:
+    """Why these ``evaluate_many`` arguments cannot cross a process pool.
+
+    Returns a human-readable reason per offending argument (empty when
+    the process executor can engage).  The pool ships
+    ``(spec, tensors, opset_name, shapes, metrics)`` payloads by pickle
+    and rebuilds the default engine in each worker, so anything that
+    cannot be named — an ad-hoc opset, per-Einsum opset overrides, a
+    custom energy model, a caller-supplied backend instance — has no
+    picklable representation.
+    """
+    reasons = []
+    if _opset_token(opset) is None:
+        reasons.append(
+            "opset is not one of the named opsets (repro.einsum."
+            "operators.NAMED_OPSETS), so it cannot be shipped by name"
+        )
+    if opsets:
+        reasons.append("per-Einsum opset overrides (opsets=...) cannot "
+                       "be shipped by name")
+    if energy_model is not None:
+        reasons.append("a custom energy_model cannot be rebuilt in the "
+                       "worker processes")
+    if backend not in (None, "auto"):
+        reasons.append("a non-default backend cannot be rebuilt in the "
+                       "worker processes")
+    return reasons
+
+
+def resolve_pool_mode(executor, opset, opsets=None, energy_model=None,
+                      backend=None) -> str:
+    """The pool type a fan-out should actually use: ``"thread"`` or
+    ``"process"``.
+
+    Encodes the one executor-downgrade policy shared by
+    :func:`evaluate_many` and the search runner: an *explicit*
+    ``executor="process"`` argument with process-incompatible arguments
+    raises :class:`ProcessExecutorError` naming each offender, while the
+    ``REPRO_EVALUATE_EXECUTOR``/default path falls back to threads
+    silently.
+    """
+    mode = executor if executor is not None else default_executor()
+    if mode != "process":
+        return "thread"
+    reasons = process_incompatibilities(opset, opsets, energy_model,
+                                        backend)
+    if not reasons:
+        return "process"
+    if executor == "process":
+        raise ProcessExecutorError(
+            "executor='process' was requested explicitly but the "
+            "arguments cannot cross a process pool: " + "; ".join(reasons)
+        )
+    return "thread"
 
 
 def _process_one(payload) -> EvaluationResult:
@@ -840,7 +950,10 @@ def evaluate_many(
     ``REPRO_EVALUATE_EXECUTOR=process``).  The process pool requires
     picklable arguments, so it only engages for named opsets with no
     per-Einsum overrides, no custom energy model, and the default
-    backend; anything else silently uses threads.
+    backend.  An *explicit* ``executor="process"`` argument with
+    incompatible arguments raises :class:`ProcessExecutorError` naming
+    each offender; only the ``REPRO_EVALUATE_EXECUTOR``/default path
+    falls back to threads silently.
 
     Returns one :class:`EvaluationResult` per workload, in order.
     """
@@ -865,12 +978,10 @@ def evaluate_many(
     if workers is None:
         workers = default_workers()
     if workers > 1 and len(workloads) > 1:
-        mode = executor if executor is not None else default_executor()
-        opset_name = _opset_token(opset)
-        if (mode == "process" and opset_name is not None
-                and not opsets and energy_model is None
-                and backend in (None, "auto")):
-            payloads = [(spec, w, opset_name, shapes, metrics)
+        mode = resolve_pool_mode(executor, opset, opsets, energy_model,
+                                 backend)
+        if mode == "process":
+            payloads = [(spec, w, _opset_token(opset), shapes, metrics)
                         for w in workloads]
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 return list(pool.map(_process_one, payloads))

@@ -1,0 +1,68 @@
+"""Mapping-space search: strategies, parallel pruned evaluation, cascades.
+
+The paper positions TeAAL as the evaluation kernel inside a hierarchical
+design-space-exploration flow; this package is that flow's inner loop.
+It splits the problem into three orthogonal pieces:
+
+* :mod:`repro.search.space` — the space itself: :class:`Candidate`,
+  :class:`MappingSpace` (enumeration, sampling, neighborhood moves),
+  and :func:`apply_candidate`;
+* :mod:`repro.search.strategies` — pluggable candidate generators behind
+  :class:`SearchStrategy`: exhaustive, seeded random, greedy beam;
+* :mod:`repro.search.runner` — parallel candidate evaluation (threads or
+  processes, shared compile + prep caches), two-phase counters-then-exact
+  pruning, and the entry points :func:`search`, :func:`explore`, and
+  :func:`explore_cascade`.
+
+``repro.explore`` remains as a thin compatibility shim over this package.
+"""
+
+from .results import (
+    CascadeSearchResult,
+    ExplorationResult,
+    SearchResult,
+    metric_value,
+)
+from .runner import (
+    CHEAP_METRICS,
+    FULL_METRICS,
+    SearchRunner,
+    explore,
+    explore_cascade,
+    search,
+)
+from .space import (
+    Candidate,
+    MappingSpace,
+    apply_candidate,
+    enumerate_candidates,
+)
+from .strategies import (
+    BeamSearch,
+    ExhaustiveSearch,
+    RandomSearch,
+    SearchStrategy,
+    resolve_strategy,
+)
+
+__all__ = [
+    "BeamSearch",
+    "CHEAP_METRICS",
+    "Candidate",
+    "CascadeSearchResult",
+    "ExhaustiveSearch",
+    "ExplorationResult",
+    "FULL_METRICS",
+    "MappingSpace",
+    "RandomSearch",
+    "SearchResult",
+    "SearchRunner",
+    "SearchStrategy",
+    "apply_candidate",
+    "enumerate_candidates",
+    "explore",
+    "explore_cascade",
+    "metric_value",
+    "resolve_strategy",
+    "search",
+]

@@ -1,0 +1,410 @@
+"""Parallel, pruned mapping-space search over real tensors.
+
+This is the evaluation engine behind :func:`search`, :func:`explore`
+(the historical serial sweep, now a thin wrapper), and
+:func:`explore_cascade` (the paper's named future-work rung: searching a
+whole cascade's mappings Einsum by Einsum).
+
+The runner composes three independent pieces:
+
+* **A strategy** (:mod:`repro.search.strategies`) proposes candidate
+  batches and sees only float scores back.
+* **Parallel evaluation** fans each batch out over the
+  ``evaluate_many`` machinery: a thread pool sharing the process-wide
+  compile cache and one thread-safe
+  :class:`~repro.model.backend.PrepCache` per sweep, or a process pool
+  shipping picklable ``(spec, tensors, opset, shapes, metrics)``
+  payloads.  An explicit ``executor="process"`` request with
+  process-incompatible arguments raises
+  :class:`~repro.model.evaluate.ProcessExecutorError`; the default path
+  falls back to threads silently.
+* **Two-phase pruning** (``prune_to=k``): every proposed candidate is
+  scored first with a cheap fast path, then only the top-k survivors are
+  re-priced with the full per-event traced metrics (``metrics="trace"``,
+  the reference path) — and only when the spec binds buffers or caches;
+  on sink-less specs the cheap phase is already exact
+  (:func:`~repro.model.evaluate.counters_priceable`) and phase 2 is
+  skipped entirely.  Two surrogates are available via ``prune_metrics``:
+
+  - ``"auto"`` (the default) — the vector/fused kernels.  These are
+    *bit-identical* to the traced reference (the conformance suite
+    enforces it), so pruning with any ``k >= 1`` provably preserves the
+    best candidate; the speedup comes from pricing the non-survivors
+    without ever paying the per-event trace.
+  - ``"counters-only"`` — the counter-only kernels, which price every
+    event as DRAM traffic.  Cheaper still, but *approximate* on
+    buffered specs: buffering can reorder candidates, so the true best
+    is only guaranteed to survive when ``k`` absorbs the surrogate's
+    ranking error.  Use for very large spaces where even the vector
+    pass is too slow.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..einsum.operators import ARITHMETIC, OpSet
+from ..fibertree.rankid import rank_of_var
+from ..model.backend import PrepCache, resolve_backend
+from ..model.evaluate import (
+    EvaluationResult,
+    _opset_token,
+    _process_one,
+    counters_priceable,
+    default_workers,
+    evaluate,
+    resolve_pool_mode,
+)
+from ..spec.loader import AcceleratorSpec
+from .results import CascadeSearchResult, SearchResult, metric_value
+from .space import Candidate, MappingSpace, apply_candidate
+from .strategies import SearchStrategy, resolve_strategy
+
+#: The approximate (all-DRAM) surrogate for ``prune_metrics``.
+CHEAP_METRICS = "counters-only"
+
+#: The metrics mode survivors are re-priced with (the reference path).
+FULL_METRICS = "trace"
+
+#: How many consecutive all-duplicate proposal rounds the runner
+#: tolerates before concluding a strategy is stuck (its contract allows
+#: re-proposing seen candidates, so one stale round is not an error).
+MAX_STALE_ROUNDS = 8
+
+
+def _resolve_einsum(spec: AcceleratorSpec, einsum: Optional[str]) -> str:
+    if einsum is not None:
+        return einsum
+    if len(spec.einsum.cascade) != 1:
+        raise ValueError("name the Einsum to explore in a cascade "
+                         "(or use explore_cascade to search them all)")
+    return spec.einsum.cascade.produced[0]
+
+
+def _einsum_ranks(spec: AcceleratorSpec, einsum: str) -> List[str]:
+    return [rank_of_var(v) for v in spec.einsum.cascade[einsum].all_vars]
+
+
+class SearchRunner:
+    """Evaluates a strategy's candidate batches, in parallel, with
+    optional two-phase pruning.  One runner covers one (spec, Einsum,
+    tensors) sweep; construction resolves the backend and builds the
+    sweep-wide :class:`~repro.model.backend.PrepCache`."""
+
+    def __init__(
+        self,
+        spec: AcceleratorSpec,
+        tensors,
+        einsum: Optional[str] = None,
+        opset: OpSet = ARITHMETIC,
+        opsets=None,
+        shapes: Optional[Dict[str, int]] = None,
+        energy_model=None,
+        backend=None,
+        metrics: str = "auto",
+        metric: str = "exec_seconds",
+        workers: Optional[int] = None,
+        executor: Optional[str] = None,
+        prune_to: Optional[int] = None,
+        prune_metrics: str = "auto",
+        prep_cache: Optional[PrepCache] = None,
+    ):
+        if executor is not None and executor not in ("thread", "process"):
+            raise ValueError(
+                f"unknown executor {executor!r}; known: 'thread', 'process'"
+            )
+        if prune_to is not None and prune_to < 1:
+            raise ValueError("prune_to must be >= 1")
+        self.spec = spec
+        self.tensors = dict(tensors)
+        self.einsum = _resolve_einsum(spec, einsum)
+        self.opset = opset
+        self.opsets = opsets
+        self.shapes = shapes
+        self.energy_model = energy_model
+        self._backend_arg = backend
+        self.engine = resolve_backend(backend)
+        self.metrics = metrics
+        self.metric = metric
+        self.workers = workers if workers is not None else default_workers()
+        self.executor = executor
+        self.prune_to = prune_to
+        self.prune_metrics = prune_metrics
+        self.prep_cache = prep_cache if prep_cache is not None else PrepCache()
+        # Pool state, owned by run(): one pool serves every batch of a
+        # search (multi-round strategies would otherwise pay pool
+        # spin-up — worker-process imports included — per round).
+        self._mode: Optional[str] = None
+        self._thread_pool = None
+        self._process_pool = None
+
+    # ---- evaluation ---------------------------------------------------
+    def _evaluate_one(self, candidate: Candidate,
+                      metrics: str) -> EvaluationResult:
+        cand_spec = apply_candidate(self.spec, self.einsum, candidate)
+        return evaluate(cand_spec, dict(self.tensors), opset=self.opset,
+                        opsets=self.opsets, shapes=self.shapes,
+                        energy_model=self.energy_model, backend=self.engine,
+                        metrics=metrics, prep_cache=self.prep_cache)
+
+    def _evaluate_batch(self, candidates: Sequence[Candidate],
+                        metrics: str) -> List[EvaluationResult]:
+        """Evaluate one batch, preserving candidate order (so parallel
+        and serial sweeps yield bit-identical result lists)."""
+        if self._mode is not None and len(candidates) > 1:
+            if self._mode == "process":
+                if self._process_pool is None:
+                    self._process_pool = ProcessPoolExecutor(
+                        max_workers=self.workers)
+                token = _opset_token(self.opset)
+                payloads = [
+                    (apply_candidate(self.spec, self.einsum, c),
+                     self.tensors, token, self.shapes, metrics)
+                    for c in candidates
+                ]
+                return list(self._process_pool.map(_process_one, payloads))
+            if self._thread_pool is None:
+                self._thread_pool = ThreadPoolExecutor(
+                    max_workers=self.workers)
+            return list(self._thread_pool.map(
+                lambda c: self._evaluate_one(c, metrics), candidates
+            ))
+        return [self._evaluate_one(c, metrics) for c in candidates]
+
+    # ---- the search loop ----------------------------------------------
+    def run(self, strategy: SearchStrategy,
+            space: MappingSpace) -> SearchResult:
+        """Drive one strategy over one space to a ranked result."""
+        t_start = time.perf_counter()
+        strategy.reset(space)
+        pruning = self.prune_to is not None
+        phase1_metrics = self.prune_metrics if pruning else self.metrics
+        # Resolve the pool policy once per run (raising early when an
+        # explicit process request cannot be honored).
+        self._mode = resolve_pool_mode(
+            self.executor, self.opset, self.opsets, self.energy_model,
+            self._backend_arg,
+        ) if self.workers > 1 else None
+
+        scored: List[Tuple[Candidate, EvaluationResult]] = []
+        scores: List[Tuple[Candidate, float]] = []
+        seen = set()
+        stale_rounds = 0
+        try:
+            while True:
+                proposal = strategy.propose(space, scores)
+                if not proposal:
+                    break  # the strategy is done
+                batch = []
+                for cand in proposal:  # dedup across *and* within batches
+                    if cand not in seen:
+                        seen.add(cand)
+                        batch.append(cand)
+                if not batch:
+                    # Everything proposed was already evaluated.  The
+                    # strategy contract allows that ("harmless but
+                    # wasted"), so ask again — bounded, in case a
+                    # strategy never produces anything new.
+                    stale_rounds += 1
+                    if stale_rounds >= MAX_STALE_ROUNDS:
+                        break
+                    continue
+                stale_rounds = 0
+                for cand, res in zip(batch,
+                                     self._evaluate_batch(batch,
+                                                          phase1_metrics)):
+                    scored.append((cand, res))
+                    scores.append((cand, metric_value(res, self.metric)))
+            t_phase1 = time.perf_counter()
+
+            n_repriced = 0
+            if pruning and scored:
+                k = min(self.prune_to, len(scored))
+                # Deterministic top-k: ties break on proposal order.
+                by_score = sorted(range(len(scored)),
+                                  key=lambda i: (scores[i][1], i))
+                keep = {scores[i][0] for i in by_score[:k]}
+                survivors = [c for c, _ in scored if c in keep]
+                if counters_priceable(self.spec):
+                    # No buffers bound: the cheap phase was exact already.
+                    candidates = [(c, r) for c, r in scored if c in keep]
+                else:
+                    full = self._evaluate_batch(survivors, FULL_METRICS)
+                    candidates = list(zip(survivors, full))
+                    n_repriced = len(survivors)
+            else:
+                candidates = scored
+        finally:
+            if self._thread_pool is not None:
+                self._thread_pool.shutdown()
+                self._thread_pool = None
+            if self._process_pool is not None:
+                self._process_pool.shutdown()
+                self._process_pool = None
+            self._mode = None
+        t_end = time.perf_counter()
+
+        return SearchResult(
+            candidates=candidates,
+            scores=scores,
+            strategy=strategy.name,
+            metric=self.metric,
+            pruned_to=self.prune_to,
+            stats={
+                "seconds": t_end - t_start,
+                "phase1_seconds": t_phase1 - t_start,
+                "phase2_seconds": t_end - t_phase1,
+                "n_scored": len(scored),
+                "n_repriced": n_repriced,
+                "workers": self.workers,
+            },
+        )
+
+
+def search(
+    spec: AcceleratorSpec,
+    tensors,
+    einsum: Optional[str] = None,
+    strategy="exhaustive",
+    tile_sizes: Optional[Dict[str, Sequence[int]]] = None,
+    max_loop_orders: Optional[int] = None,
+    metric: str = "exec_seconds",
+    prune_to: Optional[int] = None,
+    prune_metrics: str = "auto",
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+    seed: int = 0,
+    samples: int = 32,
+    beam_width: int = 4,
+    opset: OpSet = ARITHMETIC,
+    opsets=None,
+    shapes: Optional[Dict[str, int]] = None,
+    energy_model=None,
+    backend=None,
+    metrics: str = "auto",
+    prep_cache: Optional[PrepCache] = None,
+) -> SearchResult:
+    """Search one Einsum's mapping space and rank the outcomes.
+
+    ``strategy`` picks the candidate generator: ``"exhaustive"`` (the
+    whole space), ``"random"`` (``samples`` seeded draws), ``"beam"``
+    (greedy refinement from ``beam_width`` survivors per round), or any
+    :class:`~repro.search.strategies.SearchStrategy` instance.
+
+    ``workers``/``executor`` control the parallel candidate evaluation
+    (defaults follow :func:`~repro.model.evaluate.default_workers` and
+    :func:`~repro.model.evaluate.default_executor`); ``workers=1`` forces
+    the serial sweep.  Parallel and serial runs produce bit-identical
+    candidate lists and rankings.
+
+    ``prune_to=k`` enables two-phase pruning: every candidate is scored
+    with the cheap ``prune_metrics`` fast path (``"auto"`` — the vector
+    kernels, bit-identical to the trace so the best provably survives —
+    or ``"counters-only"``, cheaper but approximate on buffered specs)
+    and only the best ``k`` are re-priced with the full per-event traced
+    metrics; see the module docstring for the contract.  ``metric``
+    picks the ranking scalar: ``"exec_seconds"``, ``"traffic"``, or
+    ``"energy"``.
+    """
+    runner = SearchRunner(
+        spec, tensors, einsum=einsum, opset=opset, opsets=opsets,
+        shapes=shapes, energy_model=energy_model, backend=backend,
+        metrics=metrics, metric=metric, workers=workers,
+        executor=executor, prune_to=prune_to,
+        prune_metrics=prune_metrics, prep_cache=prep_cache,
+    )
+    space = MappingSpace.of(_einsum_ranks(spec, runner.einsum),
+                            tile_sizes, max_loop_orders)
+    strat = resolve_strategy(strategy, seed=seed, samples=samples,
+                             beam_width=beam_width)
+    return runner.run(strat, space)
+
+
+def explore(
+    spec: AcceleratorSpec,
+    tensors,
+    einsum: Optional[str] = None,
+    tile_sizes: Optional[Dict[str, Sequence[int]]] = None,
+    max_loop_orders: Optional[int] = None,
+    opset: OpSet = ARITHMETIC,
+    backend=None,
+    metrics: str = "auto",
+) -> SearchResult:
+    """Sweep mappings of one Einsum serially and evaluate each on real
+    tensors — the historical exhaustive sweep, kept as the simple entry
+    point (and for any caller that needs strictly sequential
+    evaluation).  :func:`search` is the parallel, pruned superset.
+
+    Each candidate runs through the selected execution ``backend``
+    (compiled generated-Python kernels by default) with the given
+    ``metrics`` mode (``"auto"`` by default); candidates share the
+    process-wide compile cache and one sweep-wide
+    :class:`~repro.model.backend.PrepCache`, so re-exploring after a
+    workload change pays no lowering cost and candidates agreeing on a
+    tensor's storage order reuse one prepared tensor and one arena.
+    """
+    return search(spec, tensors, einsum=einsum, strategy="exhaustive",
+                  tile_sizes=tile_sizes, max_loop_orders=max_loop_orders,
+                  opset=opset, backend=backend, metrics=metrics,
+                  workers=1)
+
+
+def explore_cascade(
+    spec: AcceleratorSpec,
+    tensors,
+    tile_sizes: Optional[Dict[str, Sequence[int]]] = None,
+    max_loop_orders: Optional[int] = None,
+    strategy="exhaustive",
+    metric: str = "exec_seconds",
+    prune_to: Optional[int] = None,
+    prune_metrics: str = "auto",
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+    seed: int = 0,
+    samples: int = 32,
+    beam_width: int = 4,
+    opset: OpSet = ARITHMETIC,
+    opsets=None,
+    shapes: Optional[Dict[str, int]] = None,
+    energy_model=None,
+    backend=None,
+    metrics: str = "auto",
+) -> CascadeSearchResult:
+    """Search every Einsum's mapping in cascade (topological) order,
+    carrying the best prefix forward — the paper's future-work rung.
+
+    Einsum ``i`` is searched with Einsums ``0..i-1`` pinned to their
+    already-chosen best mappings (and later Einsums at the spec's
+    original mappings); every candidate is scored on the *whole
+    cascade's* metric, so upstream choices that help downstream Einsums
+    win.  ``tile_sizes`` applies per rank wherever that rank appears.
+
+    Returns a :class:`~repro.search.results.CascadeSearchResult` whose
+    ``spec`` carries every chosen mapping and whose ``best_result`` is
+    the full-cascade evaluation under them.
+    """
+    out = CascadeSearchResult()
+    current = spec
+    prep_cache = PrepCache()
+    for e in spec.einsum.cascade:
+        ranks = [rank_of_var(v) for v in e.all_vars]
+        ts = {r: sizes for r, sizes in (tile_sizes or {}).items()
+              if r in ranks}
+        result = search(
+            current, tensors, einsum=e.name, strategy=strategy,
+            tile_sizes=ts, max_loop_orders=max_loop_orders, metric=metric,
+            prune_to=prune_to, prune_metrics=prune_metrics,
+            workers=workers, executor=executor,
+            seed=seed, samples=samples, beam_width=beam_width, opset=opset,
+            opsets=opsets, shapes=shapes, energy_model=energy_model,
+            backend=backend, metrics=metrics, prep_cache=prep_cache,
+        )
+        cand, res = result.best(metric)
+        current = apply_candidate(current, e.name, cand)
+        out.per_einsum[e.name] = result
+        out.best_candidates[e.name] = cand
+        out.best_result = res
+    out.spec = current
+    return out

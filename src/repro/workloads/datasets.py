@@ -11,6 +11,7 @@ original characteristics for reporting.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
@@ -53,7 +54,15 @@ class Dataset:
 
 
 def _stable_seed(key: str) -> int:
-    return sum(ord(c) * (i + 1) for i, c in enumerate(key)) % 100003
+    """A stable, collision-resistant per-dataset seed offset.
+
+    CRC32 of the key bytes: deterministic across processes and Python
+    versions (unlike ``hash``), and free of the pairwise collisions the
+    old additive character hash allowed (e.g. ``"ab"`` and ``"ca"``
+    summed to the same value, so two dataset keys could generate
+    identical matrices).
+    """
+    return zlib.crc32(key.encode("utf-8"))
 
 
 # Validation-study matrices (Figures 9-11), scaled ~1/40th linear.

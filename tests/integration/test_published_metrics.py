@@ -33,27 +33,30 @@ PARAMS = {
 # Golden values measured on the "wi" stand-in at the time this harness was
 # introduced.  They are pins, not truths: a deliberate model change should
 # update them in the same commit, with the reason in the message.
+# (Re-pinned when workloads.datasets switched to a CRC-based stable seed —
+# the stand-in matrices regenerate from different streams; all values
+# moved by well under 5%.)
 GOLDEN = {
     "gamma": dict(
-        normalized_traffic=1.0733359542746546,
-        traffic_bytes=425904.0,
-        exec_cycles=20686.0,
-        energy_mj=0.09014009744,
-        total_ops=186748,
+        normalized_traffic=1.0723311938895888,
+        traffic_bytes=429044.0,
+        exec_cycles=21377.0,
+        energy_mj=0.09063443428000001,
+        total_ops=188047,
     ),
     "extensor": dict(
-        normalized_traffic=3.5315974637352445,
-        traffic_bytes=1401352.0,
-        exec_cycles=47934.0,
-        energy_mj=0.23089328312,
-        total_ops=114880,
+        normalized_traffic=3.4582608521784337,
+        traffic_bytes=1383664.0,
+        exec_cycles=47137.0,
+        energy_mj=0.22796823900000002,
+        total_ops=115649,
     ),
     "outerspace": dict(
-        normalized_traffic=5.497202649166843,
-        traffic_bytes=2181312.0,
-        exec_cycles=25562.25,
-        energy_mj=0.3542436388,
-        total_ops=143736,
+        normalized_traffic=5.4952912242816865,
+        traffic_bytes=2198688.0,
+        exec_cycles=25765.875,
+        energy_mj=0.35706545780000004,
+        total_ops=144796,
     ),
 }
 

@@ -209,6 +209,19 @@ def test_default_workers_env_override(monkeypatch):
     assert default_workers() == expected
 
 
+def test_default_workers_rejects_non_numeric_env(monkeypatch):
+    """A garbage REPRO_EVALUATE_WORKERS used to crash with an opaque
+    ValueError from int(); it now raises a named error that points at
+    the variable and the fix."""
+    from repro.model import EnvVarError
+
+    monkeypatch.setenv("REPRO_EVALUATE_WORKERS", "many")
+    with pytest.raises(EnvVarError, match="REPRO_EVALUATE_WORKERS"):
+        default_workers()
+    monkeypatch.setenv("REPRO_EVALUATE_WORKERS", "0")
+    assert default_workers() == 1  # clamped, not rejected
+
+
 def test_flat_and_object_flavors_agree_untraced():
     spec = load_spec(SPLIT, name="flavors")
     cache = CompileCache()

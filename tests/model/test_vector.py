@@ -355,17 +355,44 @@ def test_evaluate_many_process_executor_matches_threads():
 
 
 def test_evaluate_many_executor_env_override(monkeypatch):
-    from repro.model.evaluate import default_executor
+    from repro.model.evaluate import EnvVarError, default_executor
 
     monkeypatch.delenv("REPRO_EVALUATE_EXECUTOR", raising=False)
     assert default_executor() == "thread"
     monkeypatch.setenv("REPRO_EVALUATE_EXECUTOR", "process")
     assert default_executor() == "process"
-    monkeypatch.setenv("REPRO_EVALUATE_EXECUTOR", "bogus")
+    monkeypatch.setenv("REPRO_EVALUATE_EXECUTOR", "")
     assert default_executor() == "thread"
+    # An unknown value used to fall back to threads silently; it now
+    # raises a named error that points at the variable.
+    monkeypatch.setenv("REPRO_EVALUATE_EXECUTOR", "bogus")
+    with pytest.raises(EnvVarError, match="REPRO_EVALUATE_EXECUTOR"):
+        default_executor()
 
 
 def test_evaluate_many_rejects_unknown_executor():
     spec = load_spec(SPMSPM, name="vec-pool-bad")
     with pytest.raises(ValueError, match="unknown executor"):
         evaluate_many(spec, _sweep_workloads(2), executor="Processes")
+
+
+def test_explicit_process_executor_raises_on_unpicklable_args():
+    """executor='process' by argument must refuse (not silently thread)
+    when the arguments cannot cross the pool."""
+    from repro.model import EnergyModel, ProcessExecutorError
+
+    spec = load_spec(SPMSPM, name="vec-pool-strict")
+    with pytest.raises(ProcessExecutorError, match="energy_model"):
+        evaluate_many(spec, _sweep_workloads(2), workers=2,
+                      executor="process", energy_model=EnergyModel())
+
+
+def test_env_process_executor_downgrades_silently(monkeypatch):
+    """The env-var path keeps the historical silent thread fallback."""
+    from repro.model import EnergyModel
+
+    monkeypatch.setenv("REPRO_EVALUATE_EXECUTOR", "process")
+    spec = load_spec(SPMSPM, name="vec-pool-env")
+    results = evaluate_many(spec, _sweep_workloads(2), workers=2,
+                            energy_model=EnergyModel())
+    assert len(results) == 2

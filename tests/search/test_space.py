@@ -1,0 +1,133 @@
+"""Mapping-space mechanics: enumeration, dedup, genotypes, neighbors."""
+
+import pytest
+
+from repro.search import Candidate, MappingSpace, enumerate_candidates
+
+
+class TestEnumeration:
+    def test_plain_orders(self):
+        cands = enumerate_candidates(["M", "N", "K"])
+        assert len(cands) == 6
+        assert all(len(c.loop_order) == 3 for c in cands)
+
+    def test_tiling_adds_split_ranks(self):
+        cands = enumerate_candidates(["M", "K"], tile_sizes={"K": [4]})
+        tiled = [c for c in cands if c.tiles]
+        assert tiled
+        for c in tiled:
+            assert "K1" in c.loop_order and "K0" in c.loop_order
+            assert c.loop_order.index("K1") < c.loop_order.index("K0")
+
+    def test_max_loop_orders_truncates(self):
+        cands = enumerate_candidates(["M", "N", "K"], max_loop_orders=2)
+        assert len(cands) == 2
+
+    def test_duplicate_tile_sizes_dedup(self):
+        """A repeated tile size must not evaluate one mapping twice."""
+        plain = enumerate_candidates(["M", "K"], tile_sizes={"K": [4]})
+        duped = enumerate_candidates(["M", "K"], tile_sizes={"K": [4, 4]})
+        assert duped == plain
+
+    def test_all_candidates_distinct(self):
+        cands = enumerate_candidates(["M", "N", "K"],
+                                     tile_sizes={"K": [4, 8], "M": [2]})
+        assert len(cands) == len(set(cands))
+
+    def test_first_occurrence_order_preserved(self):
+        cands = enumerate_candidates(["M", "K"], tile_sizes={"K": [4, 4, 8]})
+        # Untiled first per order, then K:4, then K:8 (second 4 dropped).
+        tiles_seen = [c.tiles for c in cands if
+                      c.loop_order[0] in ("M", "K1") and "M" in c.loop_order]
+        assert ((("K", 4),)) in tiles_seen and ((("K", 8),)) in tiles_seen
+
+
+class TestGenotype:
+    def test_roundtrip(self):
+        space = MappingSpace.of(["M", "N", "K"], {"K": [4, 8], "N": [2]})
+        for cand in space.all():
+            order, tiles = space.genotype(cand)
+            assert space.make(order, tiles) == cand
+
+    def test_make_canonicalizes_tile_order(self):
+        space = MappingSpace.of(["M", "K"], {"K": [4], "M": [2]})
+        a = space.make(("M", "K"), {"K": 4, "M": 2})
+        b = space.make(("M", "K"), {"M": 2, "K": 4})
+        assert a == b
+
+
+class TestNeighbors:
+    def test_adjacent_swaps(self):
+        space = MappingSpace.of(["M", "N", "K"])
+        cand = space.make(("M", "N", "K"), {})
+        orders = {space.genotype(n)[0] for n in space.neighbors(cand)}
+        assert ("N", "M", "K") in orders
+        assert ("M", "K", "N") in orders
+        assert ("K", "N", "M") not in orders  # not a one-step move
+
+    def test_tile_ladder_steps(self):
+        space = MappingSpace.of(["M", "K"], {"K": [4, 8, 16]})
+        untiled = space.make(("M", "K"), {})
+        tiles = {space.genotype(n)[1].get("K")
+                 for n in space.neighbors(untiled)}
+        assert 4 in tiles  # untiled -> smallest
+        assert 8 not in tiles  # no ladder jumps
+        mid = space.make(("M", "K"), {"K": 8})
+        tiles = {space.genotype(n)[1].get("K")
+                 for n in space.neighbors(mid)}
+        assert {4, 16} <= tiles
+
+    def test_never_returns_self(self):
+        space = MappingSpace.of(["M", "N"], {"N": [2]})
+        for cand in space.all():
+            assert cand not in space.neighbors(cand)
+
+    def test_neighbors_stay_in_space(self):
+        space = MappingSpace.of(["M", "N", "K"], {"K": [4, 8]})
+        population = set(space.all())
+        for cand in space.all():
+            assert set(space.neighbors(cand)) <= population
+
+
+class TestSample:
+    def test_sample_is_deterministic_and_distinct(self):
+        import random
+        space = MappingSpace.of(["M", "N", "K"], {"K": [4, 8]})
+        a = space.sample(5, random.Random(7))
+        b = space.sample(5, random.Random(7))
+        assert a == b
+        assert len(set(a)) == 5
+
+    def test_oversample_returns_whole_space(self):
+        import random
+        space = MappingSpace.of(["M", "N"])
+        assert space.sample(100, random.Random(0)) == space.all()
+
+    def test_sample_never_materializes_large_spaces(self):
+        """Sampling a factorially large space (12! orders) must stay
+        index-based — this would hang if sample() enumerated."""
+        import random
+        ranks = [f"R{i}" for i in range(12)]
+        space = MappingSpace.of(ranks, {"R0": [4, 8]})
+        assert space.size() == 479_001_600 * 3
+        picks = space.sample(16, random.Random(3))
+        assert len(picks) == 16
+        assert all(len(set(space.genotype(c)[0])) == 12 for c in picks)
+
+    def test_candidate_at_matches_enumeration(self):
+        """Index decoding must agree with the enumeration order on
+        spaces without duplicate tile sizes."""
+        space = MappingSpace.of(["M", "N", "K"], {"K": [4, 8]})
+        assert [space.candidate_at(i) for i in range(space.size())] \
+            == space.all()
+
+
+class TestCandidate:
+    def test_describe(self):
+        c = Candidate(("K1", "M", "K0"), (("K", 4),))
+        assert "K:4" in c.describe()
+
+    def test_hashable_for_dedup(self):
+        a = Candidate(("M", "K"))
+        b = Candidate(("M", "K"))
+        assert len({a, b}) == 1

@@ -1,0 +1,131 @@
+"""Strategy behavior: proposal protocol, determinism, beam refinement."""
+
+import pytest
+
+from repro.search import (
+    BeamSearch,
+    ExhaustiveSearch,
+    MappingSpace,
+    RandomSearch,
+    SearchStrategy,
+    resolve_strategy,
+)
+
+
+def drain(strategy, space, score):
+    """Run the proposal loop with a synthetic scoring function."""
+    strategy.reset(space)
+    scored = []
+    seen = set()
+    while True:
+        batch = [c for c in strategy.propose(space, scored)
+                 if c not in seen]
+        if not batch:
+            return scored
+        seen.update(batch)
+        scored.extend((c, score(c)) for c in batch)
+
+
+SPACE = MappingSpace.of(["M", "N", "K"], {"K": [4, 8]})
+
+
+def synthetic_score(cand):
+    """Deterministic score with a unique global optimum: innermost K
+    tiled at 8 with order (M, N, K) scores lowest."""
+    order, tiles = SPACE.genotype(cand)
+    penalty = sum(i for i, r in enumerate(("M", "N", "K"))
+                  if order[i] != r)
+    return penalty * 10 + abs(tiles.get("K", 0) - 8)
+
+
+class TestExhaustive:
+    def test_proposes_everything_once(self):
+        scored = drain(ExhaustiveSearch(), SPACE, synthetic_score)
+        assert [c for c, _ in scored] == SPACE.all()
+
+    def test_reset_allows_reuse(self):
+        strat = ExhaustiveSearch()
+        first = drain(strat, SPACE, synthetic_score)
+        second = drain(strat, SPACE, synthetic_score)
+        assert first == second
+
+
+class TestRandom:
+    def test_sample_size_and_determinism(self):
+        a = drain(RandomSearch(samples=5, seed=3), SPACE, synthetic_score)
+        b = drain(RandomSearch(samples=5, seed=3), SPACE, synthetic_score)
+        assert a == b
+        assert len(a) == 5
+        assert len({c for c, _ in a}) == 5
+
+    def test_different_seeds_differ(self):
+        a = drain(RandomSearch(samples=6, seed=1), SPACE, synthetic_score)
+        b = drain(RandomSearch(samples=6, seed=2), SPACE, synthetic_score)
+        assert [c for c, _ in a] != [c for c, _ in b]
+
+    def test_rejects_bad_samples(self):
+        with pytest.raises(ValueError):
+            RandomSearch(samples=0)
+
+
+class TestBeam:
+    def test_finds_global_optimum_on_smooth_landscape(self):
+        scored = drain(BeamSearch(width=2, init=3, seed=0), SPACE,
+                       synthetic_score)
+        best = min(scored, key=lambda cs: cs[1])[0]
+        exhaustive_best = min(
+            ((c, synthetic_score(c)) for c in SPACE.all()),
+            key=lambda cs: cs[1],
+        )[0]
+        assert best == exhaustive_best
+
+    def test_evaluates_fewer_than_exhaustive_on_larger_space(self):
+        space = MappingSpace.of(["M", "N", "K", "J"], {"K": [4, 8, 16]})
+
+        def score(cand):
+            order, tiles = space.genotype(cand)
+            penalty = sum(i for i, r in enumerate(("M", "N", "K", "J"))
+                          if order[i] != r)
+            return penalty * 10 + abs(tiles.get("K", 0) - 8)
+
+        scored = drain(BeamSearch(width=2, init=4, seed=0), space, score)
+        assert len(scored) < len(space.all())
+
+    def test_stops_without_improvement(self):
+        # A flat landscape: the first refinement round cannot improve,
+        # so patience=1 ends the search after at most two rounds of
+        # proposals beyond the seed.
+        scored = drain(BeamSearch(width=2, init=2, seed=0, patience=1),
+                       SPACE, lambda c: 1.0)
+        assert len(scored) < len(SPACE.all())
+
+    def test_max_rounds_bounds_work(self):
+        strat = BeamSearch(width=1, init=1, seed=0, max_rounds=1)
+        scored = drain(strat, SPACE, synthetic_score)
+        assert len(scored) == 1  # just the seed batch
+
+    def test_deterministic(self):
+        a = drain(BeamSearch(width=2, init=4, seed=5), SPACE,
+                  synthetic_score)
+        b = drain(BeamSearch(width=2, init=4, seed=5), SPACE,
+                  synthetic_score)
+        assert a == b
+
+
+class TestResolve:
+    def test_names(self):
+        assert isinstance(resolve_strategy("exhaustive"), ExhaustiveSearch)
+        assert isinstance(resolve_strategy("random"), RandomSearch)
+        assert isinstance(resolve_strategy("beam"), BeamSearch)
+
+    def test_instance_passthrough(self):
+        strat = BeamSearch(width=3)
+        assert resolve_strategy(strat) is strat
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            resolve_strategy("simulated-annealing")
+
+    def test_base_interface_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            SearchStrategy().propose(SPACE, [])
