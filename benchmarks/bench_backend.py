@@ -30,6 +30,11 @@ target):
    re-pricing for the top-k) must beat the serial exhaustive sweep at
    full traced fidelity by >=2x while choosing the *identical* best
    candidate with bit-identical metrics.
+7. **Analytical**: on the same candidate space, the statistics-based
+   pricing tier (``metrics="analytical"`` — no tensor walked at all)
+   must price candidates >=100x faster than the counter-fused kernels,
+   and the pruned search with ``prune_metrics="analytical"`` must still
+   land on the exhaustive-best mapping at the bench space's ``k``.
 
 An ``--nnz-sweep`` mode grows one synthetic SpMSpM from 1e4 to 1e6
 nonzeros and records counted-vs-vector per size — the gap widens with
@@ -218,7 +223,7 @@ NNZ_SIZES = (10_000, 100_000, 1_000_000)
 TRAJECTORY = os.path.join(os.path.dirname(__file__), "BENCH_backend.json")
 
 ALL_FLAVORS = ("interpreter", "compiled", "counters", "vector",
-               "untraced", "buffered", "executor", "search")
+               "untraced", "buffered", "executor", "search", "analytical")
 
 
 def _workloads(n: int = N_WORKLOADS):
@@ -275,7 +280,10 @@ def run_comparison(n: int = N_WORKLOADS, flavors=None):
       vector engines;
     * ``executor_thread`` / ``executor_process`` — the long-span sweep
       through both ``evaluate_many`` pool types (the measurement behind
-      the thread default).
+      the thread default);
+    * ``acand_counters`` / ``acand_analytical`` — the search space's
+      candidates priced one-by-one through the counter-fused kernels
+      and the statistics tier (the >=100x claim).
     """
     flavors = set(ALL_FLAVORS if flavors is None else flavors)
     spec = load_spec(SPEC, name="backend-sweep")
@@ -365,6 +373,8 @@ def run_comparison(n: int = N_WORKLOADS, flavors=None):
         timings.update(_run_buffered(n, interp))
     if "search" in flavors:
         timings.update(_run_search())
+    if "analytical" in flavors:
+        timings.update(_run_analytical())
     return timings
 
 
@@ -527,6 +537,72 @@ def _run_search() -> dict:
             "search_parallel_pruned": t_pruned}
 
 
+def _run_analytical() -> dict:
+    """The statistics-pricing sweep: every candidate of the search
+    space priced by the analytical tier (``metrics="analytical"`` — no
+    tensor walked) vs. the counter-fused kernels, per-candidate (the
+    >=100x claim), plus an identical-best check of the pruned search
+    with ``prune_metrics="analytical"`` against the serial exhaustive
+    traced sweep."""
+    from repro.model.analytical import WorkloadStats
+    from repro.search import MappingSpace, search
+    from repro.search.space import apply_candidate
+
+    spec = load_spec(SPEC_SEARCH, name="analytical-sweep")
+    tensors = {
+        "A": uniform_random("A", ["K", "M"], (96, 48), 0.15, seed=5),
+        "B": uniform_random("B", ["K", "N"], (96, 40), 0.15, seed=7),
+    }
+    einsum = spec.einsum.cascade.produced[0]
+    space = MappingSpace.of(SEARCH_RANKS, SEARCH_TILE_SIZES)
+    cand_specs = [apply_candidate(spec, einsum, c) for c in space.all()]
+
+    # One-time sweep costs, timed but kept out of the per-candidate
+    # rows: statistics extraction for the analytical tier, and a warm
+    # pass so neither timed sweep pays kernel lowering.
+    t0 = time.perf_counter()
+    stats = WorkloadStats.from_tensors(tensors)
+    t_stats = time.perf_counter() - t0
+    backend = CompiledBackend(cache=CompileCache())
+    evaluate(cand_specs[0], dict(tensors), backend=backend,
+             metrics="counters")
+    evaluate(cand_specs[0], None, metrics="analytical", stats=stats)
+
+    timings = {}
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        for cs in cand_specs:
+            evaluate(cs, dict(tensors), backend=backend,
+                     metrics="counters")
+        timings["acand_counters"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for cs in cand_specs:
+            evaluate(cs, None, metrics="analytical", stats=stats)
+        timings["acand_analytical"] = time.perf_counter() - t0
+    finally:
+        gc.enable()
+    timings["analytical_stats_extract"] = t_stats
+
+    # The pruned search with the analytical phase-0 scorer must land on
+    # the same best mapping as the serial exhaustive traced sweep (the
+    # top-k recall contract, at the bench space's documented k).
+    exhaustive = search(spec, tensors, tile_sizes=SEARCH_TILE_SIZES,
+                        workers=1, metrics="trace")
+    pruned = search(spec, tensors, tile_sizes=SEARCH_TILE_SIZES,
+                    prune_to=SEARCH_PRUNE_TO,
+                    prune_metrics="analytical")
+    (cand_s, res_s), (cand_p, res_p) = exhaustive.best(), pruned.best()
+    assert cand_s == cand_p, (
+        f"analytical-pruned best {cand_p.describe()} diverged from the "
+        f"exhaustive best {cand_s.describe()}"
+    )
+    assert res_s.exec_seconds == res_p.exec_seconds
+    assert res_s.traffic_bytes() == res_p.traffic_bytes()
+    return timings
+
+
 # ----------------------------------------------------------------------
 # nnz-scaling sweep (counted vs vector as spans grow)
 # ----------------------------------------------------------------------
@@ -640,6 +716,8 @@ def record_trajectory(timings: dict, n: int, path: str = TRAJECTORY,
                                            "buffered_vector"),
         "pruned_search_vs_serial_exhaustive": ratio(
             "search_serial_exhaustive", "search_parallel_pruned"),
+        "analytical_vs_counters": ratio("acand_counters",
+                                        "acand_analytical"),
     }
     record = {
         "timestamp": datetime.now(timezone.utc).isoformat(),
@@ -665,6 +743,20 @@ def record_trajectory(timings: dict, n: int, path: str = TRAJECTORY,
                 timings["search_serial_exhaustive"], 6),
             "parallel_pruned_seconds": round(
                 timings["search_parallel_pruned"], 6),
+        }
+    if "acand_counters" in timings and "acand_analytical" in timings:
+        # _run_analytical asserted identical-best (vs the serial
+        # exhaustive traced sweep) before returning timings.
+        nc = _search_n_candidates()
+        record["analytical"] = {
+            "n_candidates": nc,
+            "per_candidate_counters_us": round(
+                1e6 * timings["acand_counters"] / nc, 3),
+            "per_candidate_analytical_us": round(
+                1e6 * timings["acand_analytical"] / nc, 3),
+            "stats_extract_seconds": round(
+                timings["analytical_stats_extract"], 6),
+            "identical_best": True,
         }
     if "executor_thread" in timings and "executor_process" in timings:
         record["executor"] = {
@@ -743,6 +835,13 @@ def _print_report(timings: dict, n: int) -> None:
         "search_serial_exhaustive", strip="search_",
         per=_search_n_candidates(), per_label="per candidate",
     )
+    series(
+        f"Analytical statistics pricing ({_search_n_candidates()} "
+        "candidates, buffered spec), speedup vs counter-fused kernels",
+        ["acand_counters", "acand_analytical"],
+        "acand_counters", strip="acand_",
+        per=_search_n_candidates(), per_label="per candidate",
+    )
 
 
 @pytest.mark.benchmark(group="backend")
@@ -800,6 +899,15 @@ def test_backend_sweep_speedup(benchmark):
         f"pruned search ({timings['search_parallel_pruned']:.3f}s) should "
         f"beat the serial exhaustive sweep "
         f"({timings['search_serial_exhaustive']:.3f}s) clearly"
+    )
+    # Statistics pricing lands >=100x over the counter-fused kernels on
+    # an idle machine; 20x leaves a wide noise berth while still
+    # catching any real regression of the analytical fast path.
+    assert timings["acand_analytical"] * 20.0 \
+        < timings["acand_counters"], (
+        f"analytical pricing ({timings['acand_analytical']:.4f}s) should "
+        f"beat the counter-fused sweep "
+        f"({timings['acand_counters']:.3f}s) by orders of magnitude"
     )
 
 

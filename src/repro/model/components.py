@@ -446,6 +446,7 @@ class ComputeModel:
         self.ops = 0
         self.steps: Set = set()
         self.lanes: Set = set()
+        self._extra_steps = 0.0  # analytical (expected) serial steps
 
     def compute(self, n: int, time_stamp, space_stamp) -> None:
         self.ops += n
@@ -459,8 +460,16 @@ class ComputeModel:
         self.steps.update(time_stamps)
         self.lanes.update(space_stamps)
 
-    def serial_steps(self) -> int:
-        return len(self.steps)
+    def compute_estimate(self, n: float, steps: float, lanes: float) -> None:
+        """Expectation form used by analytical pricing: ``n`` total ops
+        spread over an *expected* ``steps`` serial steps across ``lanes``
+        parallel lanes.  Steps accumulate as a float tally rather than a
+        distinct-stamp set (there are no concrete stamps to collect)."""
+        self.ops += n
+        self._extra_steps += steps
+
+    def serial_steps(self) -> float:
+        return len(self.steps) + self._extra_steps
 
     def utilization(self) -> float:
         steps = self.serial_steps()

@@ -706,6 +706,7 @@ def evaluate(
     backend=None,
     metrics: str = "auto",
     prep_cache=None,
+    stats=None,
 ) -> EvaluationResult:
     """Run a full TeAAL evaluation: execute + model + reduce.
 
@@ -747,11 +748,25 @@ def evaluate(
       ``np.add.accumulate`` reductions); per-span runtime guards fall
       back to the scalar loop, so results are bit-identical by
       construction.
+    * ``"analytical"`` — the second deliberately *approximate* tier
+      (alongside ``"counters-only"``): expected metrics computed from
+      sparsity statistics alone, never walking a tensor.  ``stats``
+      (a :class:`~repro.model.analytical.WorkloadStats`) supplies the
+      statistics; when omitted they are measured from ``tensors``.
+      Microseconds per candidate — the phase-0 scorer of the search
+      subsystem's pruning cascade.  See :mod:`repro.model.analytical`
+      for the accuracy contract.
 
     ``prep_cache`` (a :class:`~repro.model.backend.PrepCache`) memoizes
     tensor preparation and arena conversion across evaluations sharing
     input objects — mapping sweeps pass one cache for the whole sweep.
     """
+    if metrics == "analytical":
+        from .analytical import evaluate_analytical
+
+        return evaluate_analytical(spec, tensors=tensors, stats=stats,
+                                   shapes=shapes,
+                                   energy_model=energy_model)
     engine = resolve_backend(backend)
     if metrics in ("auto", "vector"):
         result = _evaluate_fused(spec, tensors, opset, opsets, shapes,
@@ -776,7 +791,7 @@ def evaluate(
     elif metrics != "trace":
         raise ValueError(
             f"unknown metrics mode {metrics!r}; known: 'auto', 'trace', "
-            "'counters', 'counters-only', 'fused', 'vector'"
+            "'counters', 'counters-only', 'fused', 'vector', 'analytical'"
         )
     env: Dict[str, Tensor] = {}
     sink = ModelSink(spec, env)

@@ -58,23 +58,41 @@ class FootprintOracle:
         self.formats = formats
         self.config_of = config_of or {}
         self._stats_cache: Dict[int, Dict[str, RankStats]] = {}
+        # Formats are fixed at construction, so both lookups below are
+        # pure — and they sit on the per-event traced path, where the
+        # uncached spec walk (allocating a default RankFormat per miss)
+        # dominated sink time.
+        self._fmt_cache: Dict[tuple, RankFormat] = {}
+        self._bits_cache: Dict[tuple, int] = {}
 
     def rank_format(self, tensor: str, rank: str) -> RankFormat:
-        return self.formats.rank_format(tensor, rank,
-                                        self.config_of.get(tensor))
+        key = (tensor, rank)
+        fmt = self._fmt_cache.get(key)
+        if fmt is None:
+            fmt = self.formats.rank_format(tensor, rank,
+                                           self.config_of.get(tensor))
+            self._fmt_cache[key] = fmt
+        return fmt
 
     def access_bits(self, tensor: str, rank: str, kind: str) -> int:
         """Bits moved by one coordinate/payload access at a rank."""
+        key = (tensor, rank, kind)
+        bits = self._bits_cache.get(key)
+        if bits is not None:
+            return bits
         fmt = self.rank_format(tensor, rank)
         if kind == "coord":
-            return fmt.coord_footprint_bits()
-        if kind == "payload":
-            return fmt.payload_footprint_bits()
-        if kind == "elem":
-            return fmt.element_footprint_bits()
-        if kind == "fheader":
-            return fmt.fhbits
-        raise ValueError(f"unknown access kind {kind!r}")
+            bits = fmt.coord_footprint_bits()
+        elif kind == "payload":
+            bits = fmt.payload_footprint_bits()
+        elif kind == "elem":
+            bits = fmt.element_footprint_bits()
+        elif kind == "fheader":
+            bits = fmt.fhbits
+        else:
+            raise ValueError(f"unknown access kind {kind!r}")
+        self._bits_cache[key] = bits
+        return bits
 
     # ------------------------------------------------------------------
     def stats_of(self, tensor: Tensor) -> Dict[str, RankStats]:

@@ -21,6 +21,8 @@ def metric_value(res: EvaluationResult, metric: str) -> float:
     """Extract one scalar search metric from an evaluation result."""
     if metric == "exec_seconds":
         return res.exec_seconds
+    if metric == "cycles":
+        return res.exec_cycles
     if metric == "traffic":
         return res.traffic_bytes()
     if metric == "energy":

@@ -37,6 +37,17 @@ The runner composes three independent pieces:
     is only guaranteed to survive when ``k`` absorbs the surrogate's
     ranking error.  Use for very large spaces where even the vector
     pass is too slow.
+  - ``"analytical"`` — the statistics-based pricing tier
+    (:func:`~repro.model.analytical.evaluate_analytical`): no tensor is
+    walked at all, candidates are priced from sparsity statistics
+    extracted once per sweep.  Orders of magnitude faster than any
+    executing surrogate, but approximate *everywhere* (sink-less specs
+    included), so phase 2 always re-prices the survivors and the
+    exact-survivor guarantee is relaxed to top-k recall: the true best
+    survives whenever ``k`` absorbs the documented error bounds (the
+    cross-validation suite in ``tests/model/test_analytical.py`` pins
+    them).  Scored serially — each candidate prices in well under a
+    millisecond, so pool dispatch would cost more than it saves.
 """
 
 from __future__ import annotations
@@ -139,11 +150,26 @@ class SearchRunner:
         self._mode: Optional[str] = None
         self._thread_pool = None
         self._process_pool = None
+        # Sweep-wide sparsity statistics for the analytical surrogate,
+        # extracted lazily (and only once — they are mapping-independent,
+        # so every candidate shares them).
+        self._workload_stats = None
 
     # ---- evaluation ---------------------------------------------------
+    def _stats(self):
+        if self._workload_stats is None:
+            from ..model.analytical import WorkloadStats
+
+            self._workload_stats = WorkloadStats.from_tensors(self.tensors)
+        return self._workload_stats
+
     def _evaluate_one(self, candidate: Candidate,
                       metrics: str) -> EvaluationResult:
         cand_spec = apply_candidate(self.spec, self.einsum, candidate)
+        if metrics == "analytical":
+            return evaluate(cand_spec, None, shapes=self.shapes,
+                            energy_model=self.energy_model,
+                            metrics="analytical", stats=self._stats())
         return evaluate(cand_spec, dict(self.tensors), opset=self.opset,
                         opsets=self.opsets, shapes=self.shapes,
                         energy_model=self.energy_model, backend=self.engine,
@@ -153,6 +179,10 @@ class SearchRunner:
                         metrics: str) -> List[EvaluationResult]:
         """Evaluate one batch, preserving candidate order (so parallel
         and serial sweeps yield bit-identical result lists)."""
+        if metrics == "analytical":
+            # Statistics pricing is ~1000x cheaper than an executing
+            # surrogate; pool dispatch would dominate the work.
+            return [self._evaluate_one(c, metrics) for c in candidates]
         if self._mode is not None and len(candidates) > 1:
             if self._mode == "process":
                 if self._process_pool is None:
@@ -227,8 +257,11 @@ class SearchRunner:
                                   key=lambda i: (scores[i][1], i))
                 keep = {scores[i][0] for i in by_score[:k]}
                 survivors = [c for c, _ in scored if c in keep]
-                if counters_priceable(self.spec):
+                if (counters_priceable(self.spec)
+                        and phase1_metrics != "analytical"):
                     # No buffers bound: the cheap phase was exact already.
+                    # (The analytical surrogate is approximate even then,
+                    # so its survivors always get re-priced.)
                     candidates = [(c, r) for c, r in scored if c in keep]
                 else:
                     full = self._evaluate_batch(survivors, FULL_METRICS)
@@ -302,11 +335,13 @@ def search(
     ``prune_to=k`` enables two-phase pruning: every candidate is scored
     with the cheap ``prune_metrics`` fast path (``"auto"`` — the vector
     kernels, bit-identical to the trace so the best provably survives —
-    or ``"counters-only"``, cheaper but approximate on buffered specs)
-    and only the best ``k`` are re-priced with the full per-event traced
-    metrics; see the module docstring for the contract.  ``metric``
-    picks the ranking scalar: ``"exec_seconds"``, ``"traffic"``, or
-    ``"energy"``.
+    ``"counters-only"``, cheaper but approximate on buffered specs, or
+    ``"analytical"``, which prices candidates from sparsity statistics
+    alone and needs ``k`` large enough to absorb its documented error
+    bounds) and only the best ``k`` are re-priced with the full
+    per-event traced metrics; see the module docstring for the contract.
+    ``metric`` picks the ranking scalar: ``"exec_seconds"``,
+    ``"cycles"``, ``"traffic"``, or ``"energy"``.
     """
     runner = SearchRunner(
         spec, tensors, einsum=einsum, opset=opset, opsets=opsets,

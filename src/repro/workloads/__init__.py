@@ -14,7 +14,13 @@ from .graphs import (
     random_graph,
     reachable_source,
 )
-from .synthetic import power_law, uniform_random
+from .synthetic import (
+    power_law,
+    power_law_stats,
+    uniform_random,
+    uniform_random_stats,
+    workload_stats,
+)
 
 __all__ = [
     "Dataset",
@@ -25,8 +31,11 @@ __all__ = [
     "adjacency_from_networkx",
     "load",
     "power_law",
+    "power_law_stats",
     "random_graph",
     "reachable_source",
     "spmspm_pair",
     "uniform_random",
+    "uniform_random_stats",
+    "workload_stats",
 ]

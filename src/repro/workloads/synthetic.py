@@ -54,21 +54,53 @@ def power_law(
                                 power_law=True, alpha=alpha)
 
 
-def _from_sampled_points(name, rank_ids, shape, nnz_target, rng, values,
-                         power_law, alpha=1.1):
-    rows, cols = shape
-    if nnz_target <= 0:
-        return Tensor.empty(name, rank_ids, shape=list(shape))
-    oversample = int(nnz_target * 1.6) + 16
+#: Bounded retries of the top-up resample loop in
+#: :func:`_from_sampled_points` before falling back to the exact
+#: complement fill.
+_TOPUP_RETRIES = 8
+
+
+def _sample_points(rng, rows, cols, count, power_law, alpha):
+    """``count`` (row, col) draws, deduplicated, as an (n, 2) array."""
     if power_law:
-        r = _zipf_indices(rng, rows, oversample, alpha)
-        c = _zipf_indices(rng, cols, oversample, alpha)
+        r = _zipf_indices(rng, rows, count, alpha)
+        c = _zipf_indices(rng, cols, count, alpha)
         # Decorrelate rows/columns while keeping marginals heavy-tailed.
         rng.shuffle(c)
     else:
-        r = rng.integers(0, rows, size=oversample)
-        c = rng.integers(0, cols, size=oversample)
-    points = np.unique(np.stack([r, c], axis=1), axis=0)
+        r = rng.integers(0, rows, size=count)
+        c = rng.integers(0, cols, size=count)
+    return np.unique(np.stack([r, c], axis=1), axis=0)
+
+
+def _from_sampled_points(name, rank_ids, shape, nnz_target, rng, values,
+                         power_law, alpha=1.1):
+    rows, cols = shape
+    nnz_target = min(nnz_target, rows * cols)
+    if nnz_target <= 0:
+        return Tensor.empty(name, rank_ids, shape=list(shape))
+    oversample = int(nnz_target * 1.6) + 16
+    points = _sample_points(rng, rows, cols, oversample, power_law, alpha)
+    # Top up when dedup undershot the target (high density / small
+    # shapes): bounded resample rounds, then an exact complement fill —
+    # random draws alone are a coupon-collector problem near density 1.0.
+    # Deterministic given the seed, and the rng stream is untouched
+    # whenever the first round already met the target.
+    for _ in range(_TOPUP_RETRIES):
+        if len(points) >= nnz_target:
+            break
+        need = nnz_target - len(points)
+        extra = _sample_points(rng, rows, cols, 2 * need + 16,
+                               power_law, alpha)
+        points = np.unique(np.concatenate([points, extra]), axis=0)
+    if len(points) < nnz_target:
+        need = nnz_target - len(points)
+        packed_all = np.arange(rows * cols, dtype=np.int64)
+        packed = points[:, 0].astype(np.int64) * cols + points[:, 1]
+        missing = np.setdiff1d(packed_all, packed)
+        pick = missing[rng.choice(len(missing), size=need, replace=False)]
+        extra = np.stack([pick // cols, pick % cols], axis=1)
+        points = np.unique(np.concatenate([points, extra]), axis=0)
     if len(points) > nnz_target:
         idx = rng.choice(len(points), size=nnz_target, replace=False)
         points = points[idx]
@@ -92,3 +124,37 @@ def _zipf_indices(rng, n, count, alpha):
     # Randomize which logical index is "popular".
     perm = rng.permutation(n)
     return perm[idx]
+
+
+# ----------------------------------------------------------------------
+# Ground-truth statistics for the analytical pricing tier
+# ----------------------------------------------------------------------
+def uniform_random_stats(name, rank_ids, shape, density):
+    """The :class:`~repro.model.analytical.TensorStats` a
+    :func:`uniform_random` call targets — the *parametric* ground truth
+    (iid Bernoulli occupancy), no tensor required."""
+    from ..model.analytical import TensorStats
+
+    rows, cols = shape
+    nnz = min(int(round(rows * cols * density)), rows * cols)
+    return TensorStats.uniform(name, rank_ids, list(shape), nnz=nnz)
+
+
+def power_law_stats(name, rank_ids, shape, nnz, alpha=1.1):
+    """The :class:`~repro.model.analytical.TensorStats` a
+    :func:`power_law` call targets: Zipf(alpha) marginals per rank,
+    decorrelated across ranks (matching the generator's permutation
+    shuffle), no tensor required."""
+    from ..model.analytical import TensorStats
+
+    rows, cols = shape
+    return TensorStats.power_law(name, rank_ids, list(shape),
+                                 min(int(nnz), rows * cols), alpha=alpha)
+
+
+def workload_stats(tensors):
+    """Measured :class:`~repro.model.analytical.WorkloadStats` of a
+    ``{name: Tensor}`` workload (exact subset-distinct statistics)."""
+    from ..model.analytical import WorkloadStats
+
+    return WorkloadStats.from_tensors(tensors)

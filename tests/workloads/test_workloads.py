@@ -40,6 +40,19 @@ class TestUniformRandom:
         for (m, k), _ in t.leaves():
             assert 0 <= m < 30 and 0 <= k < 20
 
+    def test_exact_nnz_at_high_density(self):
+        # Regression: duplicate (row, col) draws used to be dropped
+        # without replacement, so dense targets silently undershot —
+        # density 1.0 came out ~63% full (1 - 1/e).
+        t = uniform_random("A", ["M", "K"], (24, 18), 1.0, seed=9)
+        assert t.nnz == 24 * 18
+
+    @pytest.mark.parametrize("density", [0.5, 0.9, 0.99])
+    def test_exact_nnz_near_full(self, density):
+        target = int(round(30 * 20 * density))
+        t = uniform_random("A", ["M", "K"], (30, 20), density, seed=13)
+        assert t.nnz == target
+
 
 class TestPowerLaw:
     def test_nnz_close_to_target(self):
