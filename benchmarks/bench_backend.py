@@ -223,7 +223,8 @@ NNZ_SIZES = (10_000, 100_000, 1_000_000)
 TRAJECTORY = os.path.join(os.path.dirname(__file__), "BENCH_backend.json")
 
 ALL_FLAVORS = ("interpreter", "compiled", "counters", "vector",
-               "untraced", "buffered", "executor", "search", "analytical")
+               "untraced", "buffered", "executor", "search", "analytical",
+               "supervised")
 
 
 def _workloads(n: int = N_WORKLOADS):
@@ -375,6 +376,8 @@ def run_comparison(n: int = N_WORKLOADS, flavors=None):
         timings.update(_run_search())
     if "analytical" in flavors:
         timings.update(_run_analytical())
+    if "supervised" in flavors:
+        timings.update(_run_supervised())
     return timings
 
 
@@ -603,6 +606,65 @@ def _run_analytical() -> dict:
     return timings
 
 
+def _run_supervised() -> dict:
+    """The resumable-sweep contract at bench scale: a journaled sweep
+    vs. the identical unjournaled one (journal overhead), then the
+    journal torn mid-phase-2 as a kill would and resumed — the resumed
+    sweep must adopt the surviving records and still land on the
+    bit-identical best candidate and metrics fingerprint."""
+    import shutil
+    import tempfile
+
+    from repro.search import SweepJournal, metrics_fingerprint, search
+    from repro.search.journal import JOURNAL_NAME
+
+    spec = load_spec(SPEC_SEARCH, name="supervised-sweep")
+    tensors = {
+        "A": uniform_random("A", ["K", "M"], (96, 48), 0.15, seed=5),
+        "B": uniform_random("B", ["K", "N"], (96, 40), 0.15, seed=7),
+    }
+    kwargs = dict(tile_sizes=SEARCH_TILE_SIZES, prune_to=SEARCH_PRUNE_TO)
+    search(spec, tensors, **kwargs)  # warm both kernel flavors
+
+    gc.collect()
+    t0 = time.perf_counter()
+    plain = search(spec, tensors, **kwargs)
+    t_plain = time.perf_counter() - t0
+
+    scratch = tempfile.mkdtemp(prefix="bench-supervised-")
+    try:
+        path = os.path.join(scratch, "sweep")
+        gc.collect()
+        t0 = time.perf_counter()
+        journaled = search(spec, tensors, journal=path, **kwargs)
+        t_journaled = time.perf_counter() - t0
+        assert journaled.best()[0] == plain.best()[0]
+
+        # Tear the journal the way a mid-append kill would: drop the
+        # final record and rip the last phase-2 record in half.
+        journal_file = os.path.join(path, JOURNAL_NAME)
+        lines = open(journal_file).readlines()
+        keep = len(lines) - 3
+        torn = lines[keep][: len(lines[keep]) // 2]
+        open(journal_file, "w").write("".join(lines[:keep]) + torn)
+
+        resumed = search(spec, tensors, resume=path, **kwargs)
+        assert resumed.stats["n_adopted"] > 0
+        (cand_p, res_p), (cand_r, res_r) = plain.best(), resumed.best()
+        assert cand_r == cand_p, (
+            f"resumed best {cand_r.describe()} diverged from the "
+            f"uninterrupted best {cand_p.describe()}"
+        )
+        assert metrics_fingerprint(res_r) == metrics_fingerprint(res_p)
+        final = SweepJournal.resume(path)
+        assert final.final["status"] == "complete"
+        final.close()
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return {"search_unjournaled": t_plain,
+            "search_journaled": t_journaled}
+
+
 # ----------------------------------------------------------------------
 # nnz-scaling sweep (counted vs vector as spans grow)
 # ----------------------------------------------------------------------
@@ -758,6 +820,18 @@ def record_trajectory(timings: dict, n: int, path: str = TRAJECTORY,
                 timings["analytical_stats_extract"], 6),
             "identical_best": True,
         }
+    if "search_unjournaled" in timings and "search_journaled" in timings:
+        # _run_supervised asserted the kill-and-resume bit-identity
+        # (same best candidate, same metrics fingerprint) before
+        # returning timings.
+        record["supervised"] = {
+            "unjournaled_seconds": round(timings["search_unjournaled"], 6),
+            "journaled_seconds": round(timings["search_journaled"], 6),
+            "journal_overhead_x": round(
+                timings["search_journaled"]
+                / max(timings["search_unjournaled"], 1e-12), 3),
+            "resume_bit_identical": True,
+        }
     if "executor_thread" in timings and "executor_process" in timings:
         record["executor"] = {
             "thread_seconds": round(timings["executor_thread"], 6),
@@ -840,6 +914,14 @@ def _print_report(timings: dict, n: int) -> None:
         "candidates, buffered spec), speedup vs counter-fused kernels",
         ["acand_counters", "acand_analytical"],
         "acand_counters", strip="acand_",
+        per=_search_n_candidates(), per_label="per candidate",
+    )
+    series(
+        f"Supervised sweep journaling ({_search_n_candidates()} "
+        "candidates, kill-and-resume bit-identity asserted), overhead "
+        "vs unjournaled sweep",
+        ["search_unjournaled", "search_journaled"],
+        "search_unjournaled", strip="search_",
         per=_search_n_candidates(), per_label="per candidate",
     )
 

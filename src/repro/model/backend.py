@@ -25,6 +25,7 @@ fans out across workloads.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from dataclasses import fields, is_dataclass
 from typing import Any, Callable, Dict, List, Optional
@@ -87,6 +88,22 @@ def spec_cache_key(spec: AcceleratorSpec):
     cosmetic and excluded.
     """
     return canonical_key((spec.einsum, spec.mapping, spec.params))
+
+
+def spec_fingerprint(spec: AcceleratorSpec) -> str:
+    """A stable hex digest identifying a spec's full semantics.
+
+    Unlike :func:`spec_cache_key` (which keys compiled kernels and so
+    deliberately ignores the pricing-only layers), this covers *every*
+    layer that can change an evaluation result — einsum, mapping,
+    format, architecture, binding, and params — because it identifies
+    sweep artifacts (journal manifests), where "same fingerprint" must
+    mean "bit-identical metrics".  ``spec.name`` stays excluded: it is
+    cosmetic, and candidate application rewrites it.
+    """
+    key = canonical_key((spec.einsum, spec.mapping, spec.format,
+                         spec.architecture, spec.binding, spec.params))
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
 
 
 # ----------------------------------------------------------------------

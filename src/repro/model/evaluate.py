@@ -10,8 +10,8 @@ bottleneck analysis, and reduces action counts to energy.
 from __future__ import annotations
 
 import os
+import warnings
 from collections import Counter
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -59,8 +59,18 @@ class ProcessExecutorError(ValueError):
     the default backend.  When the *caller* asked for processes by
     argument, hitting an unsupported combination raises this error
     (naming every offending argument) rather than silently running on
-    threads; only the env-var/default path may downgrade silently.
+    threads; the env-var/default path downgrades to threads with an
+    :class:`ExecutorDowngradeWarning` instead.
     """
+
+
+class ExecutorDowngradeWarning(RuntimeWarning):
+    """A process-pool request from ``REPRO_EVALUATE_EXECUTOR`` (or a
+    future process default) was downgraded to threads because the
+    arguments cannot cross a process boundary.  The warning names each
+    offending argument (via :func:`process_incompatibilities`); results
+    are unaffected — thread and process fan-out are bit-identical — but
+    kernel execution serializes on the GIL."""
 
 
 @dataclass
@@ -829,7 +839,18 @@ def default_workers() -> int:
                 "count; set it to a positive integer (1 forces sequential "
                 "evaluation) or unset it for the cpu-count default"
             ) from None
-        return max(1, workers)
+        if workers < 1:
+            # 0 and negatives used to clamp to 1 silently — the caller
+            # asked for "no workers" and got a serial sweep without a
+            # word.  A nonsensical count is a config error, same as a
+            # non-numeric value.
+            raise EnvVarError(
+                f"REPRO_EVALUATE_WORKERS={env!r} is not a valid worker "
+                "count; worker counts start at 1 (1 forces sequential "
+                "evaluation) — unset the variable for the cpu-count "
+                "default"
+            )
+        return workers
     return max(1, min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS))
 
 
@@ -905,8 +926,8 @@ def resolve_pool_mode(executor, opset, opsets=None, energy_model=None,
     :func:`evaluate_many` and the search runner: an *explicit*
     ``executor="process"`` argument with process-incompatible arguments
     raises :class:`ProcessExecutorError` naming each offender, while the
-    ``REPRO_EVALUATE_EXECUTOR``/default path falls back to threads
-    silently.
+    ``REPRO_EVALUATE_EXECUTOR`` path downgrades to threads with an
+    :class:`ExecutorDowngradeWarning` naming the same offenders.
     """
     mode = executor if executor is not None else default_executor()
     if mode != "process":
@@ -920,6 +941,12 @@ def resolve_pool_mode(executor, opset, opsets=None, energy_model=None,
             "executor='process' was requested explicitly but the "
             "arguments cannot cross a process pool: " + "; ".join(reasons)
         )
+    warnings.warn(
+        "REPRO_EVALUATE_EXECUTOR=process was downgraded to the thread "
+        "pool because the arguments cannot cross a process pool: "
+        + "; ".join(reasons),
+        ExecutorDowngradeWarning, stacklevel=3,
+    )
     return "thread"
 
 
@@ -946,6 +973,9 @@ def evaluate_many(
     workers: Optional[int] = None,
     metrics: str = "auto",
     executor: Optional[str] = None,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.05,
 ) -> List[EvaluationResult]:
     """Evaluate one spec over many workloads, compiling once.
 
@@ -967,8 +997,22 @@ def evaluate_many(
     per-Einsum overrides, no custom energy model, and the default
     backend.  An *explicit* ``executor="process"`` argument with
     incompatible arguments raises :class:`ProcessExecutorError` naming
-    each offender; only the ``REPRO_EVALUATE_EXECUTOR``/default path
-    falls back to threads silently.
+    each offender; the ``REPRO_EVALUATE_EXECUTOR`` path downgrades to
+    threads with an :class:`ExecutorDowngradeWarning`.
+
+    The fan-out is *supervised* (see
+    :class:`~repro.search.supervisor.SweepSupervisor`): transient
+    worker failures — a died worker process, a broken pool — retry up
+    to ``max_retries`` times with exponential backoff
+    (``retry_backoff`` seconds doubling per attempt), a broken process
+    pool is rebuilt once and then the batch downgrades to threads with
+    a :class:`~repro.search.supervisor.SweepDegradationWarning`, and
+    ``timeout`` bounds each workload's wall-clock evaluation (pooled
+    runs only).  Because this function's contract is one result per
+    workload, a failure that survives the retry budget — including a
+    deterministic spec error, which is never retried — re-raises the
+    original exception (for a timeout, a
+    :class:`~repro.search.supervisor.CandidateTimeoutError`).
 
     Returns one :class:`EvaluationResult` per workload, in order.
     """
@@ -976,6 +1020,10 @@ def evaluate_many(
         raise ValueError(
             f"unknown executor {executor!r}; known: 'thread', 'process'"
         )
+    # Imported here: repro.search (the supervisor's package) imports
+    # this module at its own import time.
+    from ..search.supervisor import SweepSupervisor
+
     engine = resolve_backend(backend)
     if isinstance(engine, CompiledBackend):
         try:
@@ -992,14 +1040,30 @@ def evaluate_many(
     workloads = list(workloads)
     if workers is None:
         workers = default_workers()
-    if workers > 1 and len(workloads) > 1:
-        mode = resolve_pool_mode(executor, opset, opsets, energy_model,
-                                 backend)
-        if mode == "process":
-            payloads = [(spec, w, _opset_token(opset), shapes, metrics)
-                        for w in workloads]
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(_process_one, payloads))
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(one, workloads))
-    return [one(w) for w in workloads]
+    pooled = workers > 1 and len(workloads) > 1
+    mode = resolve_pool_mode(executor, opset, opsets, energy_model,
+                             backend) if pooled else "thread"
+    supervisor = SweepSupervisor(
+        workers=workers if pooled else 1, mode=mode, timeout=timeout,
+        max_retries=max_retries, backoff=retry_backoff,
+        key=lambda i: f"workload[{i}]",
+    )
+    token = _opset_token(opset)
+    try:
+        completed = supervisor.run_batch(
+            range(len(workloads)),
+            lambda i: one(workloads[i]),
+            payload=lambda i: (spec, workloads[i], token, shapes, metrics),
+            process_worker=_process_one,
+        )
+    finally:
+        supervisor.close()
+    if supervisor.failures:
+        record = min(supervisor.failures, key=lambda r: r.item)
+        if record.exception is not None:
+            raise record.exception
+        raise RuntimeError(
+            f"evaluation of workload {record.item} failed after "
+            f"{record.attempts} attempt(s): {record.error}"
+        )
+    return [res for _, res in completed]

@@ -14,6 +14,7 @@ the traces drive the performance model (paper section 4.3).
 from __future__ import annotations
 
 import bisect
+import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -564,6 +565,35 @@ def execute_einsum(
     return out
 
 
+#: Fault-injection seam (tests only).  ``install_fault_hook`` refuses to
+#: arm unless ``REPRO_FAULT_INJECTION=1`` is set in the environment, so
+#: production evaluation can never trip over a leftover hook; with the
+#: gate open, every cascade execution (both engines — they share
+#: :func:`cascade_context`) offers the spec to the hook before running,
+#: and the hook may raise, hang, or kill the process to exercise the
+#: sweep supervisor's recovery paths deterministically.
+_FAULT_HOOK = None
+
+FAULT_INJECTION_ENV = "REPRO_FAULT_INJECTION"
+
+
+def install_fault_hook(hook) -> None:
+    """Arm (or with ``None``, disarm) the test-only fault hook.
+
+    The hook is called as ``hook(spec)`` at the top of every cascade
+    execution.  Installing a non-None hook without
+    ``REPRO_FAULT_INJECTION=1`` in the environment raises — the seam is
+    for the fault-injection test harness, never for production paths.
+    """
+    global _FAULT_HOOK
+    if hook is not None and os.environ.get(FAULT_INJECTION_ENV) != "1":
+        raise RuntimeError(
+            f"fault injection is gated: set {FAULT_INJECTION_ENV}=1 in "
+            "the environment before installing a fault hook"
+        )
+    _FAULT_HOOK = hook
+
+
 def cascade_context(
     spec: AcceleratorSpec,
     tensors: Dict[str, Tensor],
@@ -576,6 +606,8 @@ def cascade_context(
     resolve their inputs through this one helper so their shape and
     rank-order semantics can never drift apart.
     """
+    if _FAULT_HOOK is not None:
+        _FAULT_HOOK(spec)
     if env is None:
         env = {}
     env.update(tensors)

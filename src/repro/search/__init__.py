@@ -12,16 +12,28 @@ It splits the problem into three orthogonal pieces:
 * :mod:`repro.search.runner` — parallel candidate evaluation (threads or
   processes, shared compile + prep caches), two-phase counters-then-exact
   pruning, and the entry points :func:`search`, :func:`explore`, and
-  :func:`explore_cascade`.
+  :func:`explore_cascade`;
+* :mod:`repro.search.supervisor` / :mod:`repro.search.journal` — the
+  fault-tolerance layer: per-candidate timeouts, bounded retry with
+  failure classification, broken-pool recovery, and crash-safe
+  journal/manifest artifacts behind ``search(..., journal=...)`` and
+  bit-identical resumption behind ``search(..., resume=...)``.
 
 ``repro.explore`` remains as a thin compatibility shim over this package.
 """
 
+from .journal import (
+    JournalError,
+    ResumeMismatchError,
+    SweepJournal,
+    candidate_key,
+)
 from .results import (
     CascadeSearchResult,
     ExplorationResult,
     SearchResult,
     metric_value,
+    metrics_fingerprint,
 )
 from .runner import (
     CHEAP_METRICS,
@@ -30,6 +42,13 @@ from .runner import (
     explore,
     explore_cascade,
     search,
+)
+from .supervisor import (
+    CandidateTimeoutError,
+    FailureRecord,
+    SweepDegradationWarning,
+    SweepSupervisor,
+    classify_failure,
 )
 from .space import (
     Candidate,
@@ -49,20 +68,30 @@ __all__ = [
     "BeamSearch",
     "CHEAP_METRICS",
     "Candidate",
+    "CandidateTimeoutError",
     "CascadeSearchResult",
     "ExhaustiveSearch",
     "ExplorationResult",
     "FULL_METRICS",
+    "FailureRecord",
+    "JournalError",
     "MappingSpace",
     "RandomSearch",
+    "ResumeMismatchError",
     "SearchResult",
     "SearchRunner",
     "SearchStrategy",
+    "SweepDegradationWarning",
+    "SweepJournal",
+    "SweepSupervisor",
     "apply_candidate",
+    "candidate_key",
+    "classify_failure",
     "enumerate_candidates",
     "explore",
     "explore_cascade",
     "metric_value",
+    "metrics_fingerprint",
     "resolve_strategy",
     "search",
 ]

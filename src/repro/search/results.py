@@ -10,6 +10,7 @@ name, and run statistics.  :class:`CascadeSearchResult` collects one
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -28,6 +29,26 @@ def metric_value(res: EvaluationResult, metric: str) -> float:
     if metric == "energy":
         return res.energy_pj
     raise ValueError(f"unknown metric {metric!r}")
+
+
+def metrics_fingerprint(res: EvaluationResult) -> str:
+    """A hex digest over every modeled metric of one evaluation.
+
+    Hashes the exact bit patterns (``float.hex``) of execution time,
+    DRAM traffic, and energy, plus the sorted action counts — the
+    quantities the bit-identical contracts of this codebase are stated
+    over.  Two results fingerprint equal iff an assertion-by-assertion
+    comparison of those metrics would pass, which is what resumed-sweep
+    and parallel-vs-serial identity checks need in one scalar.
+    """
+    h = hashlib.sha256()
+    h.update(float(res.exec_seconds).hex().encode())
+    h.update(float(res.traffic_bytes()).hex().encode())
+    h.update(float(res.energy_pj).hex().encode())
+    for action, n in sorted(res.action_counts().items()):
+        h.update(action.encode())
+        h.update(float(n).hex().encode())
+    return h.hexdigest()
 
 
 @dataclass
@@ -81,6 +102,10 @@ class SearchResult(ExplorationResult):
     did), so :meth:`best`/:meth:`ranked` always compare exact metrics
     against exact metrics.  ``scores`` records the phase-1 surrogate
     score of everything the strategy proposed, in proposal order.
+    ``failures`` records candidates that could not be priced under a
+    supervised run (:class:`~repro.search.supervisor.FailureRecord`
+    entries: poison candidates, exhausted retries, timeouts) — empty on
+    unsupervised runs, which still raise on the first error.
     """
 
     scores: List[Tuple[Candidate, float]] = field(default_factory=list)
@@ -88,6 +113,7 @@ class SearchResult(ExplorationResult):
     metric: str = "exec_seconds"
     pruned_to: Optional[int] = None
     stats: Dict[str, float] = field(default_factory=dict)
+    failures: List = field(default_factory=list)
 
     @property
     def n_scored(self) -> int:

@@ -16,8 +16,20 @@ The runner composes three independent pieces:
   shipping picklable ``(spec, tensors, opset, shapes, metrics)``
   payloads.  An explicit ``executor="process"`` request with
   process-incompatible arguments raises
-  :class:`~repro.model.evaluate.ProcessExecutorError`; the default path
-  falls back to threads silently.
+  :class:`~repro.model.evaluate.ProcessExecutorError`; the
+  env-var/default path downgrades to threads with an
+  :class:`~repro.model.evaluate.ExecutorDowngradeWarning` naming each
+  offender.  Every fan-out runs under a
+  :class:`~repro.search.supervisor.SweepSupervisor`: per-candidate
+  wall-clock ``timeout``, bounded retry of transient worker failures
+  (``max_retries``/``retry_backoff``), broken process pools rebuilt
+  once then downgraded to threads, and deterministic spec errors
+  recorded on ``SearchResult.failures`` instead of killing the sweep.
+  ``journal=path`` checkpoints every priced candidate to a crash-safe
+  JSONL journal (plus an atomic ``manifest.json``);
+  ``resume=path`` replays the deterministic strategy and adopts every
+  journaled result bit-identically, so a killed sweep finishes from
+  where it stopped (see :mod:`repro.search.journal`).
 * **Two-phase pruning** (``prune_to=k``): every proposed candidate is
   scored first with a cheap fast path, then only the top-k survivors are
   re-priced with the full per-event traced metrics (``metrics="trace"``,
@@ -53,12 +65,11 @@ The runner composes three independent pieces:
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..einsum.operators import ARITHMETIC, OpSet
 from ..fibertree.rankid import rank_of_var
-from ..model.backend import PrepCache, resolve_backend
+from ..model.backend import PrepCache, resolve_backend, spec_fingerprint
 from ..model.evaluate import (
     EvaluationResult,
     _opset_token,
@@ -69,9 +80,21 @@ from ..model.evaluate import (
     resolve_pool_mode,
 )
 from ..spec.loader import AcceleratorSpec
-from .results import CascadeSearchResult, SearchResult, metric_value
+from .journal import (
+    SweepJournal,
+    candidate_key,
+    strategy_signature,
+    workloads_fingerprint,
+)
+from .results import (
+    CascadeSearchResult,
+    SearchResult,
+    metric_value,
+    metrics_fingerprint,
+)
 from .space import Candidate, MappingSpace, apply_candidate
 from .strategies import SearchStrategy, resolve_strategy
+from .supervisor import DETERMINISTIC, FailureRecord, SweepSupervisor
 
 #: The approximate (all-DRAM) surrogate for ``prune_metrics``.
 CHEAP_METRICS = "counters-only"
@@ -121,6 +144,11 @@ class SearchRunner:
         prune_to: Optional[int] = None,
         prune_metrics: str = "auto",
         prep_cache: Optional[PrepCache] = None,
+        timeout: Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        journal: Optional[str] = None,
+        resume: Optional[str] = None,
     ):
         if executor is not None and executor not in ("thread", "process"):
             raise ValueError(
@@ -128,6 +156,12 @@ class SearchRunner:
             )
         if prune_to is not None and prune_to < 1:
             raise ValueError("prune_to must be >= 1")
+        if journal is not None and resume is not None and journal != resume:
+            raise ValueError(
+                "journal= and resume= point at different paths; resume "
+                "continues journaling in the same directory, so pass only "
+                "resume= (or the same path for both)"
+            )
         self.spec = spec
         self.tensors = dict(tensors)
         self.einsum = _resolve_einsum(spec, einsum)
@@ -144,12 +178,18 @@ class SearchRunner:
         self.prune_to = prune_to
         self.prune_metrics = prune_metrics
         self.prep_cache = prep_cache if prep_cache is not None else PrepCache()
-        # Pool state, owned by run(): one pool serves every batch of a
-        # search (multi-round strategies would otherwise pay pool
-        # spin-up — worker-process imports included — per round).
-        self._mode: Optional[str] = None
-        self._thread_pool = None
-        self._process_pool = None
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.journal_path = resume if resume is not None else journal
+        self.resuming = resume is not None
+        # Supervision state, owned by run(): one supervisor (and its
+        # pools) serves every batch of a search — multi-round strategies
+        # would otherwise pay pool spin-up, worker-process imports
+        # included, per round.
+        self._supervisor: Optional[SweepSupervisor] = None
+        self._journal: Optional[SweepJournal] = None
+        self._n_adopted = 0
         # Sweep-wide sparsity statistics for the analytical surrogate,
         # extracted lazily (and only once — they are mapping-independent,
         # so every candidate shares them).
@@ -175,35 +215,121 @@ class SearchRunner:
                         energy_model=self.energy_model, backend=self.engine,
                         metrics=metrics, prep_cache=self.prep_cache)
 
+    def _adopt_journaled(self, candidates: Sequence[Candidate],
+                         phase: int) -> Tuple[Dict[Candidate,
+                                                   EvaluationResult],
+                                              List[Candidate]]:
+        """Split a batch into journal-adopted results and work to run.
+
+        A resumed sweep adopts every journaled completion (unpickling
+        the stored result, so metrics are bit-identical to the original
+        run) and every journaled *deterministic* failure (re-running a
+        poison candidate would fail identically; the failure is
+        re-surfaced on this run's ``failures`` instead).  Journaled
+        transient failures — timeouts, worker deaths — get a fresh
+        chance and land back in the to-run list.
+        """
+        adopted: Dict[Candidate, EvaluationResult] = {}
+        to_run: List[Candidate] = []
+        journal = self._journal
+        if journal is None or not journal.resumed:
+            return adopted, list(candidates)
+        for cand in candidates:
+            record = journal.lookup(phase, cand)
+            if record is None:
+                to_run.append(cand)
+            elif record["type"] == "result":
+                result = journal.unpack(record)
+                if result is None:
+                    to_run.append(cand)  # journaled without a payload
+                else:
+                    adopted[cand] = result
+            elif record["classification"] == DETERMINISTIC:
+                self._supervisor.failures.append(FailureRecord(
+                    item=cand, key=candidate_key(cand),
+                    kind=record["kind"],
+                    classification=record["classification"],
+                    error=record["error"], attempts=record["attempts"],
+                    phase=phase,
+                ))
+            else:
+                to_run.append(cand)
+        return adopted, to_run
+
     def _evaluate_batch(self, candidates: Sequence[Candidate],
-                        metrics: str) -> List[EvaluationResult]:
-        """Evaluate one batch, preserving candidate order (so parallel
-        and serial sweeps yield bit-identical result lists)."""
+                        metrics: str, phase: int = 1
+                        ) -> List[Tuple[Candidate, EvaluationResult]]:
+        """Evaluate one batch under supervision, preserving candidate
+        order (so parallel and serial sweeps yield bit-identical result
+        lists).  Returns completions only — ``(candidate, result)``
+        pairs; candidates whose evaluation failed terminally land on the
+        supervisor's ``failures`` (and in the journal) instead."""
+        supervisor = self._supervisor
+        adopted, to_run = self._adopt_journaled(candidates, phase)
+        self._n_adopted += len(adopted)
+
+        def on_result(cand, result, attempts) -> None:
+            if self._journal is not None:
+                self._journal.record_result(
+                    phase, cand, metric_value(result, self.metric),
+                    metrics_fingerprint(result), result=result,
+                )
+
+        def on_failure(record: FailureRecord) -> None:
+            record.phase = phase
+            if self._journal is not None:
+                self._journal.record_failure(
+                    phase, record.item, record.kind,
+                    record.classification, record.error, record.attempts,
+                )
+
         if metrics == "analytical":
             # Statistics pricing is ~1000x cheaper than an executing
             # surrogate; pool dispatch would dominate the work.
-            return [self._evaluate_one(c, metrics) for c in candidates]
-        if self._mode is not None and len(candidates) > 1:
-            if self._mode == "process":
-                if self._process_pool is None:
-                    self._process_pool = ProcessPoolExecutor(
-                        max_workers=self.workers)
-                token = _opset_token(self.opset)
-                payloads = [
-                    (apply_candidate(self.spec, self.einsum, c),
-                     self.tensors, token, self.shapes, metrics)
-                    for c in candidates
-                ]
-                return list(self._process_pool.map(_process_one, payloads))
-            if self._thread_pool is None:
-                self._thread_pool = ThreadPoolExecutor(
-                    max_workers=self.workers)
-            return list(self._thread_pool.map(
-                lambda c: self._evaluate_one(c, metrics), candidates
-            ))
-        return [self._evaluate_one(c, metrics) for c in candidates]
+            completed = supervisor.run_serial(
+                to_run, lambda c: self._evaluate_one(c, metrics),
+                phase=phase, on_result=on_result, on_failure=on_failure,
+            )
+        else:
+            token = _opset_token(self.opset)
+            completed = supervisor.run_batch(
+                to_run, lambda c: self._evaluate_one(c, metrics),
+                payload=lambda c: (
+                    apply_candidate(self.spec, self.einsum, c),
+                    self.tensors, token, self.shapes, metrics,
+                ),
+                process_worker=_process_one,
+                phase=phase, on_result=on_result, on_failure=on_failure,
+            )
+        if not adopted:
+            return completed
+        done = dict(completed)
+        done.update(adopted)
+        return [(c, done[c]) for c in candidates if c in done]
 
     # ---- the search loop ----------------------------------------------
+    def _manifest(self, strategy: SearchStrategy, mode: str,
+                  pruning: bool) -> Dict:
+        """The sweep's identity (plus audit fields) for the journal."""
+        from .. import __version__
+
+        return {
+            "spec_fingerprint": spec_fingerprint(self.spec),
+            "workloads": workloads_fingerprint(self.tensors),
+            "einsum": self.einsum,
+            "metric": self.metric,
+            "metrics": self.metrics,
+            "prune_metrics": self.prune_metrics if pruning else None,
+            "prune_to": self.prune_to,
+            "strategy": strategy_signature(strategy),
+            # Audit-only fields (a resume may legitimately differ here).
+            "library_version": __version__,
+            "workers": self.workers,
+            "executor": mode,
+            "timeout": self.timeout,
+            "max_retries": self.max_retries,
+        }
+
     def run(self, strategy: SearchStrategy,
             space: MappingSpace) -> SearchResult:
         """Drive one strategy over one space to a ranked result."""
@@ -213,10 +339,24 @@ class SearchRunner:
         phase1_metrics = self.prune_metrics if pruning else self.metrics
         # Resolve the pool policy once per run (raising early when an
         # explicit process request cannot be honored).
-        self._mode = resolve_pool_mode(
+        mode = resolve_pool_mode(
             self.executor, self.opset, self.opsets, self.energy_model,
             self._backend_arg,
-        ) if self.workers > 1 else None
+        ) if self.workers > 1 else "thread"
+        self._supervisor = SweepSupervisor(
+            workers=self.workers, mode=mode, timeout=self.timeout,
+            max_retries=self.max_retries, backoff=self.retry_backoff,
+            key=candidate_key,
+        )
+        self._n_adopted = 0
+        if self.journal_path is not None:
+            manifest = self._manifest(strategy, mode, pruning)
+            if self.resuming:
+                self._journal = SweepJournal.resume(self.journal_path,
+                                                    manifest)
+            else:
+                self._journal = SweepJournal.create(self.journal_path,
+                                                    manifest)
 
         scored: List[Tuple[Candidate, EvaluationResult]] = []
         scores: List[Tuple[Candidate, float]] = []
@@ -242,9 +382,8 @@ class SearchRunner:
                         break
                     continue
                 stale_rounds = 0
-                for cand, res in zip(batch,
-                                     self._evaluate_batch(batch,
-                                                          phase1_metrics)):
+                for cand, res in self._evaluate_batch(batch, phase1_metrics,
+                                                      phase=1):
                     scored.append((cand, res))
                     scores.append((cand, metric_value(res, self.metric)))
             t_phase1 = time.perf_counter()
@@ -264,19 +403,40 @@ class SearchRunner:
                     # so its survivors always get re-priced.)
                     candidates = [(c, r) for c, r in scored if c in keep]
                 else:
-                    full = self._evaluate_batch(survivors, FULL_METRICS)
-                    candidates = list(zip(survivors, full))
-                    n_repriced = len(survivors)
+                    candidates = self._evaluate_batch(survivors,
+                                                      FULL_METRICS, phase=2)
+                    n_repriced = len(candidates)
             else:
                 candidates = scored
+
+            if self._journal is not None:
+                if candidates:
+                    best_cand, best_res = min(
+                        enumerate(candidates),
+                        key=lambda ic: (metric_value(ic[1][1], self.metric),
+                                        ic[0]),
+                    )[1]
+                    self._journal.finalize(
+                        "complete", best_key=candidate_key(best_cand),
+                        fingerprint=metrics_fingerprint(best_res),
+                    )
+                else:
+                    self._journal.finalize("complete")
+        except KeyboardInterrupt:
+            # The supervisor already drained in-flight futures (their
+            # results hit the journal via on_result); mark the journal
+            # interrupted so the artifact is self-describing, then let
+            # the interrupt propagate.
+            if self._journal is not None:
+                self._journal.finalize("interrupted")
+            raise
         finally:
-            if self._thread_pool is not None:
-                self._thread_pool.shutdown()
-                self._thread_pool = None
-            if self._process_pool is not None:
-                self._process_pool.shutdown()
-                self._process_pool = None
-            self._mode = None
+            supervisor = self._supervisor
+            supervisor.close()
+            self._supervisor = None
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None
         t_end = time.perf_counter()
 
         return SearchResult(
@@ -292,7 +452,13 @@ class SearchRunner:
                 "n_scored": len(scored),
                 "n_repriced": n_repriced,
                 "workers": self.workers,
+                "executor": supervisor.mode,
+                "n_retried": supervisor.retries,
+                "n_failed": len(supervisor.failures),
+                "n_adopted": self._n_adopted,
+                "events": list(supervisor.events),
             },
+            failures=list(supervisor.failures),
         )
 
 
@@ -318,6 +484,11 @@ def search(
     backend=None,
     metrics: str = "auto",
     prep_cache: Optional[PrepCache] = None,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.05,
+    journal: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> SearchResult:
     """Search one Einsum's mapping space and rank the outcomes.
 
@@ -342,6 +513,20 @@ def search(
     per-event traced metrics; see the module docstring for the contract.
     ``metric`` picks the ranking scalar: ``"exec_seconds"``,
     ``"cycles"``, ``"traffic"``, or ``"energy"``.
+
+    Every run is *supervised*: ``timeout`` bounds each candidate's
+    wall-clock evaluation (pooled runs only — the serial path cannot
+    preempt itself), transient worker failures retry up to
+    ``max_retries`` times with ``retry_backoff``-seconded exponential
+    backoff, and deterministic spec errors are recorded on
+    ``result.failures`` (never retried) instead of killing the sweep.
+    ``journal=path`` writes a crash-safe artifact directory —
+    ``manifest.json`` (atomic) plus an append-only ``journal.jsonl``
+    checkpointing every priced candidate — and ``resume=path`` picks a
+    killed sweep back up, adopting every journaled result bit-identically
+    and re-evaluating only what is missing.  See
+    :mod:`repro.search.journal` for the layout and the resume-identity
+    contract (:class:`~repro.search.journal.ResumeMismatchError`).
     """
     runner = SearchRunner(
         spec, tensors, einsum=einsum, opset=opset, opsets=opsets,
@@ -349,6 +534,8 @@ def search(
         metrics=metrics, metric=metric, workers=workers,
         executor=executor, prune_to=prune_to,
         prune_metrics=prune_metrics, prep_cache=prep_cache,
+        timeout=timeout, max_retries=max_retries,
+        retry_backoff=retry_backoff, journal=journal, resume=resume,
     )
     space = MappingSpace.of(_einsum_ranks(spec, runner.einsum),
                             tile_sizes, max_loop_orders)
@@ -406,6 +593,9 @@ def explore_cascade(
     energy_model=None,
     backend=None,
     metrics: str = "auto",
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.05,
 ) -> CascadeSearchResult:
     """Search every Einsum's mapping in cascade (topological) order,
     carrying the best prefix forward — the paper's future-work rung.
@@ -435,6 +625,8 @@ def explore_cascade(
             seed=seed, samples=samples, beam_width=beam_width, opset=opset,
             opsets=opsets, shapes=shapes, energy_model=energy_model,
             backend=backend, metrics=metrics, prep_cache=prep_cache,
+            timeout=timeout, max_retries=max_retries,
+            retry_backoff=retry_backoff,
         )
         cand, res = result.best(metric)
         current = apply_candidate(current, e.name, cand)

@@ -1,0 +1,475 @@
+"""Fault-tolerant fan-out: timeouts, retries, pool recovery, clean drains.
+
+The search runner and ``evaluate_many`` fan thousands of independent
+evaluations across thread or process pools; before this module existed a
+single hung kernel or dead worker process lost the whole sweep.  A
+:class:`SweepSupervisor` wraps one sweep's fan-out with the durability
+discipline a day-long DSE run needs:
+
+* **Per-task wall-clock timeouts.**  Each submitted task carries a
+  deadline; a task that blows past it is abandoned and classified as a
+  transient failure.  A hung worker cannot be preempted from the
+  outside, so its whole pool is retired — live tasks on it finish,
+  nothing new lands on it, a fresh pool takes over — which keeps hung
+  workers from ever starving the sweep.  Timeouts require a pool: the
+  serial path cannot preempt its own call stack, so ``timeout`` is
+  ignored there.
+
+* **Bounded retry with exponential backoff, by failure class.**
+  :func:`classify_failure` splits failures into *transient* (worker
+  death, broken pools, timeouts, unrecognized errors — worth retrying)
+  and *deterministic* (spec/execution errors that would fail identically
+  every time — recorded once, never retried).  Transient failures
+  re-submit up to ``max_retries`` times, sleeping
+  ``backoff * 2**(attempt-1)`` seconds between attempts; a poison
+  candidate therefore costs ``max_retries + 1`` attempts at worst and
+  can never wedge a sweep.
+
+* **Graceful pool degradation.**  A broken process pool (a worker died
+  mid-task) is torn down and rebuilt once; if the rebuilt pool breaks
+  again the sweep downgrades to a thread pool — with an explicit
+  :class:`SweepDegradationWarning` each time — instead of dying.  Every
+  task in flight at the breakage is retried under the surviving pool.
+
+* **Interrupt drains.**  ``KeyboardInterrupt`` (a real Ctrl-C, or one
+  propagated out of a worker) cancels everything not yet running, drains
+  in-flight tasks for a bounded grace period, delivers their results to
+  the caller's ``on_result`` hook (so the journal captures them), and
+  re-raises — partial results are always usable.
+
+The supervisor is deliberately generic: items are opaque hashables, the
+work arrives as callables per batch, and completion/failure hooks let
+the caller journal progress as it happens.  The search runner
+(:mod:`repro.search.runner`) wires it to candidates and
+:class:`~repro.search.journal.SweepJournal`;
+:func:`~repro.model.evaluate.evaluate_many` wires it to workload
+indices.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..ir.codegen import CodegenError
+from ..model.executor import ExecutionError
+
+#: Failure classifications.
+TRANSIENT = "transient"
+DETERMINISTIC = "deterministic"
+
+#: Exception types that fail the same way on every attempt: spec errors,
+#: lowering errors, bad arguments.  Retrying them would waste exactly
+#: ``max_retries`` evaluations per poison candidate.
+DETERMINISTIC_ERRORS = (
+    ExecutionError,
+    CodegenError,
+    ValueError,
+    TypeError,
+    KeyError,
+    IndexError,
+    AttributeError,
+    ZeroDivisionError,
+    AssertionError,
+)
+
+#: How long an interrupt drain waits for in-flight tasks, when no
+#: explicit ``timeout`` bounds them already.
+DRAIN_GRACE_SECONDS = 5.0
+
+
+class SweepDegradationWarning(RuntimeWarning):
+    """A sweep lost capability but kept running: a broken process pool
+    was rebuilt, or the sweep downgraded from processes to threads."""
+
+
+class CandidateTimeoutError(RuntimeError):
+    """A supervised task exceeded its wall-clock timeout."""
+
+
+def classify_failure(exc: BaseException) -> str:
+    """``TRANSIENT`` (retry) or ``DETERMINISTIC`` (record, never retry).
+
+    Pool breakage and timeouts are transient by construction.  The
+    deterministic set is the closed list of error types evaluation
+    raises for a structurally bad candidate
+    (:data:`DETERMINISTIC_ERRORS`).  Everything unrecognized is
+    presumed transient: an unknown failure gets the benefit of a
+    bounded retry rather than being dropped on first sight.
+    """
+    if isinstance(exc, (BrokenExecutor, CandidateTimeoutError)):
+        return TRANSIENT
+    if isinstance(exc, DETERMINISTIC_ERRORS):
+        return DETERMINISTIC
+    return TRANSIENT
+
+
+@dataclass
+class FailureRecord:
+    """One task's terminal failure, after classification and retries."""
+
+    item: Any
+    key: str
+    kind: str                 # "timeout" | "error" | "pool"
+    classification: str       # TRANSIENT | DETERMINISTIC
+    error: str                # repr of the final exception
+    attempts: int
+    phase: int = 1
+    exception: Optional[BaseException] = field(default=None, repr=False)
+
+
+@dataclass
+class _Task:
+    item: Any
+    attempts: int            # attempts started, including this one
+    submitted: float         # clock() at submission
+    pool: Any = None         # the executor this attempt was submitted to
+
+
+class SweepSupervisor:
+    """Supervises one sweep's fan-out (see the module docstring).
+
+    ``mode`` is ``"thread"`` or ``"process"`` (what
+    :func:`~repro.model.evaluate.resolve_pool_mode` decided); the
+    supervisor owns the pools, builds them lazily, and reuses them
+    across batches so multi-round strategies pay pool spin-up once.
+    ``sleep`` and ``clock`` are injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        mode: str = "thread",
+        timeout: Optional[float] = None,
+        max_retries: int = 2,
+        backoff: float = 0.05,
+        key: Callable[[Any], str] = repr,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if mode not in ("thread", "process"):
+            raise ValueError(f"mode must be 'thread' or 'process', "
+                             f"got {mode!r}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.workers = workers
+        self.mode = mode
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.key = key
+        self._sleep = sleep
+        self._clock = clock
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        self._rebuilt_process_pool = False
+        #: Workers written off to hung tasks (stats + close policy).
+        self._lost_slots = 0
+        #: Pools retired because one of their workers hung: shut down
+        #: without waiting, replaced by a fresh pool so hung workers can
+        #: never starve the live ones, reaped at :meth:`close`.
+        self._abandoned: List = []
+        #: Terminal failures across every batch of the sweep.
+        self.failures: List[FailureRecord] = []
+        #: Human-readable recovery events ("process-pool-rebuilt", ...).
+        self.events: List[str] = []
+        #: Transient re-submissions performed across the sweep.
+        self.retries = 0
+
+    # ---- pools --------------------------------------------------------
+    def _pool(self):
+        if self.mode == "process":
+            if self._process_pool is None:
+                self._process_pool = ProcessPoolExecutor(
+                    max_workers=self.workers)
+            return self._process_pool
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(max_workers=self.workers)
+        return self._thread_pool
+
+    def _teardown_process_pool(self) -> None:
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=False)
+            self._process_pool = None
+
+    def _retire_current_pool(self) -> None:
+        """A worker of the current pool is hung past its deadline: the
+        worker cannot be preempted, so the whole pool is retired (its
+        live tasks finish; nothing new lands on it) and the next submit
+        builds a fresh pool at full capacity."""
+        pool = (self._process_pool if self.mode == "process"
+                else self._thread_pool)
+        if pool is None:
+            return
+        self._abandoned.append(pool)
+        pool.shutdown(wait=False)
+        if self.mode == "process":
+            self._process_pool = None
+        else:
+            self._thread_pool = None
+
+    def _on_pool_broken(self, pool=None) -> None:
+        """Recover from a broken process pool: rebuild once, then
+        downgrade to threads — warning explicitly each time.
+
+        ``pool`` is the executor the failing task was submitted to.  A
+        single worker death breaks *every* in-flight future of that
+        pool, so recovery must run once per broken pool, not once per
+        broken future: stale futures of an already-replaced pool only
+        requeue their tasks.
+        """
+        if self.mode != "process":
+            return
+        if pool is not None and pool is not self._process_pool:
+            return  # this breakage was already recovered from
+        self._teardown_process_pool()
+        if not self._rebuilt_process_pool:
+            self._rebuilt_process_pool = True
+            self.events.append("process-pool-rebuilt")
+            warnings.warn(
+                "a sweep worker process died and broke the process pool; "
+                "rebuilding the pool once and retrying the tasks that "
+                "were in flight",
+                SweepDegradationWarning, stacklevel=3,
+            )
+        else:
+            self.mode = "thread"
+            self.events.append("degraded-to-threads")
+            warnings.warn(
+                "the rebuilt process pool broke again; downgrading this "
+                "sweep to a thread pool (results are unaffected — thread "
+                "and process sweeps are bit-identical — but the GIL now "
+                "serializes kernel execution)",
+                SweepDegradationWarning, stacklevel=3,
+            )
+
+    def close(self) -> None:
+        """Shut the pools down.  Pools retired over hung workers were
+        already shut down without waiting (joining them would hang
+        forever); their surviving child *processes* are killed here so
+        interpreter exit never blocks on an abandoned worker.  Hung
+        *threads* cannot be killed — callers that inject hangs (the
+        fault harness) must release them before interpreter shutdown.
+        """
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
+        for pool in self._abandoned:
+            procs = getattr(pool, "_processes", None)
+            for proc in list((procs or {}).values()):
+                proc.kill()
+        self._abandoned = []
+
+    # ---- failure bookkeeping ------------------------------------------
+    def _fail(self, task: _Task, exc: BaseException, kind: str, phase: int,
+              on_failure) -> FailureRecord:
+        record = FailureRecord(
+            item=task.item,
+            key=self.key(task.item),
+            kind=kind,
+            classification=classify_failure(exc),
+            error=repr(exc),
+            attempts=task.attempts,
+            phase=phase,
+            exception=exc,
+        )
+        self.failures.append(record)
+        if on_failure is not None:
+            on_failure(record)
+        return record
+
+    def _should_retry(self, task: _Task, exc: BaseException) -> bool:
+        if classify_failure(exc) != TRANSIENT:
+            return False
+        return task.attempts <= self.max_retries
+
+    def _backoff_for(self, attempts: int) -> float:
+        return self.backoff * (2 ** max(0, attempts - 1))
+
+    # ---- serial supervision -------------------------------------------
+    def run_serial(self, items, call, phase: int = 1, on_result=None,
+                   on_failure=None) -> List[Tuple[Any, Any]]:
+        """Supervised sequential evaluation: same retry/classification
+        policy as the pooled path, no timeouts (a serial call cannot be
+        preempted), results in item order."""
+        completed: List[Tuple[Any, Any]] = []
+        for item in items:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    result = call(item)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    task = _Task(item, attempts, 0.0)
+                    if self._should_retry(task, exc):
+                        self.retries += 1
+                        self._sleep(self._backoff_for(attempts))
+                        continue
+                    self._fail(task, exc, "error", phase, on_failure)
+                    break
+                completed.append((item, result))
+                if on_result is not None:
+                    on_result(item, result, attempts)
+                break
+        return completed
+
+    # ---- pooled supervision -------------------------------------------
+    def run_batch(self, items, call, payload=None, process_worker=None,
+                  phase: int = 1, on_result=None, on_failure=None
+                  ) -> List[Tuple[Any, Any]]:
+        """Evaluate one batch under supervision.
+
+        ``call(item)`` is the in-process form (thread pools, retries
+        after degradation); ``payload(item)`` + ``process_worker``
+        (a picklable top-level function) is the process-pool form.
+        Results come back as ``(item, result)`` pairs *in the order of
+        ``items``* — completions only; terminal failures land in
+        :attr:`failures` (and ``on_failure``).  ``on_result`` fires as
+        each item completes, including during an interrupt drain, so
+        journals stay crash-consistent.
+        """
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1 or (
+                self.mode == "process" and payload is None):
+            return self.run_serial(items, call, phase=phase,
+                                   on_result=on_result,
+                                   on_failure=on_failure)
+
+        results: Dict[Any, Any] = {}
+        pending: Dict[Any, _Task] = {}   # future -> task
+        queue: List[Tuple[Any, int]] = [(item, 0) for item in items]
+        queue.reverse()  # pop() from the end, preserving item order
+
+        def submit(item, attempts) -> None:
+            task = _Task(item, attempts + 1, self._clock())
+            while True:
+                pool = self._pool()
+                try:
+                    if self.mode == "process":
+                        fut = pool.submit(process_worker, payload(item))
+                    else:
+                        fut = pool.submit(call, item)
+                except BrokenExecutor:
+                    # The pool died between batches or between submits;
+                    # recover and resubmit under the surviving pool.
+                    self._on_pool_broken(pool)
+                    continue
+                task.pool = pool
+                pending[fut] = task
+                return
+
+        def settle(fut, task) -> None:
+            """Deliver one finished future: success, retry, or failure."""
+            try:
+                result = fut.result()
+            except KeyboardInterrupt:
+                raise
+            except BrokenExecutor as exc:
+                self._on_pool_broken(task.pool)
+                if self._should_retry(task, exc):
+                    self.retries += 1
+                    queue.append((task.item, task.attempts))
+                else:
+                    self._fail(task, exc, "pool", phase, on_failure)
+            except Exception as exc:
+                if self._should_retry(task, exc):
+                    self.retries += 1
+                    self._sleep(self._backoff_for(task.attempts))
+                    queue.append((task.item, task.attempts))
+                else:
+                    self._fail(task, exc, "error", phase, on_failure)
+            else:
+                results[task.item] = result
+                if on_result is not None:
+                    on_result(task.item, result, task.attempts)
+
+        try:
+            while queue or pending:
+                window = self.workers
+                while queue and len(pending) < window:
+                    item, attempts = queue.pop()
+                    submit(item, attempts)
+                if not pending:
+                    continue
+                if self.timeout is None:
+                    wait_for = None
+                else:
+                    now = self._clock()
+                    wait_for = max(
+                        0.0,
+                        min(task.submitted + self.timeout - now
+                            for task in pending.values()),
+                    )
+                done, _ = wait(list(pending), timeout=wait_for,
+                               return_when=FIRST_COMPLETED)
+                for fut in done:
+                    settle(fut, pending.pop(fut))
+                if self.timeout is not None:
+                    now = self._clock()
+                    expired = [
+                        fut for fut, task in pending.items()
+                        if now - task.submitted >= self.timeout
+                    ]
+                    for fut in expired:
+                        task = pending.pop(fut)
+                        if not fut.cancel():
+                            # Already running: the worker cannot be
+                            # preempted, so it is written off and its
+                            # pool retired (a fresh pool replaces it —
+                            # hung workers never starve live tasks).
+                            self._lost_slots += 1
+                            self._retire_current_pool()
+                        exc = CandidateTimeoutError(
+                            f"task {self.key(task.item)} exceeded the "
+                            f"{self.timeout}s wall-clock timeout "
+                            f"(attempt {task.attempts})"
+                        )
+                        if self._should_retry(task, exc):
+                            self.retries += 1
+                            queue.append((task.item, task.attempts))
+                        else:
+                            self._fail(task, exc, "timeout", phase,
+                                       on_failure)
+        except KeyboardInterrupt:
+            self._drain(pending, results, phase, on_result)
+            raise
+        order = {id(item): i for i, item in enumerate(items)}
+        return sorted(results.items(), key=lambda kv: order[id(kv[0])])
+
+    def _drain(self, pending, results, phase, on_result) -> None:
+        """Interrupt drain: cancel what never started, give in-flight
+        tasks a bounded grace period, and deliver what finished."""
+        for fut in list(pending):
+            if fut.cancel():
+                pending.pop(fut)
+        if not pending:
+            return
+        grace = self.timeout if self.timeout is not None \
+            else DRAIN_GRACE_SECONDS
+        done, not_done = wait(list(pending), timeout=grace)
+        for fut in done:
+            task = pending.pop(fut)
+            try:
+                result = fut.result()
+            except BaseException:
+                continue  # failures during a drain are not retried
+            results[task.item] = result
+            if on_result is not None:
+                on_result(task.item, result, task.attempts)
+        self._lost_slots += len(not_done)

@@ -322,3 +322,84 @@ mapping:
         assert plain.env["Z"].points() == cached.env["Z"].points()
         assert plain.traffic_bytes() == cached.traffic_bytes()
         assert plain.exec_seconds == cached.exec_seconds
+
+    def test_contended_prepare_resolves_to_one_object(self):
+        """Many threads racing the same preparation key must all adopt
+        a single prepared object (one logical miss), even when several
+        builds run before the first insert wins."""
+        import threading
+
+        from repro.model import PrepCache
+
+        cache = PrepCache()
+        src = self._tensors()["A"]
+        n_threads = 16
+        barrier = threading.Barrier(n_threads)
+        builds = []
+        winners = []
+
+        def build():
+            t = src.swizzle(["M", "K"])
+            builds.append(t)  # list.append is atomic under the GIL
+            return t
+
+        def contend():
+            barrier.wait()  # maximize the build race
+            winners.append(cache.prepared(src, ["M", "K"], ("swizzle",),
+                                          build))
+
+        threads = [threading.Thread(target=contend)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(winners) == n_threads
+        assert len({id(t) for t in winners}) == 1  # one shared object
+        assert cache.misses == 1  # lost races count as hits
+        assert cache.hits == n_threads - 1
+        assert len(builds) >= 1  # redundant builds allowed, discarded
+
+    def test_contended_evaluations_share_one_preparation(self):
+        """A full-stack stress: many threads evaluating the same
+        workload through one shared cache end with exactly the entries
+        a single serial evaluation creates, and identical results."""
+        import threading
+
+        from repro.model import PrepCache, evaluate
+
+        spec = load_spec(self.CASCADE, name="prep-stress")
+        tensors = self._tensors()
+        reference_cache = PrepCache()
+        reference = evaluate(spec, dict(tensors),
+                             prep_cache=reference_cache)
+        entries_for_one = len(reference_cache._prepared)
+
+        cache = PrepCache()
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        results = [None] * n_threads
+        errors = []
+
+        def worker(slot):
+            barrier.wait()
+            try:
+                results[slot] = evaluate(spec, dict(tensors),
+                                         prep_cache=cache)
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(k,))
+                   for k in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Prepared once: the contended cache holds exactly what one
+        # serial evaluation would have created, nothing accumulated.
+        assert len(cache._prepared) == entries_for_one
+        assert len(cache._arenas) == len(reference_cache._arenas)
+        for res in results:
+            assert res.env["Z"].points() == reference.env["Z"].points()
+            assert res.traffic_bytes() == reference.traffic_bytes()

@@ -218,8 +218,17 @@ def test_default_workers_rejects_non_numeric_env(monkeypatch):
     monkeypatch.setenv("REPRO_EVALUATE_WORKERS", "many")
     with pytest.raises(EnvVarError, match="REPRO_EVALUATE_WORKERS"):
         default_workers()
-    monkeypatch.setenv("REPRO_EVALUATE_WORKERS", "0")
-    assert default_workers() == 1  # clamped, not rejected
+
+
+def test_default_workers_rejects_zero_and_negative_env(monkeypatch):
+    """0 used to be silently clamped to 1, masking a broken deployment
+    config; 0 and negatives are now rejected with the named error."""
+    from repro.model import EnvVarError
+
+    for bogus in ("0", "-3"):
+        monkeypatch.setenv("REPRO_EVALUATE_WORKERS", bogus)
+        with pytest.raises(EnvVarError, match="REPRO_EVALUATE_WORKERS"):
+            default_workers()
 
 
 def test_flat_and_object_flavors_agree_untraced():

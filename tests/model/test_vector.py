@@ -387,12 +387,14 @@ def test_explicit_process_executor_raises_on_unpicklable_args():
                       executor="process", energy_model=EnergyModel())
 
 
-def test_env_process_executor_downgrades_silently(monkeypatch):
-    """The env-var path keeps the historical silent thread fallback."""
-    from repro.model import EnergyModel
+def test_env_process_executor_downgrades_with_warning(monkeypatch):
+    """The env-var path keeps the thread fallback, but now names the
+    argument that blocked the process pool instead of staying silent."""
+    from repro.model import EnergyModel, ExecutorDowngradeWarning
 
     monkeypatch.setenv("REPRO_EVALUATE_EXECUTOR", "process")
     spec = load_spec(SPMSPM, name="vec-pool-env")
-    results = evaluate_many(spec, _sweep_workloads(2), workers=2,
-                            energy_model=EnergyModel())
+    with pytest.warns(ExecutorDowngradeWarning, match="energy_model"):
+        results = evaluate_many(spec, _sweep_workloads(2), workers=2,
+                                energy_model=EnergyModel())
     assert len(results) == 2

@@ -1,0 +1,192 @@
+"""Sweep-journal unit behavior: atomic manifests, truncation-tolerant
+record loading, candidate round-trips, and resume identity checks."""
+
+import json
+import os
+
+import pytest
+
+from repro.search.journal import (
+    FORMAT_VERSION,
+    JOURNAL_NAME,
+    MANIFEST_NAME,
+    JournalError,
+    ResumeMismatchError,
+    SweepJournal,
+    candidate_from_json,
+    candidate_key,
+    candidate_to_json,
+    strategy_signature,
+)
+from repro.search.space import Candidate
+from repro.search.strategies import RandomSearch
+
+CAND = Candidate(("K", "M", "N"), (("K", 8),))
+OTHER = Candidate(("M", "N", "K"), ())
+
+MANIFEST = {
+    "spec_fingerprint": "abc123",
+    "workloads": {"A": {"rank_ids": ["K", "M"], "shape": [4, 4], "nnz": 7}},
+    "einsum": "Z",
+    "metric": "exec_seconds",
+    "metrics": "auto",
+    "prune_metrics": None,
+    "prune_to": None,
+    "strategy": {"name": "exhaustive"},
+}
+
+
+class TestCandidateSerialization:
+    def test_round_trip_is_exact(self):
+        assert candidate_from_json(candidate_to_json(CAND)) == CAND
+        assert candidate_from_json(candidate_to_json(OTHER)) == OTHER
+
+    def test_round_trip_through_json_text(self):
+        blob = json.dumps(candidate_to_json(CAND))
+        assert candidate_from_json(json.loads(blob)) == CAND
+
+    def test_key_is_canonical_and_distinct(self):
+        assert candidate_key(CAND) == candidate_key(
+            candidate_from_json(candidate_to_json(CAND)))
+        assert candidate_key(CAND) != candidate_key(OTHER)
+
+    def test_strategy_signature_captures_public_scalars(self):
+        sig = strategy_signature(RandomSearch(samples=5, seed=9))
+        assert sig["name"] == "random"
+        assert sig["samples"] == 5
+        assert sig["seed"] == 9
+        assert not any(k.startswith("_") for k in sig)
+
+
+class TestCreate:
+    def test_manifest_written_atomically_no_tmp_left(self, tmp_path):
+        path = str(tmp_path / "sweep")
+        journal = SweepJournal.create(path, MANIFEST)
+        journal.close()
+        assert os.path.exists(os.path.join(path, MANIFEST_NAME))
+        assert not os.path.exists(os.path.join(path, MANIFEST_NAME + ".tmp"))
+        on_disk = json.load(open(os.path.join(path, MANIFEST_NAME)))
+        assert on_disk["spec_fingerprint"] == "abc123"
+        assert on_disk["format_version"] == FORMAT_VERSION
+
+    def test_create_truncates_previous_journal(self, tmp_path):
+        path = str(tmp_path / "sweep")
+        j1 = SweepJournal.create(path, MANIFEST)
+        j1.record_result(1, CAND, 1.0, "fp")
+        j1.close()
+        j2 = SweepJournal.create(path, MANIFEST)
+        j2.close()
+        assert open(os.path.join(path, JOURNAL_NAME)).read() == ""
+
+    def test_appends_flush_per_record(self, tmp_path):
+        path = str(tmp_path / "sweep")
+        journal = SweepJournal.create(path, MANIFEST)
+        journal.record_result(1, CAND, 1.5, "fp1")
+        # Readable *before* close: flushed per append, crash-safe.
+        lines = open(os.path.join(path, JOURNAL_NAME)).readlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["score"] == 1.5
+        journal.close()
+
+
+class TestResume:
+    def _written(self, tmp_path, records=True):
+        path = str(tmp_path / "sweep")
+        journal = SweepJournal.create(path, MANIFEST)
+        if records:
+            journal.record_result(1, CAND, 1.5, "fp1")
+            journal.record_failure(1, OTHER, "error", "deterministic",
+                                   "ValueError('bad')", 1)
+        journal.close()
+        return path
+
+    def test_resume_requires_manifest(self, tmp_path):
+        with pytest.raises(JournalError, match="no sweep manifest"):
+            SweepJournal.resume(str(tmp_path / "nowhere"))
+
+    def test_resume_loads_records(self, tmp_path):
+        path = self._written(tmp_path)
+        journal = SweepJournal.resume(path, MANIFEST)
+        assert journal.resumed
+        result = journal.lookup(1, CAND)
+        assert result["type"] == "result" and result["score"] == 1.5
+        failure = journal.lookup(1, OTHER)
+        assert failure["type"] == "failure"
+        assert failure["classification"] == "deterministic"
+        journal.close()
+
+    def test_resume_tolerates_truncated_tail(self, tmp_path):
+        path = self._written(tmp_path)
+        journal_file = os.path.join(path, JOURNAL_NAME)
+        blob = open(journal_file).read()
+        # Chop mid-way through the last record, as a crash would.
+        open(journal_file, "w").write(blob[: len(blob) - 17])
+        journal = SweepJournal.resume(path, MANIFEST)
+        assert journal.lookup(1, CAND) is not None  # intact line kept
+        assert journal.lookup(1, OTHER) is None     # truncated line dropped
+        journal.close()
+
+    def test_resume_appends_after_adopted_records(self, tmp_path):
+        path = self._written(tmp_path)
+        journal = SweepJournal.resume(path, MANIFEST)
+        journal.record_result(1, Candidate(("N", "K", "M"), ()), 0.5, "fp2")
+        journal.close()
+        again = SweepJournal.resume(path, MANIFEST)
+        assert len(again.results_for(1)) == 2
+        again.close()
+
+    def test_mismatched_identity_raises_naming_fields(self, tmp_path):
+        path = self._written(tmp_path)
+        changed = dict(MANIFEST, metric="energy",
+                       spec_fingerprint="different")
+        with pytest.raises(ResumeMismatchError) as err:
+            SweepJournal.resume(path, changed)
+        message = str(err.value)
+        assert "metric" in message and "spec_fingerprint" in message
+
+    def test_audit_fields_may_differ(self, tmp_path):
+        path = self._written(tmp_path)
+        changed = dict(MANIFEST, workers=64, timeout=1.0,
+                       library_version="0.0.0")
+        journal = SweepJournal.resume(path, changed)  # no raise
+        journal.close()
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        path = self._written(tmp_path)
+        open(os.path.join(path, MANIFEST_NAME), "w").write("{not json")
+        with pytest.raises(JournalError, match="not valid JSON"):
+            SweepJournal.resume(path, MANIFEST)
+
+
+class TestFinalize:
+    def test_finalize_appends_terminal_record(self, tmp_path):
+        path = str(tmp_path / "sweep")
+        journal = SweepJournal.create(path, MANIFEST)
+        journal.record_result(1, CAND, 1.0, "fp")
+        journal.finalize("complete", best_key=candidate_key(CAND),
+                         fingerprint="fp")
+        journal.close()
+        resumed = SweepJournal.resume(path, MANIFEST)
+        assert resumed.final["status"] == "complete"
+        assert resumed.final["best_key"] == candidate_key(CAND)
+        resumed.close()
+
+    def test_interrupted_status_round_trips(self, tmp_path):
+        path = str(tmp_path / "sweep")
+        journal = SweepJournal.create(path, MANIFEST)
+        journal.finalize("interrupted")
+        journal.close()
+        resumed = SweepJournal.resume(path, MANIFEST)
+        assert resumed.final["status"] == "interrupted"
+        resumed.close()
+
+    def test_payload_round_trips_objects(self, tmp_path):
+        path = str(tmp_path / "sweep")
+        journal = SweepJournal.create(path, MANIFEST)
+        payload = {"metrics": [1.25, 2.5], "name": "Z"}
+        journal.record_result(1, CAND, 1.0, "fp", result=payload)
+        journal.close()
+        resumed = SweepJournal.resume(path, MANIFEST)
+        assert SweepJournal.unpack(resumed.lookup(1, CAND)) == payload
+        assert SweepJournal.unpack({"type": "result"}) is None
+        resumed.close()

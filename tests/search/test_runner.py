@@ -183,12 +183,17 @@ class TestExecutorStrictness:
                    executor="process", energy_model=EnergyModel())
         assert "energy_model" in str(err.value)
 
-    def test_default_path_downgrades_silently(self, tensors, monkeypatch):
-        from repro.model import EnergyModel
+    def test_default_path_downgrade_warns_naming_offender(
+            self, tensors, monkeypatch):
+        """An env-requested process pool that cannot be honored still
+        runs the sweep on threads, but now says so — naming the
+        argument that blocked the process pool."""
+        from repro.model import EnergyModel, ExecutorDowngradeWarning
 
         monkeypatch.setenv("REPRO_EVALUATE_EXECUTOR", "process")
-        result = search(load_spec(BASE), tensors, max_loop_orders=3,
-                        workers=2, energy_model=EnergyModel())
+        with pytest.warns(ExecutorDowngradeWarning, match="energy_model"):
+            result = search(load_spec(BASE), tensors, max_loop_orders=3,
+                            workers=2, energy_model=EnergyModel())
         assert len(result.candidates) == 3
 
     def test_unknown_executor_rejected(self, tensors):
