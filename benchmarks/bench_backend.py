@@ -35,6 +35,10 @@ target):
    must price candidates >=100x faster than the counter-fused kernels,
    and the pruned search with ``prune_metrics="analytical"`` must still
    land on the exhaustive-best mapping at the bench space's ``k``.
+8. **Analytical accuracy**: the ``analytical-accuracy`` flavor records
+   the per-accelerator analytical/exact traffic and ops ratios on the
+   canonical cross-validation workloads into the trajectory, so model
+   accuracy accrues history the way performance does.
 
 An ``--nnz-sweep`` mode grows one synthetic SpMSpM from 1e4 to 1e6
 nonzeros and records counted-vs-vector per size — the gap widens with
@@ -224,7 +228,17 @@ TRAJECTORY = os.path.join(os.path.dirname(__file__), "BENCH_backend.json")
 
 ALL_FLAVORS = ("interpreter", "compiled", "counters", "vector",
                "untraced", "buffered", "executor", "search", "analytical",
-               "supervised")
+               "analytical-accuracy", "supervised")
+
+#: The scaled-down accelerator configs the analytical tier is
+#: cross-validated against (mirrors ``tests/model/test_analytical.py``).
+ACCURACY_ACCELERATORS = {
+    "gamma": dict(pe_rows=16, merge_way=16),
+    "outerspace": dict(mult_outer=64, mult_inner=8, merge_outer=32,
+                       merge_inner=4),
+    "extensor": dict(k1=16, k0=8, m1=16, m0=8, n1=16, n0=8),
+    "sigma": dict(k_tile=64, pe_array=512),
+}
 
 
 def _workloads(n: int = N_WORKLOADS):
@@ -376,6 +390,8 @@ def run_comparison(n: int = N_WORKLOADS, flavors=None):
         timings.update(_run_search())
     if "analytical" in flavors:
         timings.update(_run_analytical())
+    if "analytical-accuracy" in flavors:
+        timings.update(_run_analytical_accuracy())
     if "supervised" in flavors:
         timings.update(_run_supervised())
     return timings
@@ -606,6 +622,32 @@ def _run_analytical() -> dict:
     return timings
 
 
+def _run_analytical_accuracy() -> dict:
+    """Per-accelerator analytical/exact metric ratios on the canonical
+    cross-validation workloads (``cross_validation_workload`` — the
+    same pair the pinned ``ACCEL_BOUNDS`` tripwires measure), keyed
+    ``accuracy::<accel>/<kind>/<metric>`` so ``record_trajectory``
+    routes them into the ``analytical_accuracy`` record section rather
+    than the wall-time table."""
+    from repro.accelerators import accelerator
+    from repro.workloads import cross_validation_workload, workload_stats
+
+    out = {}
+    for accel, params in ACCURACY_ACCELERATORS.items():
+        for kind in ("uniform", "power-law"):
+            tensors = cross_validation_workload(kind)
+            exact = evaluate(accelerator(accel, **params),
+                             {k: v.copy() for k, v in tensors.items()})
+            anl = evaluate(accelerator(accel, **params), None,
+                           metrics="analytical",
+                           stats=workload_stats(tensors))
+            for metric, of in (("traffic", lambda r: r.traffic_bytes()),
+                               ("ops", lambda r: r.total_ops())):
+                out[f"accuracy::{accel}/{kind}/{metric}"] = (
+                    of(anl) / max(of(exact), 1e-12))
+    return out
+
+
 def _run_supervised() -> dict:
     """The resumable-sweep contract at bench scale: a journaled sweep
     vs. the identical unjournaled one (journal overhead), then the
@@ -756,6 +798,10 @@ def _commit_hash():
 def record_trajectory(timings: dict, n: int, path: str = TRAJECTORY,
                       nnz_series=None) -> dict:
     """Append one run to the perf-trajectory file and return the record."""
+    accuracy = {k: v for k, v in timings.items()
+                if k.startswith("accuracy::")}
+    timings = {k: v for k, v in timings.items()
+               if not k.startswith("accuracy::")}
 
     def ratio(num, den):
         if num not in timings or den not in timings:
@@ -820,6 +866,13 @@ def record_trajectory(timings: dict, n: int, path: str = TRAJECTORY,
                 timings["analytical_stats_extract"], 6),
             "identical_best": True,
         }
+    if accuracy:
+        ratios = {}
+        for key, v in sorted(accuracy.items()):
+            accel, kind, metric = key.split("::", 1)[1].split("/")
+            ratios.setdefault(accel, {}).setdefault(kind, {})[metric] = \
+                round(v, 3)
+        record["analytical_accuracy"] = ratios
     if "search_unjournaled" in timings and "search_journaled" in timings:
         # _run_supervised asserted the kill-and-resume bit-identity
         # (same best candidate, same metrics fingerprint) before
@@ -924,6 +977,15 @@ def _print_report(timings: dict, n: int) -> None:
         "search_unjournaled", strip="search_",
         per=_search_n_candidates(), per_label="per candidate",
     )
+
+    accuracy = sorted(k for k in timings if k.startswith("accuracy::"))
+    if accuracy:
+        print("\nAnalytical-tier accuracy (analytical/exact ratio, "
+              "cross-validation workloads)")
+        for key in accuracy:
+            accel, kind, metric = key.split("::", 1)[1].split("/")
+            print(f"  {accel:>10s}  {kind:>9s}  {metric:>7s}  "
+                  f"{timings[key]:6.3f}x")
 
 
 @pytest.mark.benchmark(group="backend")
@@ -1034,4 +1096,5 @@ if __name__ == "__main__":
         _print_report(timings, args.workloads)
         if not args.no_json:
             record = record_trajectory(timings, args.workloads, args.json)
-            print(f"\nrecorded to {args.json}: {record['speedups']}")
+            print(f"\nrecorded to {args.json}: "
+                  f"{record.get('speedups', record.get('analytical_accuracy', {}))}")

@@ -82,13 +82,26 @@ __all__ = [
     "WorkloadStats",
     "AnalyticalResult",
     "EinsumEstimate",
+    "UnresolvedRankShapeError",
+    "derive_output_stats",
     "evaluate_analytical",
 ]
 
 #: Cell-count ceiling for exact power-law subset sums; larger subspaces
-#: fall back to the uniform closed form (logged nowhere — the bound only
-#: triggers for giant shapes where the uniform tail is accurate anyway).
+#: fall back to the uniform closed form.  Each substitution is tallied on
+#: the owning :class:`TensorStats` (``approximations``) and surfaced on
+#: :attr:`AnalyticalResult.approximations` — the bound only triggers for
+#: giant shapes where the uniform tail is accurate anyway, but users can
+#: now see when the closed form was substituted.
 _MAX_CELLS = 4_000_000
+
+
+class UnresolvedRankShapeError(ValueError):
+    """A cascade intermediate's rank shape could not be resolved.
+
+    Raised instead of silently pricing the rank against shape 1: the
+    shape must come from the workload shapes, the spec's declared
+    shapes, or one of the producing Einsum's input statistics."""
 
 
 def _occupied(bins: float, per_bin: float, n: float, space: float) -> float:
@@ -132,6 +145,14 @@ class TensorStats:
         self._weights = weights
         self._draws: Optional[float] = None
         self._memo: Dict[Tuple[str, ...], float] = {(): 1.0}
+        #: Closed-form substitutions made while answering queries
+        #: (e.g. ``"powerlaw-uniform-tail"`` when a subset query exceeds
+        #: ``_MAX_CELLS``), surfaced on ``AnalyticalResult.approximations``.
+        self.approximations: Counter = Counter()
+        #: Names of the tensors this one was derived from (transitively),
+        #: when built by :func:`derive_output_stats`.  Intersections treat
+        #: an ancestor's occupancy as implied by the derived tensor's.
+        self.derived_from: frozenset = frozenset()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -209,6 +230,8 @@ class TensorStats:
             return self._draws
         probs = self._cell_probs(tuple(self.rank_ids))
         if probs is None or self.nnz <= 0:
+            if probs is None:
+                self.approximations["powerlaw-uniform-tail"] += 1
             self._draws = max(self.nnz, 0.0)
             return self._draws
         log1m = np.log1p(-np.minimum(probs, 1.0 - 1e-15))
@@ -279,6 +302,7 @@ class TensorStats:
     def _powerlaw_distinct(self, subset: Tuple[str, ...]) -> float:
         probs = self._cell_probs(subset)
         if probs is None:
+            self.approximations["powerlaw-uniform-tail"] += 1
             bins = 1.0
             for r in subset:
                 bins *= self.shape[r]
@@ -403,6 +427,12 @@ class AnalyticalResult(EvaluationResult):
 
     stats: Optional[WorkloadStats] = None
     estimates: Dict[str, EinsumEstimate] = field(default_factory=dict)
+    #: ``"tensor:substitution" -> count`` tally of every closed-form
+    #: substitution made while pricing (power-law subset queries falling
+    #: back to the uniform tail past ``_MAX_CELLS``, cascade
+    #: intermediates priced as uncorrelated uniform stats because the
+    #: producing expression couldn't be join-modeled, ...).
+    approximations: Dict[str, int] = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -428,15 +458,25 @@ def _chunk_geometry(spec: AcceleratorSpec, ir: LoopNestIR,
                     shapes: Dict[str, int]):
     """Per upper loop rank: chunk metadata; per lowest split rank: span.
 
-    Returns ``(chunk_meta, spans)`` where ``chunk_meta[rank]`` is
-    ``("shape", span_above, span_here)`` or ``("occupancy", leader, size)``
-    and ``spans[rank]`` is the coordinate span of the innermost split
-    level (the window width a fixed chunk path selects).
+    Returns ``(chunk_meta, spans, flat_shapes)`` where ``chunk_meta[rank]``
+    is ``("shape", span_above, span_here)`` or
+    ``("occupancy", leader, size)``, ``spans[rank]`` is the coordinate
+    span of the innermost split level (the window width a fixed chunk
+    path selects), ``flat_shapes[rank]`` is the composed coordinate
+    space of a flattened rank — each component resolved from the base
+    shapes *or* from the span its own split left behind (a flatten over a
+    split tail like SIGMA's ``(M, K0)`` composes ``shape(M) * span(K0)``,
+    it does not bypass the occupancy model) — and
+    ``flat_components[rank]`` names the flattened rank's base declared
+    ranks, so occupancy queries on flattened fibers resolve against the
+    source tensors' statistics.
     """
     mapping = spec.mapping.for_einsum(ir.name)
     base_shape = dict(shapes)
     chunk_meta: Dict[str, tuple] = {}
     spans: Dict[str, float] = {}
+    flat_shapes: Dict[str, float] = {}
+    flat_components: Dict[str, List[str]] = {}
     for key, directives in mapping.partitioning:
         flattens = [d for d in directives if d.kind == "flatten"]
         splits = [d for d in directives if d.kind != "flatten"]
@@ -444,9 +484,17 @@ def _chunk_geometry(spec: AcceleratorSpec, ir: LoopNestIR,
         if flattens:
             target = flatten_name(key)
             prod = 1.0
+            comps: List[str] = []
             for k in key:
-                prod *= base_shape.get(k) or 1
+                prod *= base_shape.get(k) or spans.get(k) or 1
+                # Split components (K0) resolve to their base rank.
+                base = k
+                while base and base not in shapes and base[-1].isdigit():
+                    base = base[:-1]
+                comps.append(base if base in shapes else k)
             base_shape[target] = prod
+            flat_shapes[target] = prod
+            flat_components[target] = comps
         if not splits:
             continue
         names = split_names(target, len(splits))
@@ -460,7 +508,7 @@ def _chunk_geometry(spec: AcceleratorSpec, ir: LoopNestIR,
                 chunk_meta[nm] = ("occupancy", d.leader, size)
         if splits[-1].kind == "uniform_shape":
             spans[names[-1]] = float(splits[-1].resolve_size(spec.params))
-    return chunk_meta, spans
+    return chunk_meta, spans, flat_shapes, flat_components
 
 
 def _existential_ranks(ir: LoopNestIR) -> set:
@@ -531,6 +579,10 @@ class _PlanState:
         self.span: Dict[str, float] = {}
         self.present_q = 1.0  # leaf presence probability (non-conj paths)
         self.consumed_at: Dict[str, int] = {}  # base rank -> loop index
+        # Loop index -> the window dict as it stood once that rank (and
+        # everything above it) had narrowed/consumed — the re-reference
+        # state a buffet evicting at that rank sees per window.
+        self.window_trace: Dict[int, Dict[str, float]] = {}
 
     def peek(self):
         return self.levels[self.pos] if self.pos < len(self.levels) else None
@@ -538,18 +590,24 @@ class _PlanState:
     def advance(self):
         self.pos += 1
 
-    def _d_eff(self, ranks: List[str]) -> float:
+    def snapshot(self, loop_idx: int) -> None:
+        self.window_trace[loop_idx] = dict(self.window)
+
+    def _d_eff(self, ranks: List[str],
+               window: Optional[Dict[str, float]] = None) -> float:
         """Expected distinct projections of the *reachable* elements
         onto ``ranks``: the subset-distinct count thinned by windows on
         the remaining ranks (element subsampling), scaled by windows on
         ``ranks`` themselves (coordinate-span selection)."""
+        if window is None:
+            window = self.window
         q = 1.0
-        for r, w in self.window.items():
+        for r, w in window.items():
             if r not in ranks:
                 q *= w
         d = self.stats.distinct_thinned(ranks, q)
         for r in ranks:
-            d *= self.window.get(r, 1.0)
+            d *= window.get(r, 1.0)
         return d
 
     def cond_occ(self, ranks: List[str]) -> float:
@@ -642,6 +700,223 @@ def _leaf_ops(expr: Expr, q: List[float], _counter=None):
 
 
 # ----------------------------------------------------------------------
+# Join statistics for cascade intermediates
+# ----------------------------------------------------------------------
+def _subsets(ranks: Sequence[str]) -> List[Tuple[str, ...]]:
+    out: List[Tuple[str, ...]] = [()]
+    for r in ranks:
+        out += [s + (r,) for s in out]
+    return out
+
+
+class _JoinTable:
+    """Per-subset expected distinct counts of a conjunctive join.
+
+    The statistical object behind :func:`derive_output_stats`: ``d(S)``
+    is the expected number of distinct projections of the join's
+    effectual points onto the rank subset ``S``, built bottom-up from
+    the participating tensors' own subset-distinct tables under the
+    two-finger intersection model (shared-rank overlap ``dx*dy/space``,
+    per-side survival thinning for one-sided projections)."""
+
+    def __init__(self, ranks: Sequence[str], shape: Dict[str, float],
+                 nnz: float, table: Dict[frozenset, float],
+                 derived_from: Iterable[str]):
+        self.ranks = list(ranks)
+        self.shape = dict(shape)
+        self.nnz = float(nnz)
+        self._table = table
+        self.derived_from = frozenset(derived_from)
+
+    @classmethod
+    def of_access(cls, ts: TensorStats, exposed: Sequence[str],
+                  tensor_ranks: Sequence[str]) -> "_JoinTable":
+        """One access's table; ``exposed[i]`` is the iteration rank the
+        access binds to the tensor's declared rank ``tensor_ranks[i]``."""
+        m = dict(zip(exposed, tensor_ranks))
+        table = {frozenset(s): ts.distinct([m[r] for r in s])
+                 for s in _subsets(exposed)}
+        shape = {e: float(ts.shape.get(t, 1) or 1)
+                 for e, t in zip(exposed, tensor_ranks)}
+        return cls(exposed, shape, ts.nnz, table,
+                   {ts.name} | set(ts.derived_from))
+
+    def space(self, ranks: Iterable[str]) -> float:
+        out = 1.0
+        for r in ranks:
+            out *= max(self.shape.get(r, 1.0), 1.0)
+        return out
+
+    def d(self, ranks: Iterable[str]) -> float:
+        return self._table[frozenset(ranks)]
+
+    def distinct_thinned(self, ranks: Iterable[str], q: float) -> float:
+        d = self.d(ranks)
+        if q >= 1.0 or d <= 0.0 or self.nnz <= 0.0:
+            return d
+        per_bin = self.nnz / d
+        return d * -math.expm1(per_bin * math.log1p(-min(max(q, 0.0),
+                                                         1.0 - 1e-12)))
+
+
+def _join_tables(X: _JoinTable, Y: _JoinTable) -> _JoinTable:
+    """The conjunctive join of two tables over their shared ranks."""
+    # Containment first: a side derived from the other side's tensors is
+    # already conditioned on its presence, so the conjunction adds no
+    # new constraint (S = take(A, B) then T = take(A, S): A ∧ S = S).
+    # Joining with the independence model instead would square the
+    # correlation away a second time.
+    if X.derived_from <= Y.derived_from and set(X.ranks) <= set(Y.ranks):
+        shape = dict(X.shape)
+        shape.update(Y.shape)
+        return _JoinTable(Y.ranks, shape, Y.nnz, dict(Y._table),
+                          X.derived_from | Y.derived_from)
+    if Y.derived_from <= X.derived_from and set(Y.ranks) <= set(X.ranks):
+        shape = dict(Y.shape)
+        shape.update(X.shape)
+        return _JoinTable(X.ranks, shape, X.nnz, dict(X._table),
+                          X.derived_from | Y.derived_from)
+    J = [r for r in X.ranks if r in Y.ranks]
+    Jset = set(J)
+    ranks = X.ranks + [r for r in Y.ranks if r not in X.ranks]
+    shape = dict(Y.shape)
+    shape.update(X.shape)
+    dxJ = max(X.d(J), 1e-12)
+    dyJ = max(Y.d(J), 1e-12)
+    spaceJ = 1.0
+    for r in J:
+        spaceJ *= max(shape.get(r, 1.0), 1.0)
+    # Expected overlap of the two sides' shared-rank projections, then
+    # each side's survival probability given the overlap.
+    dJ = min(dxJ * dyJ / max(spaceJ, 1.0), dxJ, dyJ) if J else 1.0
+    qx = min(dJ / dxJ, 1.0)
+    qy = min(dJ / dyJ, 1.0)
+    nnz = dJ * (X.nnz / dxJ) * (Y.nnz / dyJ)
+
+    def full_d(sx: List[str], sy: List[str]) -> float:
+        return dJ * (X.d(J + sx) / dxJ) * (Y.d(J + sy) / dyJ)
+
+    table: Dict[frozenset, float] = {}
+    for S in _subsets(ranks):
+        Sset = set(S)
+        Sx = [r for r in X.ranks if r in Sset and r not in Jset]
+        Sy = [r for r in Y.ranks if r in Sset and r not in Jset]
+        Sj = [r for r in J if r in Sset]
+        if not S:
+            D = 1.0
+        elif len(Sj) == len(J):
+            # All shared ranks kept: per-overlap multiplicities multiply.
+            D = full_d(Sx, Sy)
+        elif not Sy:
+            # One-sided projection: X's own distinct count, thinned by
+            # the elements that found a partner.
+            D = X.distinct_thinned(Sj + Sx, qx)
+        elif not Sx:
+            D = Y.distinct_thinned(Sj + Sy, qy)
+        else:
+            # Both sides contribute but part of J is dropped: project
+            # the full-J count down, joint coordinates spread uniformly
+            # over the dropped shared-rank space.
+            full = full_d(Sx, Sy)
+            spaceS = 1.0
+            for r in S:
+                spaceS *= max(shape.get(r, 1.0), 1.0)
+            spaceSJ = spaceS
+            for r in J:
+                if r not in Sset:
+                    spaceSJ *= max(shape.get(r, 1.0), 1.0)
+            D = _occupied(spaceS, spaceSJ / max(spaceS, 1.0), full,
+                          spaceSJ)
+        spaceS = 1.0
+        for r in S:
+            spaceS *= max(shape.get(r, 1.0), 1.0)
+        D = min(D, nnz, spaceS)
+        if nnz >= 1.0 and S:
+            D = max(D, 1.0)
+        table[frozenset(S)] = D
+    # A projection never has more distinct points than any superset.
+    for S in sorted(table, key=len, reverse=True):
+        for r in S:
+            sub = S - {r}
+            table[sub] = min(table[sub], table[S])
+    return _JoinTable(ranks, shape, nnz, table,
+                      X.derived_from | Y.derived_from)
+
+
+def _expr_join(expr: Expr,
+               stats_env: Dict[str, TensorStats]) -> Optional[_JoinTable]:
+    """Join table of a conjunctive expression, or None when the shape of
+    the expression defeats the join model (Add nodes, affine or literal
+    indices, repeated variables, missing input statistics)."""
+    if isinstance(expr, Access):
+        ts = stats_env.get(expr.tensor)
+        if ts is None or expr.indices is None:
+            return None
+        if len(expr.indices) != len(ts.rank_ids):
+            return None
+        exposed = []
+        for ie in expr.indices:
+            if not ie.is_var:
+                return None
+            exposed.append(rank_of_var(ie.vars[0]))
+        if len(set(exposed)) != len(exposed):
+            return None
+        return _JoinTable.of_access(ts, exposed, ts.rank_ids)
+    if isinstance(expr, (Mul, Take)):
+        parts = expr.factors if isinstance(expr, Mul) else expr.args
+        out: Optional[_JoinTable] = None
+        for p in parts:
+            t = _expr_join(p, stats_env)
+            if t is None:
+                return None
+            out = t if out is None else _join_tables(out, t)
+        return out
+    return None
+
+
+def derive_output_stats(ir: LoopNestIR,
+                        stats_env: Dict[str, TensorStats],
+                        shapes: Dict[str, int]) -> Optional[TensorStats]:
+    """Statistics of a cascade intermediate, carried out of the producing
+    Einsum's join model instead of synthesized as uncorrelated uniform.
+
+    The returned :class:`TensorStats` has every rank-subset distinct
+    count prefilled from the join table (so consumers see the real
+    correlation structure — Gamma's and OuterSPACE's second Einsums,
+    SIGMA's ``take`` chain) and carries ``derived_from`` ancestry so
+    intersections can treat an ancestor's occupancy as already implied.
+    Returns None when the expression can't be join-modeled; raises
+    :class:`UnresolvedRankShapeError` when an output rank's shape can't
+    be resolved from the workload, the spec, or any input statistics."""
+    joint = _expr_join(ir.einsum.expr, stats_env)
+    if joint is None:
+        return None
+    out_ranks = list(ir.output.storage_ranks)
+    if any(r not in joint.ranks for r in out_ranks):
+        return None
+    shape = []
+    for r in out_ranks:
+        s = shapes.get(r) or joint.shape.get(r)
+        if not s or s <= 0:
+            raise UnresolvedRankShapeError(
+                f"rank {r!r} of cascade intermediate "
+                f"{ir.output.tensor!r} (Einsum {ir.name}) has no "
+                f"resolvable shape: not in the workload shapes, the "
+                f"spec's declared shapes, or the producing expression's "
+                f"input statistics; pass shapes={{{r!r}: ...}}"
+            )
+        shape.append(int(round(s)))
+    nnz = joint.d(out_ranks)
+    ts = TensorStats(ir.output.tensor, out_ranks, shape, nnz=nnz)
+    for S in _subsets(out_ranks):
+        if 0 < len(S) < len(out_ranks):
+            ts._memo[S] = max(min(joint.d(S), nnz),
+                              1.0 if nnz >= 1.0 else 0.0)
+    ts.derived_from = joint.derived_from
+    return ts
+
+
+# ----------------------------------------------------------------------
 # The per-Einsum pricing walk
 # ----------------------------------------------------------------------
 def _price_einsum(ir: LoopNestIR, spec: AcceleratorSpec,
@@ -651,8 +926,20 @@ def _price_einsum(ir: LoopNestIR, spec: AcceleratorSpec,
     em = sink.current
     est = EinsumEstimate(name=ir.name)
 
-    chunk_meta, spans = _chunk_geometry(spec, ir, shapes)
+    chunk_meta, spans, flat_shapes, flat_components = \
+        _chunk_geometry(spec, ir, shapes)
     existential = _existential_ranks(ir)
+
+    def stat_ranks(lvl) -> List[str]:
+        """Level stat ranks with flattened ranks expanded to their base
+        declared components (``MK0`` -> ``[M, K]``), so flattened fibers
+        price against the source tensors' occupancy."""
+        out: List[str] = []
+        for r in _stat_ranks(lvl, ir.origin):
+            for b in flat_components.get(r, (r,)):
+                if b not in out:
+                    out.append(b)
+        return out
 
     plans = []
     for plan in ir.accesses:
@@ -678,13 +965,18 @@ def _price_einsum(ir: LoopNestIR, spec: AcceleratorSpec,
         s = ir.rank_shapes.get(rank)
         if s is None:
             s = shapes.get(base)
+        if s is None:
+            s = flat_shapes.get(base)
         return float(s) if s else 1.0
 
     def full_shape_of(rank: str) -> float:
         """The unsplit base-rank span (co-iteration densities compose it
-        with each participant's own span fraction)."""
+        with each participant's own span fraction); flattened ranks
+        resolve to their composed component space."""
         base = ir.origin.get(rank, rank)
         s = shapes.get(base)
+        if s is None:
+            s = flat_shapes.get(base)
         if s is None:
             s = ir.rank_shapes.get(rank)
         return float(s) if s else 1.0
@@ -698,7 +990,7 @@ def _price_einsum(ir: LoopNestIR, spec: AcceleratorSpec,
                 break
             if not all(e.is_literal for e in lvl.exprs):
                 break
-            sr = _stat_ranks(lvl, ir.origin)
+            sr = stat_ranks(lvl)
             occ = st.cond_occ(sr)
             hit = min(1.0, occ / max(st.window_span(sr), 1.0))
             reads[(st.plan.tensor, lvl.of or lvl.rank, "coord")] += mult
@@ -753,7 +1045,7 @@ def _price_einsum(ir: LoopNestIR, spec: AcceleratorSpec,
         else:
             infos = []  # (st, lvl, occ_elements, trip_i, own co-space)
             for st, lvl in drivers:
-                sr = _stat_ranks(lvl, ir.origin)
+                sr = stat_ranks(lvl)
                 sp = st.span_frac(sr)
                 if lvl.kind in (UPPER, FLAT_UPPER):
                     elems = st.cond_occ(sr)
@@ -788,8 +1080,13 @@ def _price_einsum(ir: LoopNestIR, spec: AcceleratorSpec,
             if len(infos) == 1:
                 st, lvl, elems, trip, _ = infos[0]
                 tensor, of = st.plan.tensor, lvl.of or lvl.rank
-                reads[(tensor, of, "coord")] += mult * trip
-                reads[(tensor, of, "payload")] += mult * trip
+                # An existential (take) rank stops at its first match:
+                # the driver's fiber is scanned only to the first
+                # effectual coordinate per enclosing context, not end
+                # to end.
+                scan = min(trip, 1.0) if rank in existential else trip
+                reads[(tensor, of, "coord")] += mult * scan
+                reads[(tensor, of, "payload")] += mult * scan
             elif mode == "union":
                 # The union ranges over the widest participant's space.
                 S_u = max(sx for _, _, _, _, sx in infos)
@@ -808,9 +1105,19 @@ def _price_einsum(ir: LoopNestIR, spec: AcceleratorSpec,
                 # participant's density is its reachable elements over
                 # its own co-iteration space; matches are the density
                 # product over the shared (narrowest) window.
+                # A participant some co-participant was *derived from*
+                # (take()/join ancestry) is implied present wherever the
+                # derived tensor is — dropping its density factor keeps
+                # the correlation instead of squaring it away (Gamma's
+                # Z = T * A with T ⊆ A x B, SIGMA's take chain).
+                anc = set()
+                for st_i, _, _, _, _ in infos:
+                    anc |= st_i.stats.derived_from
                 min_space = min(sx for _, _, _, _, sx in infos)
                 matched = min_space
-                for _, _, _, t, sx in infos:
+                for st_i, _, _, t, sx in infos:
+                    if st_i.stats.name in anc:
+                        continue
                     matched *= min(t / max(sx, 1e-12), 1.0)
                 matched = min(matched, min(t for _, _, _, t, _ in infos))
                 # Elements each participant holds inside the narrow
@@ -840,7 +1147,7 @@ def _price_einsum(ir: LoopNestIR, spec: AcceleratorSpec,
             # ratio at the eventual leaf level even when other ranks are
             # consumed in between.
             for st, lvl, elems, t, _ in infos:
-                sr = _stat_ranks(lvl, ir.origin)
+                sr = stat_ranks(lvl)
                 if lvl.kind in (UPPER, FLAT_UPPER):
                     if meta and meta[0] == "shape":
                         sf = meta[2] / max(meta[1], 1e-12)
@@ -857,7 +1164,7 @@ def _price_einsum(ir: LoopNestIR, spec: AcceleratorSpec,
         # when its coord_range survives the leader's storage layout.
         for st, lvl in virtuals:
             if surviving_sf is not None:
-                st.narrow(_stat_ranks(lvl, ir.origin)[0],
+                st.narrow(stat_ranks(lvl)[0],
                           surviving_sf, surviving_sf)
             st.advance()
 
@@ -872,15 +1179,22 @@ def _price_einsum(ir: LoopNestIR, spec: AcceleratorSpec,
             mult_new = min(mult_new, mult)
 
         # --- lookup advances (the executor's _advance_all) -------------
+        driver_anc = set()
+        for st_d, _ in drivers:
+            driver_anc |= st_d.stats.derived_from
         for st, lvl in lookups:
             tensor, of = st.plan.tensor, lvl.of or lvl.rank
             if lvl.kind in (UPPER, FLAT_UPPER):
                 reads[(tensor, of, "coord")] += mult_new
                 st.advance()
                 continue
-            sr = _stat_ranks(lvl, ir.origin)
+            sr = stat_ranks(lvl)
             occ = st.cond_occ(sr)
             hit = min(1.0, occ / max(st.window_span(sr), 1.0))
+            if st.stats.name in driver_anc:
+                # The driving tensor was derived from this one: the
+                # lookup is guaranteed to land on a present fiber.
+                hit = 1.0
             reads[(tensor, of, "coord")] += mult_new
             reads[(tensor, of, "payload")] += mult_new * hit
             st.consume(sr, loop_idx)
@@ -894,6 +1208,8 @@ def _price_einsum(ir: LoopNestIR, spec: AcceleratorSpec,
             lanes *= max(trip, 1.0)
         mult = mult_new
         mult_at[rank] = mult
+        for st in plans:
+            st.snapshot(loop_idx)
 
     # Trailing literal levels below the last loop rank.
     for st in plans:
@@ -920,8 +1236,17 @@ def _price_einsum(ir: LoopNestIR, spec: AcceleratorSpec,
     else:
         d_out = min(_collide(out_space, effectual), effectual)
         adds += max(0.0, effectual - d_out)
-    copies = effectual if (muls_per == 0 and adds_per == 0
-                           and not reduction) else 0.0
+    # Copy events mirror the executor's leaf accounting: a take() leaf
+    # always overwrites its key (never accumulates), and a bare-access
+    # reduction pays a copy on each first touch before later visits
+    # turn into accumulating adds.
+    bare = muls_per == 0 and adds_per == 0
+    if ir.einsum.is_take:
+        copies = effectual
+    elif bare:
+        copies = d_out if reduction else effectual
+    else:
+        copies = 0.0
 
     if effectual > 0:
         writes[(ir.output.tensor,
@@ -1065,17 +1390,28 @@ def _price_data_events(ir, sink, em, est, plans, reads, writes, mult_at,
         else:
             windows = max(mult_final, 1.0)
         st = state_by_tensor.get(tensor)
-        if st is not None and evict in ir.loop_ranks:
+        if ts is not None and st is not None and evict in ir.loop_ranks:
+            # First-touch fills per evict window: the expected distinct
+            # keys *reachable within one window*, conditioned on every
+            # rank of the tensor consumed above the evict point and
+            # narrowed by the chunk windows live there.  On multi-level
+            # tilings (ExTensor's three-level tiles) each sibling chunk
+            # window re-references only its own slice of the tensor —
+            # pricing the whole-tensor key count per window is what
+            # turned every read into a fill.
             evict_idx = ir.loop_ranks.index(evict)
-            bound = [r for r in key_ranks
-                     if st.consumed_at.get(r, len(ir.loop_ranks))
-                     <= evict_idx]
-        else:
-            bound = []
-        if ts is not None:
+            window = st.window_trace.get(evict_idx, {})
+            n_loops = len(ir.loop_ranks)
+            bound = [r for r in ts.rank_ids
+                     if st.consumed_at.get(r, n_loops) <= evict_idx]
+            keys = [r for r in key_ranks if r in ts.shape]
+            want = bound + [r for r in keys if r not in bound]
+            num = st._d_eff(want, window)
+            den = st._d_eff(bound, window)
+            k_win = num / max(den, 1.0)
+        elif ts is not None:
             known = [r for r in key_ranks if r in ts.shape]
-            kb = [r for r in bound if r in ts.shape]
-            k_win = ts.distinct(known) / max(ts.distinct(kb), 1.0)
+            k_win = ts.distinct(known)
         else:
             k_win = k_total
         k_win = max(min(k_win, k_total), 1.0)
@@ -1182,20 +1518,47 @@ def evaluate_analytical(
         if name in spec.einsum.declaration:
             env[name] = proxy_of(name, ts)
 
+    approx: Counter = Counter()
     estimates: Dict[str, EinsumEstimate] = {}
     for ir in _cascade_ir(spec):
         est = _price_einsum(ir, spec, stats_env, all_shapes, sink)
         estimates[ir.name] = est
         if ir.output.tensor not in stats_env:
-            out_ts = TensorStats.uniform(
-                ir.output.tensor,
-                ir.output.storage_ranks,
-                [max(all_shapes.get(r, 1) or 1, 1)
-                 for r in ir.output.storage_ranks],
-                nnz=est.output_nnz,
-            )
+            out_ts = derive_output_stats(ir, stats_env, all_shapes)
+            if out_ts is None:
+                # The join model was defeated (Add nodes, affine or
+                # literal indices, repeated variables): fall back to
+                # uncorrelated uniform stats at the walk's expected
+                # output nnz — and say so in the tally.
+                approx[f"{ir.output.tensor}:uniform-intermediate"] += 1
+                shape = []
+                for r in ir.output.storage_ranks:
+                    s = all_shapes.get(r)
+                    if not s:
+                        for ts_i in stats_env.values():
+                            s = ts_i.shape.get(r)
+                            if s:
+                                break
+                    if not s or s <= 0:
+                        raise UnresolvedRankShapeError(
+                            f"rank {r!r} of cascade intermediate "
+                            f"{ir.output.tensor!r} (Einsum {ir.name}) "
+                            f"has no resolvable shape: not in the "
+                            f"workload shapes, the spec's declared "
+                            f"shapes, or any input statistics; pass "
+                            f"shapes={{{r!r}: ...}}"
+                        )
+                    shape.append(int(s))
+                out_ts = TensorStats.uniform(
+                    ir.output.tensor, ir.output.storage_ranks, shape,
+                    nnz=est.output_nnz,
+                )
             stats_env[ir.output.tensor] = out_ts
             env[ir.output.tensor] = proxy_of(ir.output.tensor, out_ts)
+
+    for ts in stats_env.values():
+        for what, n in ts.approximations.items():
+            approx[f"{ts.name}:{what}"] += n
 
     blocks = fuse_blocks(spec, sink)
     return AnalyticalResult(
@@ -1207,4 +1570,5 @@ def evaluate_analytical(
         energy_model=energy_model or EnergyModel(),
         stats=stats,
         estimates=estimates,
+        approximations=dict(approx),
     )

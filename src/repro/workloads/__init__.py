@@ -15,6 +15,7 @@ from .graphs import (
     reachable_source,
 )
 from .synthetic import (
+    cross_validation_workload,
     power_law,
     power_law_stats,
     uniform_random,
@@ -29,6 +30,7 @@ __all__ = [
     "VALIDATION_SET",
     "adjacency_from_dataset",
     "adjacency_from_networkx",
+    "cross_validation_workload",
     "load",
     "power_law",
     "power_law_stats",

@@ -158,3 +158,27 @@ def workload_stats(tensors):
     from ..model.analytical import WorkloadStats
 
     return WorkloadStats.from_tensors(tensors)
+
+
+def cross_validation_workload(kind):
+    """The canonical A/B SpMSpM pair used to cross-validate the
+    analytical tier against the exact engines (``tests/model/
+    test_analytical.py``, the ``analytical-accuracy`` bench flavor).
+
+    ``kind`` is ``"uniform"`` (iid Bernoulli, density 0.08) or
+    ``"power-law"`` (Zipf marginals at the matching nnz).  Keeping the
+    pair here means the pinned ``ACCEL_BOUNDS`` intervals and the
+    recorded bench ratios are measured on the same inputs.
+    """
+    if kind == "uniform":
+        return {
+            "A": uniform_random("A", ["K", "M"], (60, 50), 0.08, seed=11),
+            "B": uniform_random("B", ["K", "N"], (60, 55), 0.08, seed=12),
+        }
+    if kind == "power-law":
+        return {
+            "A": power_law("A", ["K", "M"], (60, 50), 240, seed=11),
+            "B": power_law("B", ["K", "N"], (60, 55), 264, seed=12),
+        }
+    raise ValueError(f"unknown workload kind {kind!r}; "
+                     "expected 'uniform' or 'power-law'")
