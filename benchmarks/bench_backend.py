@@ -228,7 +228,7 @@ TRAJECTORY = os.path.join(os.path.dirname(__file__), "BENCH_backend.json")
 
 ALL_FLAVORS = ("interpreter", "compiled", "counters", "vector",
                "untraced", "buffered", "executor", "search", "analytical",
-               "analytical-accuracy", "supervised")
+               "analytical-accuracy", "supervised", "store")
 
 #: The scaled-down accelerator configs the analytical tier is
 #: cross-validated against (mirrors ``tests/model/test_analytical.py``).
@@ -394,6 +394,8 @@ def run_comparison(n: int = N_WORKLOADS, flavors=None):
         timings.update(_run_analytical_accuracy())
     if "supervised" in flavors:
         timings.update(_run_supervised())
+    if "store" in flavors:
+        timings.update(_run_store())
     return timings
 
 
@@ -707,6 +709,54 @@ def _run_supervised() -> dict:
             "search_journaled": t_journaled}
 
 
+def _run_store() -> dict:
+    """The persistent-store contract at bench scale: the same pruned
+    sweep cold (populating a fresh cache directory) and warm (every
+    evaluation served from it) — the warm sweep must land on the
+    bit-identical best candidate and metrics fingerprint, and its
+    speedup is the cache's headline number."""
+    import shutil
+    import tempfile
+
+    from repro.search import metrics_fingerprint, search
+    from repro.store import PersistentStore
+
+    spec = load_spec(SPEC_SEARCH, name="store-sweep")
+    tensors = {
+        "A": uniform_random("A", ["K", "M"], (96, 48), 0.15, seed=5),
+        "B": uniform_random("B", ["K", "N"], (96, 40), 0.15, seed=7),
+    }
+    kwargs = dict(tile_sizes=SEARCH_TILE_SIZES, prune_to=SEARCH_PRUNE_TO)
+    search(spec, tensors, **kwargs)  # warm the in-process kernels
+
+    scratch = tempfile.mkdtemp(prefix="bench-store-")
+    try:
+        cache = os.path.join(scratch, "cache")
+        gc.collect()
+        t0 = time.perf_counter()
+        cold = search(spec, tensors, cache=cache, **kwargs)
+        t_cold = time.perf_counter() - t0
+
+        store = PersistentStore(cache)
+        gc.collect()
+        t0 = time.perf_counter()
+        warm = search(spec, tensors, cache=store, **kwargs)
+        t_warm = time.perf_counter() - t0
+
+        assert store.stats.hits > 0 and store.stats.puts == 0, (
+            "the warm sweep recomputed instead of hitting the store"
+        )
+        (cand_c, res_c), (cand_w, res_w) = cold.best(), warm.best()
+        assert cand_w == cand_c, (
+            f"warm-cache best {cand_w.describe()} diverged from the "
+            f"cold best {cand_c.describe()}"
+        )
+        assert metrics_fingerprint(res_w) == metrics_fingerprint(res_c)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return {"search_cold_store": t_cold, "search_warm_store": t_warm}
+
+
 # ----------------------------------------------------------------------
 # nnz-scaling sweep (counted vs vector as spans grow)
 # ----------------------------------------------------------------------
@@ -884,6 +934,17 @@ def record_trajectory(timings: dict, n: int, path: str = TRAJECTORY,
                 timings["search_journaled"]
                 / max(timings["search_unjournaled"], 1e-12), 3),
             "resume_bit_identical": True,
+        }
+    if "search_cold_store" in timings and "search_warm_store" in timings:
+        # _run_store asserted the warm sweep hit the cache for every
+        # candidate and stayed bit-identical before returning timings.
+        record["store"] = {
+            "cold_seconds": round(timings["search_cold_store"], 6),
+            "warm_seconds": round(timings["search_warm_store"], 6),
+            "warm_speedup_x": round(
+                timings["search_cold_store"]
+                / max(timings["search_warm_store"], 1e-12), 3),
+            "hit_bit_identical": True,
         }
     if "executor_thread" in timings and "executor_process" in timings:
         record["executor"] = {

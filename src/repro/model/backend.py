@@ -199,16 +199,36 @@ class CompiledCascade:
             CompiledEinsum(ir) for ir in build_cascade_ir(spec)
         ]
 
+    @classmethod
+    def from_irs(cls, irs: List[LoopNestIR]) -> "CompiledCascade":
+        """Rebuild a cascade from already-lowered IR (a persistent
+        kernel-store hit): compilation re-runs — it is cheap and its
+        output is process-local code objects — but lowering, the
+        dominant cost of a cold compile, is skipped entirely."""
+        cascade = cls.__new__(cls)
+        cascade.units = [CompiledEinsum(ir) for ir in irs]
+        return cascade
+
 
 class CompileCache:
-    """Memoizes lowering + compilation per canonical spec key."""
+    """Memoizes lowering + compilation per canonical spec key.
 
-    def __init__(self):
+    ``persistent`` (duck-typed: ``get_kernels(spec)`` returning lowered
+    IR units or None, and ``put_kernels(spec, irs)`` — see
+    :class:`repro.store.PersistentStore`) adds a cross-process layer
+    under the in-memory memo: a memory miss consults the store before
+    lowering, and a fresh compile publishes its IR so every other
+    process (and every future one) skips lowering for that spec.
+    """
+
+    def __init__(self, persistent=None):
         self._cache: Dict[Any, CompiledCascade] = {}
         self._failed: Dict[Any, CodegenError] = {}
         self._lock = threading.Lock()
+        self.persistent = persistent
         self.hits = 0
         self.misses = 0
+        self.persistent_hits = 0
 
     def __len__(self) -> int:
         return len(self._cache)
@@ -227,7 +247,15 @@ class CompileCache:
                 # workloads) must not pay the full lowering cost again.
                 self.hits += 1
                 raise failed
-        # Compile outside the lock: lowering can be slow.
+        # Lowering/compilation run outside the lock: both can be slow.
+        if self.persistent is not None:
+            irs = self.persistent.get_kernels(spec)
+            if irs is not None:
+                compiled = CompiledCascade.from_irs(irs)
+                with self._lock:
+                    winner = self._cache.setdefault(key, compiled)
+                    self.persistent_hits += 1
+                return winner
         try:
             compiled = CompiledCascade(spec)
         except CodegenError as err:
@@ -235,6 +263,9 @@ class CompileCache:
                 self._failed.setdefault(key, err)
                 self.misses += 1
             raise
+        if self.persistent is not None:
+            self.persistent.put_kernels(spec,
+                                        [unit.ir for unit in compiled.units])
         with self._lock:
             winner = self._cache.setdefault(key, compiled)
             self.misses += 1
@@ -246,6 +277,7 @@ class CompileCache:
             self._failed.clear()
             self.hits = 0
             self.misses = 0
+            self.persistent_hits = 0
 
 
 #: Process-wide cache shared by the default backends.

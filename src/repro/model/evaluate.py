@@ -21,7 +21,13 @@ from ..spec.architecture import Component, Topology
 from ..spec.loader import AcceleratorSpec
 from ..ir.codegen import CodegenError
 from ..ir.codegen_runtime import WHOLE_CTX, FusedBuffet, FusedCache
-from .backend import CompiledBackend, canonical_key, resolve_backend
+from .backend import (
+    CompileCache,
+    CompiledBackend,
+    InterpreterBackend,
+    canonical_key,
+    resolve_backend,
+)
 from .components import (
     BuffetModel,
     CacheModel,
@@ -71,6 +77,13 @@ class ExecutorDowngradeWarning(RuntimeWarning):
     offending argument (via :func:`process_incompatibilities`); results
     are unaffected — thread and process fan-out are bit-identical — but
     kernel execution serializes on the GIL."""
+
+
+class StoreBypassWarning(RuntimeWarning):
+    """A ``cache=`` request was bypassed because the arguments cannot be
+    keyed durably (via :func:`cache_incompatibilities`, naming each
+    offender).  The evaluation still runs — uncached — so results are
+    unaffected; only the persistence is lost."""
 
 
 @dataclass
@@ -717,6 +730,7 @@ def evaluate(
     metrics: str = "auto",
     prep_cache=None,
     stats=None,
+    cache=None,
 ) -> EvaluationResult:
     """Run a full TeAAL evaluation: execute + model + reduce.
 
@@ -770,6 +784,19 @@ def evaluate(
     ``prep_cache`` (a :class:`~repro.model.backend.PrepCache`) memoizes
     tensor preparation and arena conversion across evaluations sharing
     input objects — mapping sweeps pass one cache for the whole sweep.
+
+    ``cache`` (a directory path or a
+    :class:`~repro.store.PersistentStore`) consults the disk-backed
+    cross-process result store before evaluating and publishes the
+    result after: a hit returns the exact pickled result a cold run
+    would compute (the key covers the spec's full fingerprint, every
+    input tensor's *content* digest, the metrics mode, the opset, and
+    shape overrides), so warm and cold runs are bit-identical by
+    construction.  Arguments that cannot be keyed durably — an unnamed
+    opset, per-Einsum overrides, a custom energy model or backend —
+    bypass the store with a :class:`StoreBypassWarning` naming each
+    offender.  The analytical tier never caches: statistics pricing is
+    cheaper than a disk read.
     """
     if metrics == "analytical":
         from .analytical import evaluate_analytical
@@ -778,6 +805,41 @@ def evaluate(
                                    shapes=shapes,
                                    energy_model=energy_model)
     engine = resolve_backend(backend)
+    store = None
+    store_key = None
+    if cache is not None:
+        from ..store import MISS, resolve_store
+
+        store = resolve_store(cache)
+        reasons = cache_incompatibilities(opset, opsets, energy_model,
+                                          engine)
+        if reasons:
+            warnings.warn(
+                "cache= was bypassed for this evaluation because the "
+                "arguments cannot be keyed durably: " + "; ".join(reasons),
+                StoreBypassWarning, stacklevel=2,
+            )
+            store = None
+        else:
+            store_key = store.result_key(spec, tensors, metrics,
+                                         _opset_token(opset), shapes)
+            hit = store.get_result(store_key)
+            if hit is not MISS:
+                return hit
+    result = _evaluate_uncached(spec, tensors, opset, opsets, shapes,
+                                energy_model, engine, metrics, prep_cache)
+    if store is not None:
+        # Adopt the committed winner: racing writers computed
+        # bit-identical results, and converging on the stored object
+        # mirrors the in-memory caches' setdefault semantics.
+        result = store.put_result(store_key, result)
+    return result
+
+
+def _evaluate_uncached(spec, tensors, opset, opsets, shapes, energy_model,
+                       engine, metrics, prep_cache) -> EvaluationResult:
+    """The metrics-mode dispatch of :func:`evaluate`, after the
+    analytical branch and the persistent-store consult."""
     if metrics in ("auto", "vector"):
         result = _evaluate_fused(spec, tensors, opset, opsets, shapes,
                                  energy_model, engine, flavor="vector",
@@ -917,6 +979,40 @@ def process_incompatibilities(opset, opsets, energy_model, backend) -> List[str]
     return reasons
 
 
+def cache_incompatibilities(opset, opsets, energy_model, engine) -> List[str]:
+    """Why these ``evaluate`` arguments cannot be keyed in the
+    persistent result store.
+
+    Returns a human-readable reason per offending argument (empty when
+    caching can engage).  The store keys an evaluation by name-able
+    content — spec fingerprint, tensor content digests, metrics mode,
+    *named* opset, shapes — so anything unnameable (an ad-hoc opset,
+    per-Einsum overrides, a custom energy model) or of unknown
+    semantics (a third-party backend; the built-in engines are
+    bit-identical to each other by the differential contract, so they
+    share entries) has no sound key.
+    """
+    reasons = []
+    if _opset_token(opset) is None:
+        reasons.append(
+            "opset is not one of the named opsets (repro.einsum."
+            "operators.NAMED_OPSETS), so it has no durable cache key"
+        )
+    if opsets:
+        reasons.append("per-Einsum opset overrides (opsets=...) are not "
+                       "part of the result key")
+    if energy_model is not None:
+        reasons.append("a custom energy_model changes the result but has "
+                       "no durable cache key")
+    if not isinstance(engine, (CompiledBackend, InterpreterBackend)):
+        reasons.append(
+            f"backend {type(engine).__name__} is not one of the built-in "
+            "engines, so its results cannot be assumed bit-identical to "
+            "cached ones"
+        )
+    return reasons
+
+
 def resolve_pool_mode(executor, opset, opsets=None, energy_model=None,
                       backend=None) -> str:
     """The pool type a fan-out should actually use: ``"thread"`` or
@@ -950,16 +1046,47 @@ def resolve_pool_mode(executor, opset, opsets=None, energy_model=None,
     return "thread"
 
 
+#: Per-process memo of (store, kernel-persistent engine) pairs, keyed by
+#: cache directory: pool workers re-open the same store once, not per
+#: payload, and share one persistent-backed compile cache.
+_WORKER_STORES: Dict[str, tuple] = {}
+
+
+def _worker_store(cache_dir: str) -> tuple:
+    entry = _WORKER_STORES.get(cache_dir)
+    if entry is None:
+        from ..store import PersistentStore
+
+        store = PersistentStore(cache_dir)
+        engine = CompiledBackend(cache=CompileCache(persistent=store),
+                                 fallback=True)
+        entry = (store, engine)
+        _WORKER_STORES[cache_dir] = entry
+    return entry
+
+
 def _process_one(payload) -> EvaluationResult:
     """Process-pool worker: rebuild the engine in-process and evaluate.
 
     The child's compile cache is cold on the first workload and warm for
     the rest of that worker's share; specs, tensors, and results cross
-    the process boundary by pickle.
+    the process boundary by pickle.  A six-field payload carries a
+    persistent-cache directory: the worker then consults/publishes the
+    shared store directly — result hits skip evaluation, kernel hits
+    skip lowering — which is what makes cold worker pools cheap.
     """
-    spec, tensors, opset_name, shapes, metrics = payload
+    cache_dir = None
+    if len(payload) == 5:
+        spec, tensors, opset_name, shapes, metrics = payload
+    else:
+        spec, tensors, opset_name, shapes, metrics, cache_dir = payload
+    if cache_dir is None:
+        return evaluate(spec, tensors, opset=NAMED_OPSETS[opset_name],
+                        shapes=shapes, metrics=metrics)
+    store, engine = _worker_store(cache_dir)
     return evaluate(spec, tensors, opset=NAMED_OPSETS[opset_name],
-                    shapes=shapes, metrics=metrics)
+                    shapes=shapes, metrics=metrics, backend=engine,
+                    cache=store)
 
 
 def evaluate_many(
@@ -976,6 +1103,7 @@ def evaluate_many(
     timeout: Optional[float] = None,
     max_retries: int = 2,
     retry_backoff: float = 0.05,
+    cache=None,
 ) -> List[EvaluationResult]:
     """Evaluate one spec over many workloads, compiling once.
 
@@ -1014,6 +1142,15 @@ def evaluate_many(
     original exception (for a timeout, a
     :class:`~repro.search.supervisor.CandidateTimeoutError`).
 
+    ``cache`` (a directory path or a
+    :class:`~repro.store.PersistentStore`) consults and feeds the
+    disk-backed cross-process store, exactly as in :func:`evaluate`;
+    with the default backend the compile cache is store-backed too, so
+    a warm pool skips lowering as well as pricing.  Process-pool
+    workers open the same store directory themselves (one handle per
+    worker process).  Incompatible arguments bypass the store for the
+    whole sweep with a single :class:`StoreBypassWarning`.
+
     Returns one :class:`EvaluationResult` per workload, in order.
     """
     if executor is not None and executor not in ("thread", "process"):
@@ -1024,7 +1161,31 @@ def evaluate_many(
     # this module at its own import time.
     from ..search.supervisor import SweepSupervisor
 
-    engine = resolve_backend(backend)
+    store = None
+    if cache is not None and metrics != "analytical":
+        from ..store import resolve_store
+
+        store = resolve_store(cache)
+        if backend in (None, "auto"):
+            # Back the compile cache with the store too: a warm worker
+            # pool skips lowering, not just pricing.
+            engine = CompiledBackend(
+                cache=CompileCache(persistent=store), fallback=True,
+            )
+        else:
+            engine = resolve_backend(backend)
+        reasons = cache_incompatibilities(opset, opsets, energy_model,
+                                          engine)
+        if reasons:
+            warnings.warn(
+                "cache= was bypassed for this sweep because the "
+                "arguments cannot be keyed durably: " + "; ".join(reasons),
+                StoreBypassWarning, stacklevel=2,
+            )
+            store = None
+            engine = resolve_backend(backend)
+    else:
+        engine = resolve_backend(backend)
     if isinstance(engine, CompiledBackend):
         try:
             engine.compile(spec)  # warm the cache once, up front
@@ -1035,7 +1196,7 @@ def evaluate_many(
     def one(tensors: Dict[str, Tensor]) -> EvaluationResult:
         return evaluate(spec, tensors, opset=opset, opsets=opsets,
                         shapes=shapes, energy_model=energy_model,
-                        backend=engine, metrics=metrics)
+                        backend=engine, metrics=metrics, cache=store)
 
     workloads = list(workloads)
     if workers is None:
@@ -1053,7 +1214,11 @@ def evaluate_many(
         completed = supervisor.run_batch(
             range(len(workloads)),
             lambda i: one(workloads[i]),
-            payload=lambda i: (spec, workloads[i], token, shapes, metrics),
+            payload=lambda i: (
+                (spec, workloads[i], token, shapes, metrics)
+                if store is None else
+                (spec, workloads[i], token, shapes, metrics, store.path)
+            ),
             process_worker=_process_one,
         )
     finally:

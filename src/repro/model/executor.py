@@ -594,6 +594,34 @@ def install_fault_hook(hook) -> None:
     _FAULT_HOOK = hook
 
 
+class _FaultPoint:
+    """A named non-spec fault-injection site (see :func:`fault_point`).
+
+    Carries only a ``name`` so the same hook (and the same rule-matching
+    harness) that targets specs by name can target arbitrary code paths
+    — persistent-store commits, job-lease transitions — by theirs.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+def fault_point(name: str) -> None:
+    """Offer a named code-path site to the armed fault hook.
+
+    Durability-critical sequences (the persistent store's
+    write-temp-then-replace commit, the job runner's lease transitions)
+    call this at each step so the fault harness can kill or crash a
+    worker *between* steps deterministically.  A no-op unless a hook is
+    armed (which requires ``REPRO_FAULT_INJECTION=1``), so production
+    paths pay one global read.
+    """
+    if _FAULT_HOOK is not None:
+        _FAULT_HOOK(_FaultPoint(name))
+
+
 def cascade_context(
     spec: AcceleratorSpec,
     tensors: Dict[str, Tensor],

@@ -17,11 +17,29 @@ It splits the problem into three orthogonal pieces:
   fault-tolerance layer: per-candidate timeouts, bounded retry with
   failure classification, broken-pool recovery, and crash-safe
   journal/manifest artifacts behind ``search(..., journal=...)`` and
-  bit-identical resumption behind ``search(..., resume=...)``.
+  bit-identical resumption behind ``search(..., resume=...)``;
+* :mod:`repro.search.jobs` — the same sweep as an on-disk batch job:
+  :func:`submit` shards the space into a job directory, any number of
+  independent worker processes :func:`claim` leased shards (abandoned
+  leases expire and are re-claimed), and :func:`gather` assembles a
+  result bit-identical to an in-process ``search()``.  Pairs with the
+  cross-process persistent cache (:mod:`repro.store`, exposed as
+  ``search(..., cache=dir)``).
 
 ``repro.explore`` remains as a thin compatibility shim over this package.
 """
 
+from ..store import PayloadVersionError
+from .jobs import (
+    JobError,
+    JobStatus,
+    ShardClaim,
+    claim,
+    gather,
+    poll,
+    run_worker,
+    submit,
+)
 from .journal import (
     JournalError,
     ResumeMismatchError,
@@ -74,24 +92,33 @@ __all__ = [
     "ExplorationResult",
     "FULL_METRICS",
     "FailureRecord",
+    "JobError",
+    "JobStatus",
     "JournalError",
     "MappingSpace",
+    "PayloadVersionError",
     "RandomSearch",
     "ResumeMismatchError",
     "SearchResult",
     "SearchRunner",
     "SearchStrategy",
+    "ShardClaim",
     "SweepDegradationWarning",
     "SweepJournal",
     "SweepSupervisor",
     "apply_candidate",
     "candidate_key",
+    "claim",
     "classify_failure",
     "enumerate_candidates",
     "explore",
     "explore_cascade",
+    "gather",
     "metric_value",
     "metrics_fingerprint",
+    "poll",
     "resolve_strategy",
+    "run_worker",
     "search",
+    "submit",
 ]

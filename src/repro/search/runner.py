@@ -65,15 +65,24 @@ The runner composes three independent pieces:
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..einsum.operators import ARITHMETIC, OpSet
 from ..fibertree.rankid import rank_of_var
-from ..model.backend import PrepCache, resolve_backend, spec_fingerprint
+from ..model.backend import (
+    CompileCache,
+    CompiledBackend,
+    PrepCache,
+    resolve_backend,
+    spec_fingerprint,
+)
 from ..model.evaluate import (
     EvaluationResult,
+    StoreBypassWarning,
     _opset_token,
     _process_one,
+    cache_incompatibilities,
     counters_priceable,
     default_workers,
     evaluate,
@@ -149,6 +158,7 @@ class SearchRunner:
         retry_backoff: float = 0.05,
         journal: Optional[str] = None,
         resume: Optional[str] = None,
+        cache=None,
     ):
         if executor is not None and executor not in ("thread", "process"):
             raise ValueError(
@@ -170,7 +180,34 @@ class SearchRunner:
         self.shapes = shapes
         self.energy_model = energy_model
         self._backend_arg = backend
-        self.engine = resolve_backend(backend)
+        self.store = None
+        if cache is not None:
+            from ..store import resolve_store
+
+            store = resolve_store(cache)
+            if backend in (None, "auto"):
+                # Store-backed compile cache: a warm sweep (or a cold
+                # worker process) skips lowering, not just pricing.
+                engine = CompiledBackend(
+                    cache=CompileCache(persistent=store), fallback=True,
+                )
+            else:
+                engine = resolve_backend(backend)
+            reasons = cache_incompatibilities(opset, opsets, energy_model,
+                                              engine)
+            if reasons:
+                warnings.warn(
+                    "cache= was bypassed for this search because the "
+                    "arguments cannot be keyed durably: "
+                    + "; ".join(reasons),
+                    StoreBypassWarning, stacklevel=2,
+                )
+                self.engine = resolve_backend(backend)
+            else:
+                self.store = store
+                self.engine = engine
+        else:
+            self.engine = resolve_backend(backend)
         self.metrics = metrics
         self.metric = metric
         self.workers = workers if workers is not None else default_workers()
@@ -213,7 +250,8 @@ class SearchRunner:
         return evaluate(cand_spec, dict(self.tensors), opset=self.opset,
                         opsets=self.opsets, shapes=self.shapes,
                         energy_model=self.energy_model, backend=self.engine,
-                        metrics=metrics, prep_cache=self.prep_cache)
+                        metrics=metrics, prep_cache=self.prep_cache,
+                        cache=self.store)
 
     def _adopt_journaled(self, candidates: Sequence[Candidate],
                          phase: int) -> Tuple[Dict[Candidate,
@@ -295,8 +333,12 @@ class SearchRunner:
             completed = supervisor.run_batch(
                 to_run, lambda c: self._evaluate_one(c, metrics),
                 payload=lambda c: (
-                    apply_candidate(self.spec, self.einsum, c),
-                    self.tensors, token, self.shapes, metrics,
+                    (apply_candidate(self.spec, self.einsum, c),
+                     self.tensors, token, self.shapes, metrics)
+                    if self.store is None else
+                    (apply_candidate(self.spec, self.einsum, c),
+                     self.tensors, token, self.shapes, metrics,
+                     self.store.path)
                 ),
                 process_worker=_process_one,
                 phase=phase, on_result=on_result, on_failure=on_failure,
@@ -489,6 +531,7 @@ def search(
     retry_backoff: float = 0.05,
     journal: Optional[str] = None,
     resume: Optional[str] = None,
+    cache=None,
 ) -> SearchResult:
     """Search one Einsum's mapping space and rank the outcomes.
 
@@ -527,6 +570,20 @@ def search(
     and re-evaluating only what is missing.  See
     :mod:`repro.search.journal` for the layout and the resume-identity
     contract (:class:`~repro.search.journal.ResumeMismatchError`).
+
+    ``cache=dir`` (a directory path or a
+    :class:`~repro.store.PersistentStore`) makes the sweep read-through
+    and write-through a disk-backed cross-process store: every priced
+    candidate is published under its durable key (spec fingerprint +
+    tensor content digests + metrics mode + opset + shapes), and a
+    re-run of the same sweep — in this process or any other — adopts
+    the stored results bit-identically instead of re-evaluating.  With
+    the default backend the compile cache is store-backed too, so warm
+    sweeps skip lowering.  The journal checkpoints *one sweep's*
+    progress; the store is shared across sweeps and processes — they
+    compose (a resumed journal run with ``cache=`` fills gaps from the
+    store first).  Arguments without a durable key bypass the store
+    with a :class:`~repro.model.evaluate.StoreBypassWarning`.
     """
     runner = SearchRunner(
         spec, tensors, einsum=einsum, opset=opset, opsets=opsets,
@@ -536,6 +593,7 @@ def search(
         prune_metrics=prune_metrics, prep_cache=prep_cache,
         timeout=timeout, max_retries=max_retries,
         retry_backoff=retry_backoff, journal=journal, resume=resume,
+        cache=cache,
     )
     space = MappingSpace.of(_einsum_ranks(spec, runner.einsum),
                             tile_sizes, max_loop_orders)

@@ -48,6 +48,7 @@ indices.
 
 from __future__ import annotations
 
+import random
 import time
 import warnings
 from concurrent.futures import (
@@ -155,6 +156,8 @@ class SweepSupervisor:
         key: Callable[[Any], str] = repr,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
+        rng: Optional[random.Random] = None,
+        backoff_cap: Optional[float] = None,
     ):
         if mode not in ("thread", "process"):
             raise ValueError(f"mode must be 'thread' or 'process', "
@@ -168,9 +171,16 @@ class SweepSupervisor:
         self.timeout = timeout
         self.max_retries = max_retries
         self.backoff = backoff
+        #: Upper bound on one jittered backoff sleep; defaults to 20x
+        #: the base so a long transient-failure streak cannot stall a
+        #: sweep arbitrarily.
+        self.backoff_cap = (backoff_cap if backoff_cap is not None
+                            else backoff * 20.0)
         self.key = key
         self._sleep = sleep
         self._clock = clock
+        self._rng = rng if rng is not None else random.Random()
+        self._last_backoff = 0.0
         self._thread_pool: Optional[ThreadPoolExecutor] = None
         self._process_pool: Optional[ProcessPoolExecutor] = None
         self._rebuilt_process_pool = False
@@ -298,7 +308,26 @@ class SweepSupervisor:
         return task.attempts <= self.max_retries
 
     def _backoff_for(self, attempts: int) -> float:
-        return self.backoff * (2 ** max(0, attempts - 1))
+        """The next retry sleep: decorrelated jitter, capped.
+
+        ``min(cap, rng.uniform(base, max(3 * previous, base)))`` — the
+        classic decorrelated-jitter schedule.  It grows roughly as fast
+        as plain exponential backoff, but two workers that fail at the
+        same instant (one died process breaks *every* in-flight future
+        of a pool) re-submit at *different* times instead of hammering
+        the recovering pool — or, under the batch job runner, a shared
+        filesystem — in lockstep.  ``rng`` is injectable at
+        construction for deterministic tests; a zero ``backoff``
+        disables sleeping entirely, jitter included.
+        """
+        if self.backoff <= 0:
+            return 0.0
+        prev = self._last_backoff if self._last_backoff > 0 else self.backoff
+        value = min(self.backoff_cap,
+                    self._rng.uniform(self.backoff,
+                                      max(3.0 * prev, self.backoff)))
+        self._last_backoff = value
+        return value
 
     # ---- serial supervision -------------------------------------------
     def run_serial(self, items, call, phase: int = 1, on_result=None,

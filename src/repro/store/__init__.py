@@ -1,0 +1,42 @@
+"""Persistent, cross-process caching: the durable half of
+evaluation-as-a-service.
+
+:class:`PersistentStore` is a disk-backed cache directory shared by any
+number of worker processes: compiled-kernel IR and fully priced
+evaluation results survive process exit, kills mid-write, corrupt
+entries, and concurrent writers (see :mod:`repro.store.persistent` for
+the durability contract).  Opt in per call with ``cache=dir`` on
+:func:`repro.model.evaluate.evaluate`,
+:func:`repro.model.evaluate.evaluate_many`, and
+:func:`repro.search.search`; the leased batch job runner
+(:mod:`repro.search.jobs`) shares one store across its workers the same
+way.
+"""
+
+from .persistent import (
+    MISS,
+    STORE_FORMAT_VERSION,
+    CorruptEntryError,
+    PayloadVersionError,
+    PersistentStore,
+    StoreError,
+    StoreStats,
+    entry_meta,
+    read_entry,
+    resolve_store,
+    write_entry,
+)
+
+__all__ = [
+    "MISS",
+    "STORE_FORMAT_VERSION",
+    "CorruptEntryError",
+    "PayloadVersionError",
+    "PersistentStore",
+    "StoreError",
+    "StoreStats",
+    "entry_meta",
+    "read_entry",
+    "resolve_store",
+    "write_entry",
+]

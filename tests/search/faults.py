@@ -8,6 +8,26 @@ appears in the spec's name fires its action.  Candidate specs are named
 ``"<spec>+<candidate.describe()>"`` by ``apply_candidate``, so rules
 target individual candidates by their mapping description.
 
+Durability-critical sequences offer *named sites* through the same hook
+(:func:`repro.model.executor.fault_point` wraps the name in an object
+with a ``.name``, so the substring matching below applies unchanged):
+
+``store-put:<namespace>/<key>``
+    Entering :meth:`repro.store.PersistentStore.put`, before the entry
+    is written — kill here and nothing of the write exists.
+``store-commit:<final-basename>``
+    Inside :func:`repro.store.write_entry`, after the temp file is
+    written and fsynced but *before* the atomic ``os.replace`` — kill
+    here and the store must be left fully readable (temp garbage only),
+    the entry absent, and a retry able to commit.
+``jobs-record:shard-NNNN``
+    Before a job worker appends one result record to its shard — exit
+    here (``times=k`` after ``k`` clean records) to simulate a worker
+    dying mid-shard with a live lease behind it.
+``jobs-commit:<json-basename>``
+    Before any of the job runner's atomic JSON commits (lease stamps,
+    done markers, manifests) replaces into place.
+
 Actions:
 
 ``poison``

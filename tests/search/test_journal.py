@@ -190,3 +190,78 @@ class TestFinalize:
         assert SweepJournal.unpack(resumed.lookup(1, CAND)) == payload
         assert SweepJournal.unpack({"type": "result"}) is None
         resumed.close()
+
+
+class TestDurabilityPolicy:
+    def test_fsync_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync_every"):
+            SweepJournal.create(str(tmp_path / "sweep"), MANIFEST,
+                                fsync_every=0)
+
+    def _count_syncs(self, tmp_path, monkeypatch, fsync_every, appends):
+        import repro.search.journal as journal_mod
+
+        journal = SweepJournal.create(str(tmp_path / "sweep"), MANIFEST,
+                                      fsync_every=fsync_every)
+        syncs = []
+        monkeypatch.setattr(journal_mod.os, "fsync",
+                            lambda fd: syncs.append(fd))
+        for i in range(appends):
+            journal.record_result(1, CAND, float(i), f"fp{i}")
+        n = len(syncs)
+        monkeypatch.undo()
+        journal.close()
+        return n
+
+    def test_default_syncs_every_append(self, tmp_path, monkeypatch):
+        assert self._count_syncs(tmp_path, monkeypatch,
+                                 fsync_every=1, appends=3) == 3
+
+    def test_batched_policy_syncs_every_nth(self, tmp_path, monkeypatch):
+        assert self._count_syncs(tmp_path, monkeypatch,
+                                 fsync_every=3, appends=7) == 2
+
+    def test_batched_appends_still_flush(self, tmp_path):
+        path = str(tmp_path / "sweep")
+        journal = SweepJournal.create(path, MANIFEST, fsync_every=100)
+        journal.record_result(1, CAND, 1.5, "fp1")
+        # Unsynced is not unflushed: the record is already readable by
+        # another process (a killed process loses nothing).
+        lines = open(os.path.join(path, JOURNAL_NAME)).readlines()
+        assert len(lines) == 1
+        journal.close()
+
+
+class TestPayloadVersionStamp:
+    def test_manifest_stamps_the_pickle_protocol(self, tmp_path):
+        import pickle
+
+        path = str(tmp_path / "sweep")
+        SweepJournal.create(path, MANIFEST).close()
+        on_disk = json.load(open(os.path.join(path, MANIFEST_NAME)))
+        assert on_disk["pickle_protocol"] == pickle.HIGHEST_PROTOCOL
+
+    def test_resume_names_a_foreign_protocol(self, tmp_path):
+        from repro.store import PayloadVersionError
+
+        path = str(tmp_path / "sweep")
+        SweepJournal.create(path, MANIFEST).close()
+        manifest_path = os.path.join(path, MANIFEST_NAME)
+        on_disk = json.load(open(manifest_path))
+        on_disk["pickle_protocol"] = 99
+        json.dump(on_disk, open(manifest_path, "w"))
+        with pytest.raises(PayloadVersionError, match="protocol 99"):
+            SweepJournal.resume(path, MANIFEST)
+
+    def test_protocol_is_not_an_identity_field(self, tmp_path):
+        # An *older* (still readable) protocol resumes cleanly: the
+        # stamp gates readability, it does not fingerprint the sweep.
+        path = str(tmp_path / "sweep")
+        SweepJournal.create(path, MANIFEST).close()
+        manifest_path = os.path.join(path, MANIFEST_NAME)
+        on_disk = json.load(open(manifest_path))
+        on_disk["pickle_protocol"] = 2
+        json.dump(on_disk, open(manifest_path, "w"))
+        resumed = SweepJournal.resume(path, MANIFEST)
+        assert resumed.resumed
+        resumed.close()

@@ -393,3 +393,69 @@ class TestJournalArtifacts:
         with pytest.raises(ValueError, match="different paths"):
             search(spec, tensors, journal=str(tmp_path / "a"),
                    resume=str(tmp_path / "b"))
+
+
+class TestDecorrelatedJitter:
+    def _supervisor(self, **kw):
+        import random
+
+        from repro.search.supervisor import SweepSupervisor
+
+        kw.setdefault("rng", random.Random(7))
+        kw.setdefault("backoff", 0.05)
+        return SweepSupervisor(workers=1, **kw)
+
+    def test_seeded_rng_makes_the_schedule_deterministic(self):
+        import random
+
+        a = self._supervisor(rng=random.Random(42))
+        b = self._supervisor(rng=random.Random(42))
+        schedule = [a._backoff_for(i) for i in range(1, 8)]
+        assert schedule == [b._backoff_for(i) for i in range(1, 8)]
+        # ...and a different seed decorrelates two supervisors that
+        # fail at the same instants.
+        c = self._supervisor(rng=random.Random(43))
+        assert schedule != [c._backoff_for(i) for i in range(1, 8)]
+
+    def test_values_stay_within_base_and_cap(self):
+        sup = self._supervisor(backoff_cap=0.4)
+        for i in range(1, 50):
+            value = sup._backoff_for(i)
+            assert 0.05 <= value <= 0.4
+
+    def test_cap_bounds_the_growth(self):
+        sup = self._supervisor(backoff_cap=0.12)
+        values = [sup._backoff_for(i) for i in range(1, 30)]
+        assert max(values) <= 0.12
+        # The schedule actually reaches the cap: growth is real.
+        assert any(v > 0.1 for v in values)
+
+    def test_zero_backoff_disables_sleeping_entirely(self):
+        sup = self._supervisor(backoff=0)
+        assert all(sup._backoff_for(i) == 0.0 for i in range(1, 5))
+
+    def test_retries_sleep_jittered_durations(self):
+        """End to end through ``run_batch``: a transiently failing item's
+        retries sleep positive, non-identical, capped durations drawn
+        from the injected schedule — and the item still completes."""
+        import random
+
+        from repro.search.supervisor import SweepSupervisor
+
+        slept = []
+        failures = [3]  # transient failures before the item succeeds
+
+        def flaky(item):
+            if failures[0] > 0:
+                failures[0] -= 1
+                raise RuntimeError("injected transient failure")
+            return item * 10
+
+        sup = SweepSupervisor(workers=1, backoff=0.05, max_retries=3,
+                              rng=random.Random(7),
+                              sleep=slept.append)
+        results = sup.run_batch([1], flaky)
+        assert results == [(1, 10)]
+        assert len(slept) == 3
+        assert all(0.05 <= s <= sup.backoff_cap for s in slept)
+        assert len(set(slept)) > 1  # jitter: not a constant schedule

@@ -1,0 +1,9 @@
+"""Make the shared fault-injection harness (tests/search/faults.py)
+importable from the store suite as well."""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "search")
+)

@@ -1,0 +1,182 @@
+"""Cross-process safety of the persistent store.
+
+Real processes (fork), one shared cache directory: a hammering fleet
+loses no results and crashes no worker, a deterministic two-writer race
+commits exactly one winner and adopts it in the loser, and a sweep
+killed mid-run finishes bit-identically through the cache from another
+process.
+"""
+
+import multiprocessing
+import os
+import pickle
+
+import pytest
+
+from faults import FaultPlan
+from repro.store import MISS, PersistentStore
+
+FORK = multiprocessing.get_start_method() == "fork"
+
+pytestmark = pytest.mark.skipif(not FORK, reason="needs fork start method")
+
+N_PROCS = 6
+N_KEYS = 10
+ROUNDS = 8
+
+
+def _key(i):
+    return f"{i:02d}" + "c" * 62
+
+
+def _value(i):
+    return {"key": i, "metrics": [float(i)] * 16, "blob": b"x" * 512}
+
+
+def _hammer(path, worker, out):
+    """Worker: interleave puts and gets over a shared keyspace."""
+    store = PersistentStore(path)
+    bad = 0
+    for r in range(ROUNDS):
+        for i in range(N_KEYS):
+            k = (i + worker + r) % N_KEYS
+            value = store.put("results", _key(k), _value(k))
+            if value != _value(k):
+                bad += 1
+            got = store.get("results", _key(k))
+            if got is MISS or got != _value(k):
+                bad += 1
+    out.put((worker, bad, store.stats.as_dict()))
+
+
+class TestHammer:
+    def test_many_processes_one_directory_no_lost_results(self, tmp_path):
+        path = str(tmp_path / "store")
+        PersistentStore(path)  # create layout up front
+        out = multiprocessing.Queue()
+        procs = [
+            multiprocessing.Process(target=_hammer, args=(path, w, out))
+            for w in range(N_PROCS)
+        ]
+        for p in procs:
+            p.start()
+        reports = [out.get(timeout=60) for _ in procs]
+        for p in procs:
+            p.join(60)
+        assert all(p.exitcode == 0 for p in procs), \
+            [p.exitcode for p in procs]
+        # Zero lost or wrong results in any worker...
+        assert all(bad == 0 for _, bad, _ in reports), reports
+        # ...exactly one commit per key across the fleet (all other
+        # writers adopted), and the store holds every value.
+        total_puts = sum(s["puts"] for _, _, s in reports)
+        assert total_puts == N_KEYS
+        total_adopted = sum(s["adopted"] for _, _, s in reports)
+        assert total_adopted == N_PROCS * ROUNDS * N_KEYS - N_KEYS
+        verify = PersistentStore(path)
+        for i in range(N_KEYS):
+            assert verify.get("results", _key(i)) == _value(i)
+        assert verify.stats.corrupt_quarantined == 0
+
+
+def _race_writer(path, barrier, worker, out):
+    store = PersistentStore(path)
+    barrier.wait()  # both writers enter put() at the same instant
+    value = store.put("results", _key(0), _value(0))
+    out.put((worker, value == _value(0), store.stats.as_dict()))
+
+
+class TestTwoWriterRace:
+    def test_exactly_one_commit_one_adoption(self, tmp_path):
+        path = str(tmp_path / "store")
+        PersistentStore(path)
+        barrier = multiprocessing.Barrier(2)
+        out = multiprocessing.Queue()
+        procs = [
+            multiprocessing.Process(target=_race_writer,
+                                    args=(path, barrier, w, out))
+            for w in range(2)
+        ]
+        for p in procs:
+            p.start()
+        reports = [out.get(timeout=30) for _ in procs]
+        for p in procs:
+            p.join(30)
+        assert all(p.exitcode == 0 for p in procs)
+        # Both writers succeeded and got the canonical value...
+        assert all(ok for _, ok, _ in reports)
+        # ...the stripe flock serialized them into exactly one committed
+        # winner and one adopter (order is the race's to pick).
+        assert sorted(s["puts"] for _, _, s in reports) == [0, 1]
+        assert sorted(s["adopted"] for _, _, s in reports) == [0, 1]
+        assert PersistentStore(path).get("results", _key(0)) == _value(0)
+
+
+SPEC = """
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    Z: [M, N]
+  expressions:
+    - Z[m, n] = A[k, m] * B[k, n]
+"""
+
+#: The candidate the killer rule targets (see test_supervisor.py).
+TARGET = "loop=[K, N, M]"
+
+
+def _tensors():
+    from repro.workloads import uniform_random
+
+    return {
+        "A": uniform_random("A", ["K", "M"], (24, 20), 0.25, seed=1),
+        "B": uniform_random("B", ["K", "N"], (24, 16), 0.25, seed=2),
+    }
+
+
+def _killed_sweep(cache_dir):
+    """Child: run a serial cached sweep; the armed fault rule kills the
+    process (os._exit) when it reaches the target candidate."""
+    from repro.search import search
+    from repro.spec import load_spec
+
+    search(load_spec(SPEC), _tensors(), tile_sizes={"K": [8]},
+           workers=1, max_retries=0, cache=cache_dir)
+
+
+class TestKillResumeThroughCache:
+    def test_killed_sweep_finishes_bit_identically_elsewhere(
+            self, tmp_path, monkeypatch):
+        from repro.search import search
+        from repro.search.results import metrics_fingerprint
+        from repro.spec import load_spec
+
+        monkeypatch.setenv("REPRO_FAULT_INJECTION", "1")
+        plan = FaultPlan(str(tmp_path / "faults"))
+        os.makedirs(plan.root, exist_ok=True)
+        plan.install()
+        cache_dir = str(tmp_path / "cache")
+        try:
+            plan.add(TARGET, "exit", times=1)
+            proc = multiprocessing.Process(target=_killed_sweep,
+                                           args=(cache_dir,))
+            proc.start()
+            proc.join(120)
+            assert proc.exitcode == 13  # died at the injected site
+        finally:
+            plan.uninstall()
+        # The dead sweep left a partial cache: some results committed,
+        # none corrupt.  A fresh process finishes the same sweep through
+        # the cache, bit-identical to an uncached reference — adopting
+        # the dead process's work instead of redoing it.
+        partial = PersistentStore(cache_dir)
+        warm = search(load_spec(SPEC), _tensors(), tile_sizes={"K": [8]},
+                      workers=1, cache=partial)
+        ref = search(load_spec(SPEC), _tensors(), tile_sizes={"K": [8]},
+                     workers=1)
+        fp = lambda r: [(c, metrics_fingerprint(res))
+                        for c, res in r.candidates]
+        assert fp(warm) == fp(ref)
+        assert partial.stats.hits > 0  # the dead sweep's work was reused
+        assert partial.stats.corrupt_quarantined == 0
