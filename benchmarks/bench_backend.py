@@ -214,6 +214,11 @@ SEARCH_RANKS = ("M", "N", "K")
 SEARCH_TILE_SIZES = {"K": (8, 16)}
 SEARCH_PRUNE_TO = 4
 
+#: The ``lint`` flavor's candidate space: the search ladder plus two
+#: degenerate tile sizes (K spans only 96, so 256/1024 tiles are
+#: single-chunk no-ops the spec linter proves infeasible statically).
+LINT_TILE_SIZES = {"K": (8, 16, 256, 1024)}
+
 
 def _search_n_candidates() -> int:
     from repro.search import MappingSpace
@@ -228,7 +233,7 @@ TRAJECTORY = os.path.join(os.path.dirname(__file__), "BENCH_backend.json")
 
 ALL_FLAVORS = ("interpreter", "compiled", "counters", "vector",
                "untraced", "buffered", "executor", "search", "analytical",
-               "analytical-accuracy", "supervised", "store")
+               "analytical-accuracy", "supervised", "store", "lint")
 
 #: The scaled-down accelerator configs the analytical tier is
 #: cross-validated against (mirrors ``tests/model/test_analytical.py``).
@@ -396,6 +401,8 @@ def run_comparison(n: int = N_WORKLOADS, flavors=None):
         timings.update(_run_supervised())
     if "store" in flavors:
         timings.update(_run_store())
+    if "lint" in flavors:
+        timings.update(_run_lint())
     return timings
 
 
@@ -757,6 +764,56 @@ def _run_store() -> dict:
     return {"search_cold_store": t_cold, "search_warm_store": t_warm}
 
 
+def _run_lint() -> dict:
+    """Static-pruning effectiveness: the search space augmented with
+    degenerate tile sizes, swept exhaustively with and without
+    ``validate="strict"``.  The linter must reject every infeasible
+    candidate before phase-0 pricing, land on the bit-identical best,
+    and the rejected fraction is the headline number.  Count keys are
+    prefixed ``lint::`` so ``record_trajectory`` routes them into the
+    ``lint`` record section instead of the timings table."""
+    from repro.search import MappingSpace, metrics_fingerprint, search
+
+    spec = load_spec(SPEC_SEARCH, name="lint-sweep")
+    tensors = {
+        "A": uniform_random("A", ["K", "M"], (96, 48), 0.15, seed=5),
+        "B": uniform_random("B", ["K", "N"], (96, 40), 0.15, seed=7),
+    }
+    n_total = MappingSpace.of(SEARCH_RANKS, LINT_TILE_SIZES).size()
+    kwargs = dict(tile_sizes=LINT_TILE_SIZES, workers=1)
+    search(spec, tensors, **kwargs)  # warm the kernel cache
+
+    gc.collect()
+    t0 = time.perf_counter()
+    unvalidated = search(spec, tensors, **kwargs)
+    t_plain = time.perf_counter() - t0
+
+    gc.collect()
+    t0 = time.perf_counter()
+    validated = search(spec, tensors, validate="strict", **kwargs)
+    t_lint = time.perf_counter() - t0
+
+    pruned = validated.stats["statically_pruned"]
+    assert unvalidated.n_scored == n_total
+    assert pruned > 0 and validated.n_scored == n_total - pruned, (
+        f"static pruning dropped {pruned} of {n_total} but scored "
+        f"{validated.n_scored}"
+    )
+    (cand_u, res_u), (cand_v, res_v) = unvalidated.best(), validated.best()
+    assert cand_v == cand_u, (
+        f"statically-pruned best {cand_v.describe()} diverged from the "
+        f"unpruned best {cand_u.describe()}"
+    )
+    assert metrics_fingerprint(res_v) == metrics_fingerprint(res_u)
+    return {
+        "lint_search_unvalidated": t_plain,
+        "lint_search_validated": t_lint,
+        "lint::n_candidates": float(n_total),
+        "lint::statically_pruned": float(pruned),
+        "lint::n_scored": float(validated.n_scored),
+    }
+
+
 # ----------------------------------------------------------------------
 # nnz-scaling sweep (counted vs vector as spans grow)
 # ----------------------------------------------------------------------
@@ -850,8 +907,10 @@ def record_trajectory(timings: dict, n: int, path: str = TRAJECTORY,
     """Append one run to the perf-trajectory file and return the record."""
     accuracy = {k: v for k, v in timings.items()
                 if k.startswith("accuracy::")}
+    lint_counts = {k.split("::", 1)[1]: int(v) for k, v in timings.items()
+                   if k.startswith("lint::")}
     timings = {k: v for k, v in timings.items()
-               if not k.startswith("accuracy::")}
+               if "::" not in k}
 
     def ratio(num, den):
         if num not in timings or den not in timings:
@@ -934,6 +993,20 @@ def record_trajectory(timings: dict, n: int, path: str = TRAJECTORY,
                 timings["search_journaled"]
                 / max(timings["search_unjournaled"], 1e-12), 3),
             "resume_bit_identical": True,
+        }
+    if lint_counts and "lint_search_validated" in timings:
+        # _run_lint asserted identical-best (and bit-identical metrics
+        # fingerprint) between the pruned and unpruned sweeps.
+        record["lint"] = {
+            "n_candidates": lint_counts.get("n_candidates"),
+            "statically_pruned": lint_counts.get("statically_pruned"),
+            "n_scored": lint_counts.get("n_scored"),
+            "tile_sizes": {r: list(s) for r, s in LINT_TILE_SIZES.items()},
+            "identical_best": True,
+            "unvalidated_seconds": round(
+                timings["lint_search_unvalidated"], 6),
+            "validated_seconds": round(
+                timings["lint_search_validated"], 6),
         }
     if "search_cold_store" in timings and "search_warm_store" in timings:
         # _run_store asserted the warm sweep hit the cache for every
@@ -1037,6 +1110,13 @@ def _print_report(timings: dict, n: int) -> None:
         ["search_unjournaled", "search_journaled"],
         "search_unjournaled", strip="search_",
         per=_search_n_candidates(), per_label="per candidate",
+    )
+
+    series(
+        "Static lint pruning (degenerate-tile ladder), exhaustive sweep "
+        "with validate=strict vs without",
+        ["lint_search_unvalidated", "lint_search_validated"],
+        "lint_search_unvalidated", strip="lint_search_",
     )
 
     accuracy = sorted(k for k in timings if k.startswith("accuracy::"))

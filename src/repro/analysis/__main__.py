@@ -1,0 +1,132 @@
+"""Command-line spec linter.
+
+Usage::
+
+    python -m repro.analysis --all               # every registered spec
+    python -m repro.analysis gamma extensor      # registered specs
+    python -m repro.analysis path/to/spec.yaml   # YAML spec files
+    python -m repro.analysis --format json --all
+
+Exits 1 when any error-severity finding (or an unloadable spec) is
+reported, 0 otherwise.  ``--lower`` additionally runs each clean spec
+through the IR builder + verifier, reporting lowering failures as
+findings instead of tracebacks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+from ..spec.errors import SpecError
+from ..spec.loader import AcceleratorSpec
+from .findings import ERROR, Finding, errors_of, sort_findings
+from .ir_verify import IRVerificationError, verify_cascade_irs
+from .rules import verify_spec
+
+
+def _load(target: str) -> Tuple[str, AcceleratorSpec]:
+    """Resolve a CLI target: a registered accelerator name or a YAML path."""
+    from ..accelerators.registry import FACTORIES, accelerator
+
+    if target in FACTORIES:
+        return target, accelerator(target)
+    with open(target) as fh:
+        text = fh.read()
+    name = target.rsplit("/", 1)[-1]
+    return name, AcceleratorSpec.from_yaml(text, name=name,
+                                           source_file=target)
+
+
+def _lint_target(target: str,
+                 lower: bool) -> Tuple[str, List[Finding], Dict]:
+    try:
+        name, spec = _load(target)
+    except (SpecError, OSError, KeyError) as err:
+        return target, [Finding("cli/unloadable", ERROR, str(err))], {}
+    findings = verify_spec(spec)
+    if lower and not errors_of(findings):
+        findings = findings + _lowering_findings(spec)
+    lines = {}
+    source = getattr(spec, "source_file", None)
+    if source:
+        key_lines = getattr(spec, "key_lines", {})
+        for f in findings:
+            for i in range(len(f.path), 0, -1):
+                line = key_lines.get(tuple(f.path[:i]))
+                if line is not None:
+                    lines[f] = f"{source}:{line}"
+                    break
+    return name, sort_findings(findings), lines
+
+
+def _lowering_findings(spec: AcceleratorSpec) -> List[Finding]:
+    from ..ir.builder import build_cascade_ir
+
+    try:
+        verify_cascade_irs(build_cascade_ir(spec))
+    except IRVerificationError as err:
+        return [Finding("ir/invariant", ERROR, v) for v in err.violations]
+    except SpecError as err:
+        return [Finding("ir/build-failure", ERROR, str(err))]
+    return []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Statically verify TeAAL accelerator specs.",
+    )
+    parser.add_argument("specs", nargs="*",
+                        help="registered accelerator names or YAML files")
+    parser.add_argument("--all", action="store_true",
+                        help="lint every registered accelerator spec")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--lower", action="store_true",
+                        help="also lower clean specs to IR and verify it")
+    args = parser.parse_args(argv)
+
+    targets = list(args.specs)
+    if args.all:
+        from ..accelerators.registry import FACTORIES
+
+        targets.extend(sorted(FACTORIES))
+    if not targets:
+        parser.error("no specs given (name a spec or pass --all)")
+
+    reports: Dict[str, Tuple[List[Finding], Dict]] = {}
+    for target in targets:
+        name, findings, lines = _lint_target(target, lower=args.lower)
+        reports[name] = (findings, lines)
+
+    n_errors = sum(len(errors_of(f)) for f, _ in reports.values())
+    if args.format == "json":
+        payload = {
+            "specs": {
+                name: [dict(f.to_dict(), source=lines.get(f))
+                       for f in findings]
+                for name, (findings, lines) in reports.items()
+            },
+            "errors": n_errors,
+            "ok": n_errors == 0,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for name, (findings, lines) in reports.items():
+            verdict = ("clean" if not findings else
+                       f"{len(errors_of(findings))} error(s), "
+                       f"{len(findings) - len(errors_of(findings))} "
+                       f"other finding(s)")
+            print(f"{name}: {verdict}")
+            for f in findings:
+                where = f"  ({lines[f]})" if f in lines else ""
+                print(f"  {f.render()}{where}")
+        print(f"\n{len(reports)} spec(s), {n_errors} error finding(s)")
+    return 1 if n_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Lint findings: what the spec verifier reports.
+
+A :class:`Finding` is one diagnostic from one rule: the rule id, a
+severity (``error`` — the spec cannot execute correctly; ``warn`` — it
+can, but something is almost certainly not what the author meant;
+``info`` — advisory), a human-readable message, and the spec path of
+the offending node (the YAML key path, e.g.
+``("mapping", "loop-order", "Z")``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..spec.errors import SpecError
+
+ERROR = "error"
+WARN = "warn"
+INFO = "info"
+
+SEVERITIES = (ERROR, WARN, INFO)
+
+#: Sort key: errors first, then warns, then infos.
+_SEVERITY_ORDER = {s: i for i, s in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a lint rule."""
+
+    rule: str
+    severity: str
+    message: str
+    path: Tuple[str, ...] = ()
+    einsum: Optional[str] = None
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got "
+                f"{self.severity!r}"
+            )
+
+    @property
+    def location(self) -> str:
+        """The spec path as a dotted string (empty for spec-wide findings)."""
+        return ".".join(self.path)
+
+    def render(self) -> str:
+        loc = f" at {self.location}" if self.path else ""
+        scope = f" [{self.einsum}]" if self.einsum else ""
+        return f"{self.severity}: {self.rule}{scope}{loc}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "path": list(self.path),
+            "einsum": self.einsum,
+        }
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    """Deterministic report order: severity, then rule id, then path."""
+    return sorted(
+        findings,
+        key=lambda f: (_SEVERITY_ORDER[f.severity], f.rule, f.path,
+                       f.einsum or "", f.message),
+    )
+
+
+def errors_of(findings: List[Finding]) -> List[Finding]:
+    return [f for f in findings if f.severity == ERROR]
+
+
+class SpecVerificationError(SpecError):
+    """Strict validation rejected a spec: at least one error finding."""
+
+    def __init__(self, findings: List[Finding], *, spec_name: str = ""):
+        self.findings = list(findings)
+        self.spec_name = spec_name
+        errors = errors_of(self.findings)
+        head = f"spec {spec_name!r} " if spec_name else "spec "
+        lines = "; ".join(f.render() for f in errors[:5])
+        more = f" (+{len(errors) - 5} more)" if len(errors) > 5 else ""
+        super().__init__(
+            "lint",
+            f"{head}failed static verification with {len(errors)} "
+            f"error finding(s): {lines}{more}",
+        )
+
+    def __reduce__(self):
+        return (_rebuild_verification_error,
+                (type(self), self.findings, self.spec_name))
+
+
+def _rebuild_verification_error(cls, findings, spec_name):
+    err = SpecVerificationError.__new__(cls)
+    SpecVerificationError.__init__(err, findings, spec_name=spec_name)
+    return err
+
+
+class SpecLintWarning(UserWarning):
+    """A non-fatal lint finding surfaced during evaluation or search."""

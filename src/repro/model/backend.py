@@ -195,16 +195,24 @@ class CompiledCascade:
     """Every Einsum of one spec, lowered and compiled."""
 
     def __init__(self, spec: AcceleratorSpec):
-        self.units: List[CompiledEinsum] = [
-            CompiledEinsum(ir) for ir in build_cascade_ir(spec)
-        ]
+        from ..analysis.ir_verify import verify_cascade_irs
+
+        irs = build_cascade_ir(spec)
+        verify_cascade_irs(irs)
+        self.units: List[CompiledEinsum] = [CompiledEinsum(ir) for ir in irs]
 
     @classmethod
     def from_irs(cls, irs: List[LoopNestIR]) -> "CompiledCascade":
         """Rebuild a cascade from already-lowered IR (a persistent
         kernel-store hit): compilation re-runs — it is cheap and its
         output is process-local code objects — but lowering, the
-        dominant cost of a cold compile, is skipped entirely."""
+        dominant cost of a cold compile, is skipped entirely.  The IR
+        is structurally verified first, so a corrupted-but-checksummed
+        store entry fails loudly here instead of driving codegen into
+        nonsense."""
+        from ..analysis.ir_verify import verify_cascade_irs
+
+        verify_cascade_irs(irs)
         cascade = cls.__new__(cls)
         cascade.units = [CompiledEinsum(ir) for ir in irs]
         return cascade
@@ -251,11 +259,24 @@ class CompileCache:
         if self.persistent is not None:
             irs = self.persistent.get_kernels(spec)
             if irs is not None:
-                compiled = CompiledCascade.from_irs(irs)
-                with self._lock:
-                    winner = self._cache.setdefault(key, compiled)
-                    self.persistent_hits += 1
-                return winner
+                from ..analysis.ir_verify import IRVerificationError
+
+                try:
+                    compiled = CompiledCascade.from_irs(irs)
+                except IRVerificationError as err:
+                    # A checksum-valid entry with malformed IR: evict it
+                    # so future readers recompile, then fall through to
+                    # a fresh lower+compile ourselves.
+                    invalidate = getattr(self.persistent,
+                                         "invalidate_kernels", None)
+                    if invalidate is not None:
+                        invalidate(spec, f"kernel IR failed verification: "
+                                         f"{err}")
+                else:
+                    with self._lock:
+                        winner = self._cache.setdefault(key, compiled)
+                        self.persistent_hits += 1
+                    return winner
         try:
             compiled = CompiledCascade(spec)
         except CodegenError as err:

@@ -719,6 +719,54 @@ def _evaluate_fused(spec, tensors, opset, opsets, shapes, energy_model,
     )
 
 
+def lint_gate(spec: AcceleratorSpec, tensors=None, shapes=None,
+              stats=None, validate: str = "off", stacklevel: int = 3
+              ) -> None:
+    """The ``validate=`` knob shared by :func:`evaluate`,
+    :func:`evaluate_many`, and the search runner.
+
+    * ``"off"`` — no static verification (the default).
+    * ``"warn"`` — run the spec linter; every finding (errors included)
+      surfaces as one :class:`~repro.analysis.SpecLintWarning` and
+      evaluation proceeds.
+    * ``"strict"`` — error findings raise
+      :class:`~repro.analysis.SpecVerificationError`; warn/info
+      findings still warn.
+
+    Rank shapes are gathered from the workload tensors (unlocking the
+    tile divisibility rules) and ``stats`` feeds the analytical buffer
+    capacity check.
+    """
+    if validate == "off":
+        return
+    if validate not in ("warn", "strict"):
+        raise ValueError(
+            f"unknown validate mode {validate!r}; known: 'off', 'warn', "
+            "'strict'"
+        )
+    from ..analysis import (SpecLintWarning, SpecVerificationError,
+                            errors_of, verify_spec)
+
+    merged: Dict[str, int] = {}
+    for t in (tensors or {}).values():
+        for rank, span in zip(getattr(t, "rank_ids", ()) or (),
+                              getattr(t, "shape", ()) or ()):
+            if isinstance(span, int) and span > 0:
+                merged.setdefault(str(rank), span)
+    if shapes:
+        merged.update(shapes)
+    findings = verify_spec(spec, shapes=merged, stats=stats)
+    if not findings:
+        return
+    if validate == "strict" and errors_of(findings):
+        raise SpecVerificationError(findings, spec_name=spec.name)
+    warnings.warn(
+        f"spec {spec.name!r} has {len(findings)} lint finding(s): "
+        + "; ".join(f.render() for f in findings),
+        SpecLintWarning, stacklevel=stacklevel,
+    )
+
+
 def evaluate(
     spec: AcceleratorSpec,
     tensors: Dict[str, Tensor],
@@ -731,6 +779,7 @@ def evaluate(
     prep_cache=None,
     stats=None,
     cache=None,
+    validate: str = "off",
 ) -> EvaluationResult:
     """Run a full TeAAL evaluation: execute + model + reduce.
 
@@ -797,7 +846,16 @@ def evaluate(
     bypass the store with a :class:`StoreBypassWarning` naming each
     offender.  The analytical tier never caches: statistics pricing is
     cheaper than a disk read.
+
+    ``validate`` runs the static spec linter first (see
+    :func:`lint_gate`): ``"off"`` (default) skips it, ``"warn"``
+    surfaces findings as :class:`~repro.analysis.SpecLintWarning`, and
+    ``"strict"`` raises
+    :class:`~repro.analysis.SpecVerificationError` on any
+    error-severity finding before a single kernel runs.
     """
+    lint_gate(spec, tensors=tensors, shapes=shapes, stats=stats,
+              validate=validate)
     if metrics == "analytical":
         from .analytical import evaluate_analytical
 
@@ -1104,6 +1162,7 @@ def evaluate_many(
     max_retries: int = 2,
     retry_backoff: float = 0.05,
     cache=None,
+    validate: str = "off",
 ) -> List[EvaluationResult]:
     """Evaluate one spec over many workloads, compiling once.
 
@@ -1151,12 +1210,21 @@ def evaluate_many(
     worker process).  Incompatible arguments bypass the store for the
     whole sweep with a single :class:`StoreBypassWarning`.
 
+    ``validate`` runs the static spec linter once for the whole sweep
+    (see :func:`lint_gate`): ``"warn"`` surfaces findings, ``"strict"``
+    rejects specs with error findings before any workload runs.
+
     Returns one :class:`EvaluationResult` per workload, in order.
     """
     if executor is not None and executor not in ("thread", "process"):
         raise ValueError(
             f"unknown executor {executor!r}; known: 'thread', 'process'"
         )
+    workloads = list(workloads)
+    # One lint pass covers the whole sweep: the spec does not change
+    # per workload (tile-shape rules see the first workload's shapes).
+    lint_gate(spec, tensors=(workloads[0] if workloads else None),
+              shapes=shapes, validate=validate)
     # Imported here: repro.search (the supervisor's package) imports
     # this module at its own import time.
     from ..search.supervisor import SweepSupervisor
@@ -1198,7 +1266,6 @@ def evaluate_many(
                         shapes=shapes, energy_model=energy_model,
                         backend=engine, metrics=metrics, cache=store)
 
-    workloads = list(workloads)
     if workers is None:
         workers = default_workers()
     pooled = workers > 1 and len(workloads) > 1

@@ -159,10 +159,16 @@ class SearchRunner:
         journal: Optional[str] = None,
         resume: Optional[str] = None,
         cache=None,
+        validate: str = "off",
     ):
         if executor is not None and executor not in ("thread", "process"):
             raise ValueError(
                 f"unknown executor {executor!r}; known: 'thread', 'process'"
+            )
+        if validate not in ("off", "warn", "strict"):
+            raise ValueError(
+                f"unknown validate mode {validate!r}; known: 'off', "
+                "'warn', 'strict'"
             )
         if prune_to is not None and prune_to < 1:
             raise ValueError("prune_to must be >= 1")
@@ -220,6 +226,15 @@ class SearchRunner:
         self.retry_backoff = retry_backoff
         self.journal_path = resume if resume is not None else journal
         self.resuming = resume is not None
+        self.validate = validate
+        self._lint_shapes: Optional[Dict[str, int]] = None
+        if validate != "off":
+            # The base spec is linted once up front: a strict run rejects
+            # a statically-broken spec before the pools even spin up.
+            from ..model.evaluate import lint_gate
+
+            lint_gate(spec, tensors=self.tensors, shapes=shapes,
+                      validate=validate)
         # Supervision state, owned by run(): one supervisor (and its
         # pools) serves every batch of a search — multi-round strategies
         # would otherwise pay pool spin-up, worker-process imports
@@ -239,6 +254,32 @@ class SearchRunner:
 
             self._workload_stats = WorkloadStats.from_tensors(self.tensors)
         return self._workload_stats
+
+    def _shape_hints(self) -> Dict[str, int]:
+        """Rank shapes for the feasibility rules: workload tensor shapes
+        under any explicit ``shapes=`` overrides."""
+        if self._lint_shapes is None:
+            merged: Dict[str, int] = {}
+            for t in self.tensors.values():
+                for rank, span in zip(getattr(t, "rank_ids", ()) or (),
+                                      getattr(t, "shape", ()) or ()):
+                    if isinstance(span, int) and span > 0:
+                        merged.setdefault(str(rank), span)
+            if self.shapes:
+                merged.update(self.shapes)
+            self._lint_shapes = merged
+        return self._lint_shapes
+
+    def _statically_infeasible(self, candidate: Candidate) -> bool:
+        """Does the cheap error-severity feasibility subset reject this
+        candidate's spec?  Only *error* rules vote (warn findings never
+        prune), so dropping the candidate cannot change the best: an
+        infeasible mapping could not have executed as specified."""
+        from ..analysis import feasibility_findings
+
+        cand_spec = apply_candidate(self.spec, self.einsum, candidate)
+        return bool(feasibility_findings(cand_spec,
+                                         shapes=self._shape_hints()))
 
     def _evaluate_one(self, candidate: Candidate,
                       metrics: str) -> EvaluationResult:
@@ -404,6 +445,7 @@ class SearchRunner:
         scores: List[Tuple[Candidate, float]] = []
         seen = set()
         stale_rounds = 0
+        n_statically_pruned = 0
         try:
             while True:
                 proposal = strategy.propose(space, scores)
@@ -424,6 +466,19 @@ class SearchRunner:
                         break
                     continue
                 stale_rounds = 0
+                if self.validate != "off":
+                    # Static feasibility pre-pass: drop candidates an
+                    # error-severity lint rule proves cannot execute,
+                    # before phase-1 spends anything pricing them.
+                    feasible = []
+                    for cand in batch:
+                        if self._statically_infeasible(cand):
+                            n_statically_pruned += 1
+                        else:
+                            feasible.append(cand)
+                    batch = feasible
+                    if not batch:
+                        continue  # whole round was infeasible; ask again
                 for cand, res in self._evaluate_batch(batch, phase1_metrics,
                                                       phase=1):
                     scored.append((cand, res))
@@ -493,6 +548,7 @@ class SearchRunner:
                 "phase2_seconds": t_end - t_phase1,
                 "n_scored": len(scored),
                 "n_repriced": n_repriced,
+                "statically_pruned": n_statically_pruned,
                 "workers": self.workers,
                 "executor": supervisor.mode,
                 "n_retried": supervisor.retries,
@@ -532,6 +588,7 @@ def search(
     journal: Optional[str] = None,
     resume: Optional[str] = None,
     cache=None,
+    validate: str = "off",
 ) -> SearchResult:
     """Search one Einsum's mapping space and rank the outcomes.
 
@@ -584,6 +641,17 @@ def search(
     compose (a resumed journal run with ``cache=`` fills gaps from the
     store first).  Arguments without a durable key bypass the store
     with a :class:`~repro.model.evaluate.StoreBypassWarning`.
+
+    ``validate`` engages static verification (see
+    :func:`~repro.model.evaluate.lint_gate` and
+    :mod:`repro.analysis`): the base spec is linted up front
+    (``"strict"`` rejects it on error findings, ``"warn"`` warns), and
+    every proposed candidate runs through the linter's cheap
+    error-severity feasibility subset *before* phase-1 pricing —
+    statically-infeasible mappings are dropped without evaluating
+    anything, counted in ``result.stats["statically_pruned"]``.  Only
+    error rules prune, so the surviving ranking (and the best
+    candidate) is bit-identical to an unpruned run.
     """
     runner = SearchRunner(
         spec, tensors, einsum=einsum, opset=opset, opsets=opsets,
@@ -593,7 +661,7 @@ def search(
         prune_metrics=prune_metrics, prep_cache=prep_cache,
         timeout=timeout, max_retries=max_retries,
         retry_backoff=retry_backoff, journal=journal, resume=resume,
-        cache=cache,
+        cache=cache, validate=validate,
     )
     space = MappingSpace.of(_einsum_ranks(spec, runner.einsum),
                             tile_sizes, max_loop_orders)
@@ -654,6 +722,7 @@ def explore_cascade(
     timeout: Optional[float] = None,
     max_retries: int = 2,
     retry_backoff: float = 0.05,
+    validate: str = "off",
 ) -> CascadeSearchResult:
     """Search every Einsum's mapping in cascade (topological) order,
     carrying the best prefix forward — the paper's future-work rung.
@@ -684,7 +753,7 @@ def explore_cascade(
             opsets=opsets, shapes=shapes, energy_model=energy_model,
             backend=backend, metrics=metrics, prep_cache=prep_cache,
             timeout=timeout, max_retries=max_retries,
-            retry_backoff=retry_backoff,
+            retry_backoff=retry_backoff, validate=validate,
         )
         cand, res = result.best(metric)
         current = apply_candidate(current, e.name, cand)

@@ -17,7 +17,7 @@ from dicts.  ``params`` binds symbolic partition sizes (ExTensor's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import yaml
 
@@ -27,6 +27,62 @@ from .einsum_spec import EinsumSpec
 from .errors import SpecError
 from .format import FormatSpec
 from .mapping import MappingSpec
+
+
+def yaml_key_lines(text: str) -> Dict[Tuple[str, ...], int]:
+    """Map every YAML key path of ``text`` to its 1-based source line.
+
+    Keys are tuples of mapping keys from the root (sequence items do not
+    extend the path), so ``("mapping", "loop-order", "Z")`` resolves to
+    the line where the ``Z:`` key appears.  Returns ``{}`` for YAML
+    that does not parse (the loader reports that separately).
+    """
+    try:
+        root = yaml.compose(text)
+    except yaml.YAMLError:
+        return {}
+    lines: Dict[Tuple[str, ...], int] = {}
+
+    def walk(node, path: Tuple[str, ...]) -> None:
+        if isinstance(node, yaml.MappingNode):
+            for key_node, value_node in node.value:
+                key = getattr(key_node, "value", None)
+                if not isinstance(key, str):
+                    continue
+                sub = path + (key,)
+                lines.setdefault(sub, key_node.start_mark.line + 1)
+                walk(value_node, sub)
+        elif isinstance(node, yaml.SequenceNode):
+            for item in node.value:
+                walk(item, path)
+
+    if root is not None:
+        walk(root, ())
+    return lines
+
+
+def _locate(key_lines: Dict[Tuple[str, ...], int],
+            path: Optional[Tuple[str, ...]], section: str,
+            source: str) -> Optional[str]:
+    """``file:line`` of the deepest known prefix of ``path`` (falling
+    back to the section's top-level key), or None if nothing matches."""
+    candidates = []
+    if path:
+        candidates.extend(tuple(path[:i]) for i in range(len(path), 0, -1))
+    candidates.append((section,))
+    for cand in candidates:
+        line = key_lines.get(cand)
+        if line is not None:
+            return f"{source}:{line}"
+    return None
+
+
+def _with_location(err: SpecError, location: str) -> SpecError:
+    """Copy of ``err`` (same type) with a source location attached."""
+    new = type(err).__new__(type(err))
+    SpecError.__init__(new, err.section, err.raw_message, path=err.path,
+                       location=location)
+    return new
 
 
 @dataclass
@@ -58,18 +114,37 @@ class AcceleratorSpec:
         return spec
 
     @classmethod
-    def from_yaml(cls, text: str, name: str = "accelerator") -> "AcceleratorSpec":
+    def from_yaml(cls, text: str, name: str = "accelerator",
+                  source_file: Optional[str] = None) -> "AcceleratorSpec":
         data = yaml.safe_load(text)
         if not isinstance(data, dict):
-            raise SpecError("spec", "top level of a spec must be a mapping")
-        return cls.from_dict(data, name)
+            raise SpecError("spec", "top level of a spec must be a mapping",
+                            location=source_file)
+        key_lines = yaml_key_lines(text)
+        source = source_file or f"<{name}>"
+        try:
+            spec = cls.from_dict(data, name)
+        except SpecError as err:
+            if err.location is not None:
+                raise
+            location = _locate(key_lines, err.path, err.section, source)
+            if location is None:
+                raise
+            raise _with_location(err, location) from err
+        # Plain instance attributes (not dataclass fields), so cache
+        # fingerprints over the spec layers are unaffected.
+        spec.source_file = source_file
+        spec.key_lines = key_lines
+        return spec
 
     def validate(self) -> None:
         declared = set(self.einsum.declaration)
         for tensor in self.mapping.rank_order:
             if tensor not in declared:
                 raise SpecError(
-                    "mapping", f"rank-order given for undeclared tensor {tensor!r}"
+                    "mapping",
+                    f"rank-order given for undeclared tensor {tensor!r}",
+                    path=("mapping", "rank-order", tensor),
                 )
         for tensor, order in self.mapping.rank_order.items():
             if sorted(order) != sorted(self.einsum.declaration[tensor]):
@@ -77,17 +152,22 @@ class AcceleratorSpec:
                     "mapping",
                     f"rank-order {order} of {tensor} is not a permutation of "
                     f"declared ranks {self.einsum.declaration[tensor]}",
+                    path=("mapping", "rank-order", tensor),
                 )
         produced = set(self.einsum.cascade.produced)
         for name in self.mapping.einsums:
             if name not in produced:
                 raise SpecError(
-                    "mapping", f"mapping given for unknown Einsum {name!r}"
+                    "mapping",
+                    f"mapping given for unknown Einsum {name!r}",
+                    path=("mapping", "loop-order", name),
                 )
         for name, binding in self.binding.einsums.items():
             if name not in produced:
                 raise SpecError(
-                    "binding", f"binding given for unknown Einsum {name!r}"
+                    "binding",
+                    f"binding given for unknown Einsum {name!r}",
+                    path=("binding", name),
                 )
             if binding.config is not None:
                 self.architecture.topology(binding.config)

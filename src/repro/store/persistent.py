@@ -436,6 +436,17 @@ class PersistentStore:
     def put_kernels(self, spec, irs: List) -> None:
         self.put("kernels", self.kernel_key(spec), list(irs))
 
+    def invalidate_kernels(self, spec, reason: str) -> None:
+        """Quarantine a spec's stored kernels (e.g. a checksum-valid
+        entry whose IR failed structural verification).  Without this,
+        ``put``'s setdefault semantics would re-adopt the bad entry
+        forever."""
+        key = self.kernel_key(spec)
+        path = self._entry_path("kernels", key)
+        with self._stripe_lock("kernels", key):
+            if os.path.exists(path):
+                self._quarantine("kernels", key, path, reason)
+
     # ---- result store -------------------------------------------------
     def tensor_fingerprint(self, tensor) -> str:
         """A content digest of one workload tensor (memoized by object

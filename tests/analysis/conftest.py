@@ -1,0 +1,104 @@
+"""Shared fixtures for the static-analysis suite.
+
+``BASE`` is a complete five-layer spec that lints perfectly clean; the
+rule tests mutate deep copies of it, one layer key at a time, so every
+firing fixture is a near-miss of the clean one.  ``build`` constructs
+the spec through the layer parsers but *bypasses*
+``AcceleratorSpec.validate()`` — exactly like search candidates built
+by ``apply_candidate`` — which is why the linter must catch even the
+conditions the loader normally rejects.
+"""
+
+import copy
+
+from repro.analysis import verify_spec
+from repro.spec import (
+    AcceleratorSpec,
+    ArchitectureSpec,
+    BindingSpec,
+    EinsumSpec,
+    FormatSpec,
+    MappingSpec,
+)
+
+BASE = {
+    "einsum": {
+        "declaration": {"A": ["K", "M"], "B": ["K", "N"], "Z": ["M", "N"]},
+        "expressions": ["Z[m, n] = A[k, m] * B[k, n]"],
+        "shapes": {"K": 96, "M": 48, "N": 40},
+    },
+    "mapping": {
+        "partitioning": {"Z": {"K": ["uniform_shape(8)"]}},
+        "loop-order": {"Z": ["K1", "K0", "M", "N"]},
+    },
+    "format": {
+        "A": {"Comp": {"K": {"format": "C"}, "M": {"format": "U"}}},
+    },
+    "architecture": {
+        "Buffered": {
+            "clock": 1.0e9,
+            "subtree": [
+                {
+                    "name": "System",
+                    "local": [
+                        {"name": "DRAM", "class": "DRAM",
+                         "attributes": {"bandwidth": 128}},
+                        {"name": "ABuf", "class": "Buffer",
+                         "attributes": {"type": "buffet", "width": 64,
+                                        "depth": 256}},
+                        {"name": "BCache", "class": "Buffer",
+                         "attributes": {"type": "cache", "width": 64,
+                                        "depth": 16384}},
+                        {"name": "ZBuf", "class": "Buffer",
+                         "attributes": {"type": "buffet", "width": 64,
+                                        "depth": 1024}},
+                        {"name": "ALU", "class": "Compute",
+                         "attributes": {"type": "mul"}},
+                    ],
+                }
+            ],
+        }
+    },
+    "binding": {
+        "Z": {
+            "config": "Buffered",
+            "components": {
+                "ABuf": [{"tensor": "A", "rank": "K", "type": "elem",
+                          "style": "lazy", "evict-on": "M"}],
+                "BCache": [{"tensor": "B", "rank": "K", "type": "elem",
+                            "style": "lazy"}],
+                "ZBuf": [{"tensor": "Z", "rank": "N", "type": "elem",
+                          "style": "lazy", "evict-on": "M"}],
+                "ALU": [{"op": "mul"}],
+            },
+        }
+    },
+}
+
+
+def base_dict() -> dict:
+    return copy.deepcopy(BASE)
+
+
+def build(data: dict, name: str = "fixture") -> AcceleratorSpec:
+    """Construct a spec from a dict *without* running
+    ``AcceleratorSpec.validate()`` (the apply_candidate path)."""
+    return AcceleratorSpec(
+        einsum=EinsumSpec.from_dict(data["einsum"]),
+        mapping=MappingSpec.from_dict(data.get("mapping") or {}),
+        format=FormatSpec.from_dict(data.get("format") or {}),
+        architecture=ArchitectureSpec.from_dict(
+            data.get("architecture") or {}),
+        binding=BindingSpec.from_dict(data.get("binding") or {}),
+        params={str(k): int(v)
+                for k, v in (data.get("params") or {}).items()},
+        name=name,
+    )
+
+
+def lint(data: dict, **kw):
+    return verify_spec(build(data), **kw)
+
+
+def rule_ids(findings):
+    return {f.rule for f in findings}

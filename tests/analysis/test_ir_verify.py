@@ -1,0 +1,167 @@
+"""IR structural verification: builder output passes, mutations fail
+with the right violation, and garbage objects (a corrupt pickle can
+hold anything) report violations instead of raising."""
+
+import copy
+
+import pytest
+
+from repro.analysis import (
+    IRVerificationError,
+    ir_violations,
+    verify_cascade_irs,
+    verify_ir,
+)
+from repro.ir.builder import build_cascade_ir
+from repro.ir.nodes import Level
+
+from conftest import base_dict, build
+
+
+@pytest.fixture()
+def ir():
+    [one] = build_cascade_ir(build(base_dict()))
+    return copy.deepcopy(one)
+
+
+class TestValidIR:
+    def test_builder_output_verifies(self, ir):
+        assert ir_violations(ir) == []
+        verify_ir(ir)  # must not raise
+
+    def test_all_registered_specs_verify(self):
+        from repro.accelerators.registry import FACTORIES, accelerator
+
+        for name in sorted(FACTORIES):
+            verify_cascade_irs(build_cascade_ir(accelerator(name)))
+
+
+class TestMutations:
+    def check(self, ir, fragment):
+        violations = ir_violations(ir)
+        assert any(fragment in v for v in violations), (
+            f"expected a violation mentioning {fragment!r}, got "
+            f"{violations}"
+        )
+        with pytest.raises(IRVerificationError) as exc:
+            verify_ir(ir)
+        assert exc.value.violations == violations
+
+    def test_duplicate_loop_rank(self, ir):
+        ir.loop_ranks = ir.loop_ranks + [ir.loop_ranks[0]]
+        self.check(ir, "duplicates")
+
+    def test_binds_missing_rank(self, ir):
+        del ir.binds[ir.loop_ranks[0]]
+        self.check(ir, "binds keys")
+
+    def test_variable_bound_twice(self, ir):
+        first = next(r for r in ir.loop_ranks if ir.binds[r])
+        var = ir.binds[first][0]
+        other = next(r for r in ir.loop_ranks if r != first)
+        ir.binds[other] = ir.binds[other] + (var,)
+        self.check(ir, "bound exactly once")
+
+    def test_variable_never_bound(self, ir):
+        rank = next(r for r in ir.loop_ranks if ir.binds[r])
+        ir.binds[rank] = ()
+        self.check(ir, "never bound")
+
+    def test_bad_mode(self, ir):
+        ir.modes[ir.loop_ranks[0]] = "sideways"
+        self.check(ir, "'sideways'")
+
+    def test_space_rank_outside_loops(self, ir):
+        ir.space_ranks = ["Q"]
+        self.check(ir, "undefined stamps")
+
+    def test_space_time_overlap(self, ir):
+        ir.space_ranks = [ir.loop_ranks[0]]
+        ir.time_ranks = list(ir.loop_ranks)
+        self.check(ir, "both space_ranks and time_ranks")
+
+    def test_bad_time_style(self, ir):
+        ir.time_ranks = [ir.loop_ranks[0]]
+        ir.time_styles = {ir.loop_ranks[0]: "wallclock"}
+        self.check(ir, "'wallclock'")
+
+    def test_origin_missing_rank(self, ir):
+        del ir.origin[ir.loop_ranks[0]]
+        self.check(ir, "origin keys")
+
+    def test_rank_shape_wrong_type(self, ir):
+        ir.rank_shapes[ir.loop_ranks[0]] = "96"
+        self.check(ir, "int or None")
+
+    def test_output_wrong_tensor(self, ir):
+        ir.output.tensor = "Q"
+        self.check(ir, "output plan stores tensor")
+
+    def test_output_swizzle_flag_inconsistent(self, ir):
+        ir.output.needs_producer_swizzle = \
+            not ir.output.needs_producer_swizzle
+        self.check(ir, "needs_producer_swizzle")
+
+    def test_access_conjunctive_flipped(self, ir):
+        plan = ir.accesses[0]
+        plan.conjunctive = not plan.conjunctive
+        self.check(ir, "conjunctive flag")
+
+    def test_level_outside_loop_ranks(self, ir):
+        plan = ir.accesses[0]
+        lvl = plan.levels[0]
+        plan.levels[0] = Level("Q", lvl.kind, lvl.exprs, lvl.of)
+        self.check(ir, "outside the loop ranks")
+
+    def test_discordant_levels(self, ir):
+        plan = next(p for p in ir.accesses if len(p.levels) >= 2)
+        plan.levels[0], plan.levels[-1] = plan.levels[-1], plan.levels[0]
+        self.check(ir, "concordant")
+
+    def test_level_missing_origin(self, ir):
+        plan = ir.accesses[0]
+        lvl = plan.levels[0]
+        plan.levels[0] = Level(lvl.rank, lvl.kind, lvl.exprs, None)
+        self.check(ir, "of=None")
+
+
+class TestGarbageTolerance:
+    """A corrupt-but-checksummed pickle can hold anything; every check
+    must report, never crash."""
+
+    def test_non_ir_object(self):
+        assert ir_violations(object()) == ["not a LoopNestIR: object"]
+
+    def test_non_list_cascade(self):
+        with pytest.raises(IRVerificationError):
+            verify_cascade_irs({"not": "a list"})
+
+    def test_fields_replaced_with_garbage(self, ir):
+        for field_name, junk in [
+            ("loop_ranks", 7), ("binds", "nope"), ("modes", None),
+            ("space_ranks", object()), ("time_styles", 3.5),
+            ("origin", ()), ("rank_shapes", "x"), ("output", 1),
+            ("accesses", "zzz"),
+        ]:
+            mangled = copy.deepcopy(ir)
+            setattr(mangled, field_name, junk)
+            assert ir_violations(mangled), (
+                f"garbage in {field_name} went undetected"
+            )
+
+    def test_einsum_replaced_with_garbage(self, ir):
+        ir.einsum = 42
+        assert ir_violations(ir) == ["einsum field is int, not Einsum"]
+
+    def test_error_pickles(self, ir):
+        import pickle
+
+        ir.modes[ir.loop_ranks[0]] = "sideways"
+        try:
+            verify_ir(ir)
+        except IRVerificationError as err:
+            clone = pickle.loads(pickle.dumps(err))
+            assert clone.violations == err.violations
+            assert clone.ir_name == err.ir_name
+        else:
+            pytest.fail("mutation went undetected")

@@ -1,0 +1,83 @@
+"""A corrupt-but-checksum-valid kernel entry must fail IR verification,
+be quarantined, and heal via a fresh compile — never drive codegen."""
+
+import copy
+
+from repro.model.backend import CompileCache
+from repro.store import PersistentStore
+from repro.workloads import uniform_random
+
+from conftest import base_dict, build
+
+
+def _tensors():
+    return {
+        "A": uniform_random("A", ["K", "M"], (96, 48), 0.2, seed=1),
+        "B": uniform_random("B", ["K", "N"], (96, 40), 0.2, seed=2),
+    }
+
+
+def _corrupt(irs):
+    irs = copy.deepcopy(irs)
+    irs[0].modes[irs[0].loop_ranks[0]] = "sideways"
+    return irs
+
+
+class TestKernelHealing:
+    def test_corrupt_entry_is_quarantined_and_recompiled(self, tmp_path):
+        spec = build(base_dict())
+        # Obtain the genuine lowered IR once, via a store-less cache.
+        compiled = CompileCache().get(spec)
+        good_irs = [unit.ir for unit in compiled.units]
+
+        # Seed a fresh store with a corrupted (but perfectly pickled and
+        # checksummed) copy of those kernels: the bytes are intact, the
+        # structure is not.
+        store = PersistentStore(str(tmp_path / "store"))
+        store.put_kernels(spec, _corrupt(good_irs))
+
+        cache = CompileCache(persistent=store)
+        healed = cache.get(spec)  # must not raise, must not use the junk
+
+        # The hit path was rejected: this was a fresh lower+compile...
+        assert cache.persistent_hits == 0
+        assert cache.misses == 1
+        # ...the bad entry is in quarantine...
+        assert store.stats.corrupt_quarantined == 1
+        qdir = tmp_path / "store" / "quarantine"
+        assert any(qdir.iterdir())
+        # ...and the store now holds verifiable kernels again.
+        stored = store.get_kernels(spec)
+        assert stored is not None
+        from repro.analysis import verify_cascade_irs
+
+        verify_cascade_irs(stored)
+
+        # The healed compile actually runs.
+        from repro.model.backend import CompiledBackend
+
+        result = CompiledBackend(cache=cache).run_cascade(spec, _tensors())
+        assert result["Z"].nnz > 0
+
+    def test_valid_entry_still_hits(self, tmp_path):
+        spec = build(base_dict())
+        store = PersistentStore(str(tmp_path / "store"))
+        CompileCache(persistent=store).get(spec)  # publish good kernels
+
+        cache = CompileCache(persistent=store)
+        cache.get(spec)
+        assert cache.persistent_hits == 1
+        assert store.stats.corrupt_quarantined == 0
+
+    def test_invalidate_kernels_is_idempotent(self, tmp_path):
+        spec = build(base_dict())
+        store = PersistentStore(str(tmp_path / "store"))
+        store.invalidate_kernels(spec, "nothing there")  # no entry: no-op
+        assert store.stats.corrupt_quarantined == 0
+
+        CompileCache(persistent=store).get(spec)
+        store.invalidate_kernels(spec, "test eviction")
+        assert store.stats.corrupt_quarantined == 1
+        assert store.get_kernels(spec) is None
+        store.invalidate_kernels(spec, "again")  # already gone: no-op
+        assert store.stats.corrupt_quarantined == 1

@@ -1,0 +1,178 @@
+"""The ``validate=`` knob on evaluate / evaluate_many / search, the
+static-pruning integration, and the CLI entry point."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.analysis import SpecLintWarning, SpecVerificationError
+from repro.analysis.__main__ import main as analysis_main
+from repro.model import evaluate, evaluate_many
+from repro.search import search
+from repro.workloads import uniform_random
+
+from conftest import base_dict, build
+
+
+@pytest.fixture(scope="module")
+def tensors():
+    return {
+        "A": uniform_random("A", ["K", "M"], (96, 48), 0.2, seed=5),
+        "B": uniform_random("B", ["K", "N"], (96, 40), 0.2, seed=7),
+    }
+
+
+def broken_dict():
+    """Base spec with an error-severity defect (unbound loop rank)."""
+    d = base_dict()
+    d["mapping"]["loop-order"]["Z"] = ["K1", "K0", "M"]
+    return d
+
+
+def warned_dict():
+    """Base spec with a warn-severity defect (ragged tile)."""
+    d = base_dict()
+    d["mapping"]["partitioning"]["Z"] = {"K": ["uniform_shape(10)"]}
+    return d
+
+
+class TestEvaluateGate:
+    def test_strict_raises_on_error_findings(self, tensors):
+        with pytest.raises(SpecVerificationError) as exc:
+            evaluate(build(broken_dict()), tensors, validate="strict")
+        assert any(f.rule == "mapping/loop-order-coverage"
+                   for f in exc.value.findings)
+
+    def test_warn_mode_warns_and_still_evaluates(self, tensors):
+        with pytest.warns(SpecLintWarning, match="tile-divides"):
+            result = evaluate(build(warned_dict()), tensors,
+                              validate="warn")
+        assert result.exec_seconds > 0
+
+    def test_warn_mode_surfaces_errors_before_the_build_fails(self, tensors):
+        from repro.spec import SpecError
+
+        with pytest.warns(SpecLintWarning, match="loop-order"):
+            with pytest.raises(SpecError):  # the builder still rejects it
+                evaluate(build(broken_dict()), tensors, validate="warn")
+
+    def test_strict_warns_on_warn_findings_but_proceeds(self, tensors):
+        with pytest.warns(SpecLintWarning, match="tile-divides"):
+            result = evaluate(build(warned_dict()), tensors,
+                              validate="strict")
+        assert result.exec_seconds > 0
+
+    def test_off_is_silent_default(self, tensors):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", SpecLintWarning)
+            evaluate(build(warned_dict()), tensors)
+
+    def test_unknown_mode_rejected(self, tensors):
+        with pytest.raises(ValueError, match="validate"):
+            evaluate(build(base_dict()), tensors, validate="maybe")
+
+    def test_shapes_come_from_workload_tensors(self, tensors):
+        # The 96-wide K span that makes uniform_shape(96) degenerate is
+        # known only from the tensors: the gate must thread it through.
+        d = base_dict()
+        del d["einsum"]["shapes"]
+        d["mapping"]["partitioning"]["Z"] = {"K": ["uniform_shape(96)"]}
+        with pytest.raises(SpecVerificationError) as exc:
+            evaluate(build(d), tensors, validate="strict")
+        assert any(f.rule == "mapping/tile-over-partition"
+                   for f in exc.value.findings)
+
+    def test_evaluate_many_lints_once_up_front(self, tensors):
+        with pytest.raises(SpecVerificationError):
+            evaluate_many(build(broken_dict()), [tensors, tensors],
+                          validate="strict")
+
+    def test_verification_error_pickles(self, tensors):
+        import pickle
+
+        try:
+            evaluate(build(broken_dict()), tensors, validate="strict")
+        except SpecVerificationError as err:
+            clone = pickle.loads(pickle.dumps(err))
+            assert clone.findings == err.findings
+            assert clone.spec_name == err.spec_name
+        else:
+            pytest.fail("strict gate let an error finding through")
+
+
+class TestSearchPruning:
+    #: untiled + K:8 + K:48 + two degenerate ladders (K spans 96), per
+    #: each of the 3! loop orders.
+    TILES = {"K": (8, 48, 96, 128)}
+
+    def test_infeasible_candidates_are_pruned(self, tensors):
+        spec = build(base_dict())
+        base = search(spec, tensors, tile_sizes=self.TILES, workers=1)
+        pruned = search(spec, tensors, tile_sizes=self.TILES, workers=1,
+                        validate="strict")
+        assert base.stats["statically_pruned"] == 0
+        assert pruned.stats["statically_pruned"] == 12
+        assert pruned.n_scored == base.n_scored - 12
+
+    def test_best_is_bit_identical(self, tensors):
+        spec = build(base_dict())
+        base = search(spec, tensors, tile_sizes=self.TILES, workers=1)
+        pruned = search(spec, tensors, tile_sizes=self.TILES, workers=1,
+                        validate="strict")
+        (bc, br), (pc, pr) = base.best(), pruned.best()
+        assert bc == pc
+        assert br.exec_seconds == pr.exec_seconds
+        assert br.traffic_bytes() == pr.traffic_bytes()
+        assert br.energy_pj == pr.energy_pj
+        assert br.action_counts() == pr.action_counts()
+
+    def test_strict_rejects_infeasible_base_spec(self, tensors):
+        with pytest.raises(SpecVerificationError):
+            search(build(broken_dict()), tensors, validate="strict")
+
+    def test_unknown_mode_rejected(self, tensors):
+        with pytest.raises(ValueError, match="validate"):
+            search(build(base_dict()), tensors, validate="everything")
+
+
+class TestCLI:
+    def test_all_registered_specs_exit_clean(self, capsys):
+        assert analysis_main(["--all"]) == 0
+        out = capsys.readouterr().out
+        assert "9 spec(s), 0 error finding(s)" in out
+
+    def test_error_spec_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.yaml"
+        bad.write_text(
+            "einsum:\n"
+            "  declaration:\n"
+            "    A: [K, M]\n"
+            "    Z: [M]\n"
+            "  expressions:\n"
+            "    - Z[m] = A[k, m]\n"
+            "mapping:\n"
+            "  loop-order:\n"
+            "    Z: [M]\n"  # K unbound
+        )
+        assert analysis_main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "mapping/loop-order-coverage" in out
+        # Findings on YAML files carry file:line source locations.
+        assert f"{bad}:" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        assert analysis_main(["--format", "json", "gamma"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert "gamma" in payload["specs"]
+        for finding in payload["specs"]["gamma"]:
+            assert finding["severity"] != "error"
+
+    def test_unloadable_spec_is_a_finding(self, tmp_path, capsys):
+        missing = tmp_path / "nope.yaml"
+        assert analysis_main([str(missing)]) == 1
+        assert "cli/unloadable" in capsys.readouterr().out
+
+    def test_lower_gate(self, capsys):
+        assert analysis_main(["--lower", "extensor"]) == 0

@@ -1,0 +1,111 @@
+"""Source locations on spec errors: YAML key-path line mapping, the
+``file:line`` annotation ``from_yaml`` attaches, and pickle safety."""
+
+import pickle
+
+import pytest
+
+from repro.spec import AcceleratorSpec, SpecError
+from repro.spec.loader import yaml_key_lines
+
+GOOD = """\
+einsum:
+  declaration:
+    A: [K, M]
+    Z: [M]
+  expressions:
+    - Z[m] = A[k, m]
+mapping:
+  loop-order:
+    Z: [M, K]
+"""
+
+BAD_RANK_ORDER = """\
+einsum:
+  declaration:
+    A: [K, M]
+    Z: [M]
+  expressions:
+    - Z[m] = A[k, m]
+mapping:
+  rank-order:
+    A: [K]
+"""
+
+
+class TestYamlKeyLines:
+    def test_nested_key_paths_map_to_lines(self):
+        lines = yaml_key_lines(GOOD)
+        assert lines[("einsum",)] == 1
+        assert lines[("einsum", "declaration")] == 2
+        assert lines[("einsum", "declaration", "A")] == 3
+        assert lines[("mapping", "loop-order", "Z")] == 9
+
+    def test_sequences_do_not_extend_the_path(self):
+        lines = yaml_key_lines(GOOD)
+        assert ("einsum", "expressions") in lines
+        assert not any(len(p) > 2 and p[1] == "expressions" for p in lines)
+
+    def test_invalid_yaml_returns_empty(self):
+        assert yaml_key_lines("a: [unclosed") == {}
+
+
+class TestFromYamlLocations:
+    def test_error_carries_file_and_line(self):
+        with pytest.raises(SpecError) as exc:
+            AcceleratorSpec.from_yaml(BAD_RANK_ORDER, name="fixture",
+                                      source_file="specs/bad.yaml")
+        err = exc.value
+        assert err.path == ("mapping", "rank-order", "A")
+        # rank-order A: is on line 9 of the YAML text.
+        assert err.location == "specs/bad.yaml:9"
+        assert "specs/bad.yaml:9" in str(err)
+
+    def test_error_without_source_file_uses_spec_name(self):
+        with pytest.raises(SpecError) as exc:
+            AcceleratorSpec.from_yaml(BAD_RANK_ORDER, name="fixture")
+        assert exc.value.location == "<fixture>:9"
+
+    def test_location_falls_back_to_deepest_known_prefix(self):
+        # A path the YAML doesn't spell out maps to its nearest parent.
+        text = GOOD + "binding:\n  Q:\n    components: {}\n"
+        with pytest.raises(SpecError) as exc:
+            AcceleratorSpec.from_yaml(text, source_file="s.yaml")
+        assert exc.value.location is not None
+        assert exc.value.location.startswith("s.yaml:")
+
+    def test_clean_spec_carries_source_metadata(self):
+        spec = AcceleratorSpec.from_yaml(GOOD, source_file="specs/ok.yaml")
+        assert spec.source_file == "specs/ok.yaml"
+        assert spec.key_lines[("mapping",)] == 7
+
+    def test_source_metadata_does_not_change_cache_keys(self):
+        from repro.model.backend import spec_cache_key
+
+        with_file = AcceleratorSpec.from_yaml(GOOD, source_file="a.yaml")
+        without = AcceleratorSpec.from_yaml(GOOD)
+        assert spec_cache_key(with_file) == spec_cache_key(without)
+
+
+class TestSpecErrorPickling:
+    def test_round_trip_preserves_path_and_location(self):
+        try:
+            AcceleratorSpec.from_yaml(BAD_RANK_ORDER,
+                                      source_file="specs/bad.yaml")
+        except SpecError as err:
+            clone = pickle.loads(pickle.dumps(err))
+            assert type(clone) is type(err)
+            assert str(clone) == str(err)
+            assert clone.path == err.path
+            assert clone.location == err.location
+            assert clone.section == err.section
+        else:
+            pytest.fail("bad rank-order loaded")
+
+    def test_subclass_with_narrower_init_round_trips(self):
+        from repro.ir.builder import BuildError
+
+        err = BuildError("something went sideways in lowering")
+        clone = pickle.loads(pickle.dumps(err))
+        assert type(clone) is BuildError
+        assert str(clone) == str(err)
